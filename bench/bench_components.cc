@@ -1,0 +1,81 @@
+// Figure 7: lines of code of the LXFI components.
+//
+// The paper reports its gcc kernel-rewriting plugin (150 LoC), clang module
+// rewriting plugin (1,452) and runtime checker (4,704). This repo's analogous
+// pieces are counted from the source tree:
+//   kernel rewriting  -> the isolation hook surface the "rewritten" kernel
+//                        calls through (src/kernel/isolation.h)
+//   module rewriting  -> annotation language + wrapper generation
+//   runtime checker   -> capability/principal/writer-set/runtime machinery
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef LXFI_SOURCE_DIR
+#define LXFI_SOURCE_DIR "."
+#endif
+
+namespace {
+
+size_t CountLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  return lines;
+}
+
+size_t CountAll(const std::vector<std::string>& rel_paths) {
+  size_t total = 0;
+  for (const std::string& rel : rel_paths) {
+    std::filesystem::path p = std::filesystem::path(LXFI_SOURCE_DIR) / rel;
+    if (std::filesystem::exists(p)) {
+      total += CountLines(p);
+    } else {
+      std::fprintf(stderr, "warning: missing %s\n", p.c_str());
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  size_t kernel_rewriter = CountAll({"src/kernel/isolation.h"});
+  size_t module_rewriter = CountAll({
+      "src/lxfi/annotation.h",
+      "src/lxfi/annotation_parser.h",
+      "src/lxfi/annotation_parser.cc",
+      "src/lxfi/annotation_registry.h",
+      "src/lxfi/annotation_registry.cc",
+      "src/lxfi/wrap.h",
+      "src/lxfi/mem.h",
+  });
+  size_t runtime_checker = CountAll({
+      "src/lxfi/cap.h",
+      "src/lxfi/cap_table.h",
+      "src/lxfi/cap_table.cc",
+      "src/lxfi/principal.h",
+      "src/lxfi/principal.cc",
+      "src/lxfi/writer_set.h",
+      "src/lxfi/writer_set.cc",
+      "src/lxfi/shadow_stack.h",
+      "src/lxfi/guards.h",
+      "src/lxfi/violation.h",
+      "src/lxfi/runtime.h",
+      "src/lxfi/runtime.cc",
+      "src/lxfi/kernel_api.h",
+      "src/lxfi/kernel_api.cc",
+  });
+
+  std::printf("=== Figure 7: components of LXFI (this reproduction) ===\n");
+  std::printf("%-28s %10s %12s\n", "Component", "LoC", "paper LoC");
+  std::printf("%-28s %10zu %12s\n", "Kernel rewriting surface", kernel_rewriter, "150");
+  std::printf("%-28s %10zu %12s\n", "Module rewriting + language", module_rewriter, "1,452");
+  std::printf("%-28s %10zu %12s\n", "Runtime checker", runtime_checker, "4,704");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12: netperf over the (simulated) e1000, stock vs LXFI.
+//
+// The per-packet enforcement cost is measured by running the real
+// kernel/wrapper/driver path in both configurations; throughput and CPU%
+// come from the machine model calibrated to the paper's stock rows (see
+// src/eval/netperf.h). Expected shape: TCP throughput unchanged with a
+// 2–4x CPU multiplier; UDP TX drops tens of percent at 100% CPU; the
+// 1-switch RR configs magnify the relative gap.
+#include <cstdio>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/eval/netperf.h"
+
+int main() {
+  lxfi::SetLogLevel(lxfi::LogLevel::kError);
+
+  eval::NetperfHarness stock(/*isolated=*/false);
+  eval::NetperfHarness isolated(/*isolated=*/true);
+
+  struct Row {
+    eval::NetWorkload workload;
+    bool one_switch;
+    uint64_t packets;
+  };
+  std::vector<Row> rows = {
+      {eval::NetWorkload::kTcpStreamTx, false, 30000},
+      {eval::NetWorkload::kTcpStreamRx, false, 30000},
+      {eval::NetWorkload::kUdpStreamTx, false, 50000},
+      {eval::NetWorkload::kUdpStreamRx, false, 50000},
+      {eval::NetWorkload::kTcpRr, false, 10000},
+      {eval::NetWorkload::kUdpRr, false, 10000},
+      {eval::NetWorkload::kTcpRr, true, 10000},
+      {eval::NetWorkload::kUdpRr, true, 10000},
+  };
+
+  std::printf("=== Figure 12: netperf with stock and LXFI-enabled e1000 ===\n");
+  std::printf("%-26s %14s %14s %10s %10s %10s\n", "Test", "Stock tput", "LXFI tput", "unit",
+              "Stock CPU", "LXFI CPU");
+  for (const Row& row : rows) {
+    eval::NetperfConfig config{row.workload, row.packets};
+    // Warm both paths once, then measure.
+    stock.Run({row.workload, row.packets / 10});
+    isolated.Run({row.workload, row.packets / 10});
+    eval::NetperfMeasurement ms = stock.Run(config);
+    eval::NetperfMeasurement ml = isolated.Run(config);
+    eval::Figure12Row out = eval::ComputeRow(row.workload, row.one_switch, ms, ml);
+    std::printf("%-26s %14.1f %14.1f %10s %9.0f%% %9.0f%%\n", out.test.c_str(),
+                out.stock_throughput, out.lxfi_throughput, out.unit.c_str(), out.stock_cpu_pct,
+                out.lxfi_cpu_pct);
+    std::printf("%-26s   (measured path: stock %.0f ns/pkt, lxfi %.0f ns/pkt)\n", "",
+                ms.PathNsPerPacket(), ml.PathNsPerPacket());
+  }
+  return 0;
+}

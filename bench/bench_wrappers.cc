@@ -1,0 +1,111 @@
+// Ablation (Figure 13 decomposition): cost of one kernel/module boundary
+// crossing. Compares a direct dispatch, a wrapper with entry/exit only
+// (annotation-free import), and wrappers whose annotations run capability
+// actions — splitting control-transfer overhead from annotation-action
+// overhead, the two biggest rows of Figure 13.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+#include "src/lxfi/wrap.h"
+
+namespace {
+
+struct Fixture {
+  Fixture() {
+    kernel = std::make_unique<kern::Kernel>();
+    rt = std::make_unique<lxfi::Runtime>(kernel.get());
+    lxfi::InstallKernelApi(kernel.get(), rt.get());
+    kern::ModuleDef def;
+    def.name = "benchmod";
+    def.imports = {"printk", "kmalloc", "kfree", "spin_lock", "spin_unlock"};
+    def.init = [this](kern::Module& m) -> int {
+      module = &m;
+      printk = lxfi::GetImport<void, const char*>(m, "printk");
+      kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+      kfree = lxfi::GetImport<void, void*>(m, "kfree");
+      spin_lock = lxfi::GetImport<void, uintptr_t*>(m, "spin_lock");
+      spin_unlock = lxfi::GetImport<void, uintptr_t*>(m, "spin_unlock");
+      lock = static_cast<uintptr_t*>(kmalloc(sizeof(uintptr_t)));
+      return 0;
+    };
+    kernel->LoadModule(std::move(def));
+  }
+
+  lxfi::Principal* shared() { return rt->CtxOf(module)->shared(); }
+
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<lxfi::Runtime> rt;
+  kern::Module* module = nullptr;
+  std::function<void(const char*)> printk;
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<void(uintptr_t*)> spin_lock;
+  std::function<void(uintptr_t*)> spin_unlock;
+  uintptr_t* lock = nullptr;
+};
+
+Fixture& F() {
+  static Fixture fixture;
+  return fixture;
+}
+
+// Direct dispatch through the registry — no LXFI involvement (the trusted-
+// context fast path inside the wrapper).
+void BM_DirectDispatch(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    f.printk("x");
+  }
+}
+BENCHMARK(BM_DirectDispatch);
+
+// Wrapper with shadow push/pop and CALL check, but an empty annotation set.
+void BM_WrapperNoActions(benchmark::State& state) {
+  Fixture& f = F();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  for (auto _ : state) {
+    f.printk("x");
+  }
+}
+BENCHMARK(BM_WrapperNoActions);
+
+// Wrapper with one check action (spin_lock's pre(check(write, lock, 8))).
+void BM_WrapperCheckAction(benchmark::State& state) {
+  Fixture& f = F();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  for (auto _ : state) {
+    f.spin_lock(f.lock);
+    f.spin_unlock(f.lock);
+  }
+}
+BENCHMARK(BM_WrapperCheckAction);
+
+// Wrapper pair whose annotations grant and revoke capabilities
+// (kmalloc/kfree transfer actions) — the most expensive row.
+void BM_WrapperTransferActions(benchmark::State& state) {
+  Fixture& f = F();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  for (auto _ : state) {
+    void* p = f.kmalloc(128);
+    f.kfree(p);
+  }
+}
+BENCHMARK(BM_WrapperTransferActions);
+
+// Baseline for the allocation pair without LXFI accounting.
+void BM_DirectKmallocKfree(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    void* p = f.kernel->slab().Alloc(128);
+    f.kernel->slab().Free(p);
+  }
+}
+BENCHMARK(BM_DirectKmallocKfree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#include "src/base/arena.h"
+
+#include <cstdlib>
+
+namespace lxfi {
+
+Arena::Arena(size_t size_bytes) : capacity_(size_bytes) {
+  // 4 KiB alignment so page-granular structures (writer sets, slabs) line up.
+  base_ = static_cast<char*>(std::aligned_alloc(4096, (size_bytes + 4095) & ~size_t{4095}));
+}
+
+Arena::~Arena() { std::free(base_); }
+
+void* Arena::Allocate(size_t size, size_t align) {
+  uintptr_t cur = base() + used_;
+  uintptr_t aligned = (cur + align - 1) & ~(align - 1);
+  size_t new_used = (aligned - base()) + size;
+  if (new_used > capacity_) {
+    return nullptr;
+  }
+  used_ = new_used;
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace lxfi

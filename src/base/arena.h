@@ -1,0 +1,45 @@
+// Bump arena backing the simulated kernel address space.
+//
+// The slab and page allocators in src/kernel carve their storage out of one
+// contiguous Arena so that "kernel addresses" are real, stable addresses that
+// capability ranges and writer-set pages can refer to, and so that slab
+// adjacency (which the CAN BCM exploit depends on) behaves like a real slab.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace lxfi {
+
+class Arena {
+ public:
+  explicit Arena(size_t size_bytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `size` bytes aligned to `align` (power of two). Returns nullptr
+  // when exhausted.
+  void* Allocate(size_t size, size_t align = 16);
+
+  // Address-space introspection.
+  uintptr_t base() const { return reinterpret_cast<uintptr_t>(base_); }
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  bool Contains(const void* p) const {
+    auto addr = reinterpret_cast<uintptr_t>(p);
+    return addr >= base() && addr < base() + capacity_;
+  }
+
+  // Resets the bump pointer; all previous allocations become invalid.
+  void Reset() { used_ = 0; }
+
+ private:
+  char* base_ = nullptr;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace lxfi

@@ -1,0 +1,13 @@
+#include "src/base/clock.h"
+
+#include <chrono>
+
+namespace lxfi {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace lxfi

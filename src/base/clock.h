@@ -1,0 +1,44 @@
+// Clocks.
+//
+// MonotonicClock reads the host's steady clock and is used for real guard
+// timing (Figure 13 per-guard nanoseconds). SimClock is a virtual
+// cycle-accounted clock used by the netperf simulation: simulated kernel work
+// advances it by modeled cycle costs so the benchmark can report throughput
+// and CPU utilization the way the paper does, independent of host load.
+#pragma once
+
+#include <cstdint>
+
+namespace lxfi {
+
+// Nanoseconds from the host's steady clock.
+uint64_t MonotonicNowNs();
+
+// A virtual clock advanced explicitly by the simulation.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  uint64_t now_ns() const { return now_ns_; }
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+// Scoped wall-time measurement helper.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(uint64_t* out) : out_(out), start_(MonotonicNowNs()) {}
+  ~ScopedTimerNs() { *out_ += MonotonicNowNs() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  uint64_t* out_;
+  uint64_t start_;
+};
+
+}  // namespace lxfi

@@ -1,0 +1,41 @@
+// Hash primitives.
+//
+// FNV-1a is used for annotation hashes ("ahash" in the paper, §4.1): the
+// kernel-side indirect-call check compares the hash of the function-pointer
+// type's annotation text against the hash of the invoked function's
+// annotation text. A 64-bit mix is used for capability-table bucketing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lxfi {
+
+inline constexpr uint64_t kFnv64OffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnv64Prime = 1099511628211ull;
+
+constexpr uint64_t Fnv1a64(std::string_view data, uint64_t seed = kFnv64OffsetBasis) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+// Stafford variant 13 of the splitmix64 finalizer; good avalanche for
+// pointer-keyed hash tables.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace lxfi

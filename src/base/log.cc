@@ -1,0 +1,82 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace lxfi {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;
+std::mutex g_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+void DefaultSink(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[lxfi %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace
+
+LogLevel SetLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  LogLevel prev = g_level;
+  g_level = level;
+  return prev;
+}
+
+LogLevel GetLogLevel() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_level;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sink = std::move(sink);
+}
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+    return;
+  }
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+  va_end(ap_copy);
+  std::string buf;
+  if (needed > 0) {
+    buf.resize(static_cast<size_t>(needed));
+    std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap);
+  }
+  va_end(ap);
+
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, buf);
+  } else {
+    DefaultSink(level, buf);
+  }
+}
+
+}  // namespace lxfi

@@ -1,0 +1,41 @@
+// Minimal leveled logging used by the kernel substrate and the LXFI runtime.
+//
+// The kernel substrate logs through this facility (it stands in for printk);
+// tests install a capturing sink to assert on emitted diagnostics.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace lxfi {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  // Suppresses all output; used by benchmarks.
+  kNone = 4,
+};
+
+// Sink invoked for every emitted record at or above the current level.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+// Sets the minimum level that reaches the sink. Returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Replaces the output sink (default writes to stderr). Passing nullptr
+// restores the default sink.
+void SetLogSink(LogSink sink);
+
+// printf-style logging entry point.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define LXFI_LOG_DEBUG(...) ::lxfi::Logf(::lxfi::LogLevel::kDebug, __VA_ARGS__)
+#define LXFI_LOG_INFO(...) ::lxfi::Logf(::lxfi::LogLevel::kInfo, __VA_ARGS__)
+#define LXFI_LOG_WARN(...) ::lxfi::Logf(::lxfi::LogLevel::kWarn, __VA_ARGS__)
+#define LXFI_LOG_ERROR(...) ::lxfi::Logf(::lxfi::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace lxfi

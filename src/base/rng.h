@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All stochastic pieces of the simulation (workload generators, the API
+// evolution model, property-test input generation) draw from this generator
+// so experiments are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace lxfi {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Geometric-ish positive integer with the given mean (>= 1).
+  uint64_t GeometricMean(double mean) {
+    if (mean <= 1.0) {
+      return 1;
+    }
+    uint64_t n = 1;
+    double cont = 1.0 - 1.0 / mean;
+    while (Chance(cont) && n < 1u << 20) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace lxfi

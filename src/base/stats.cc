@@ -1,0 +1,46 @@
+#include "src/base/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lxfi {
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+uint64_t LatencyHistogram::QuantileNs(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return i == 0 ? 0 : (1ull << i) - 1;
+    }
+  }
+  return ~0ull;
+}
+
+std::string LatencyHistogram::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1fns p50=%llu p99=%llu",
+                static_cast<unsigned long long>(count_), mean_ns(),
+                static_cast<unsigned long long>(QuantileNs(0.5)),
+                static_cast<unsigned long long>(QuantileNs(0.99)));
+  return buf;
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double idx = pct / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace lxfi

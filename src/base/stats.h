@@ -1,0 +1,77 @@
+// Counters and summary statistics used by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lxfi {
+
+// Streaming mean/min/max/stddev accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    if (n_ == 1) {
+      min_ = max_ = x;
+      mean_ = x;
+      m2_ = 0;
+      return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Log-scaled latency histogram (power-of-two buckets, ns domain).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(64, 0) {}
+
+  void Add(uint64_t ns) {
+    int b = ns == 0 ? 0 : 64 - __builtin_clzll(ns);
+    if (b >= static_cast<int>(buckets_.size())) {
+      b = static_cast<int>(buckets_.size()) - 1;
+    }
+    ++buckets_[static_cast<size_t>(b)];
+    ++count_;
+    sum_ += ns;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean_ns() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+  // Approximate quantile from bucket boundaries (upper bound of bucket).
+  uint64_t QuantileNs(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Exact percentile over a stored sample vector (used where samples are few).
+double Percentile(std::vector<double> values, double pct);
+
+}  // namespace lxfi

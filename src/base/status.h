@@ -1,0 +1,93 @@
+// Lightweight status codes used at kernel/module interfaces.
+//
+// The simulated kernel uses Linux-style negative errno returns in many
+// places; Status wraps those for the C++-level APIs while staying cheap.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace lxfi {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound:
+        return "NOT_FOUND";
+      case StatusCode::kAlreadyExists:
+        return "ALREADY_EXISTS";
+      case StatusCode::kPermissionDenied:
+        return "PERMISSION_DENIED";
+      case StatusCode::kResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::kOutOfRange:
+        return "OUT_OF_RANGE";
+      case StatusCode::kUnimplemented:
+        return "UNIMPLEMENTED";
+      case StatusCode::kInternal:
+        return "INTERNAL";
+    }
+    return "?";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+}  // namespace lxfi

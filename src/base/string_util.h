@@ -1,0 +1,21 @@
+// Small string helpers used by the annotation parser and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lxfi {
+
+std::vector<std::string> SplitString(std::string_view s, char sep);
+std::string_view TrimWhitespace(std::string_view s);
+bool StartsWith(std::string_view s, std::string_view prefix);
+std::string ToLowerAscii(std::string_view s);
+
+// printf-style std::string formatting.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins parts with the given separator.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace lxfi

@@ -1,0 +1,38 @@
+// Annotation-effort accounting (Figure 9).
+//
+// Loads all ten modules on an isolated kernel and walks the annotation
+// registry's usage notes to count, per module, the annotated kernel
+// functions it calls directly and the annotated function-pointer types on
+// its kernel/module boundary — splitting each into "all" vs "unique to this
+// module", which is the paper's evidence that annotation effort amortizes
+// across similar modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eval {
+
+struct ModuleAnnotationStats {
+  std::string category;
+  std::string module;
+  uint64_t functions_all = 0;
+  uint64_t functions_unique = 0;
+  uint64_t fnptrs_all = 0;
+  uint64_t fnptrs_unique = 0;
+};
+
+struct AnnotationSurvey {
+  std::vector<ModuleAnnotationStats> modules;
+  uint64_t total_distinct_functions = 0;
+  uint64_t total_distinct_fnptrs = 0;
+  uint64_t capability_iterators = 0;
+};
+
+// Builds the full ten-module survey on a fresh isolated kernel.
+AnnotationSurvey RunAnnotationSurvey();
+
+std::string FormatSurveyTable(const AnnotationSurvey& survey);
+
+}  // namespace eval

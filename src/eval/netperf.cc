@@ -1,0 +1,298 @@
+#include "src/eval/netperf.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "src/base/clock.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/nicsim.h"
+#include "src/kernel/net/skbuff.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+#include "src/modules/e1000/e1000.h"
+
+namespace eval {
+namespace {
+
+constexpr uint16_t kTestProto = 0x0800;
+constexpr uint32_t kSmallMsg = 64;    // UDP / RR message bytes
+constexpr uint32_t kTcpSegment = 1448;  // TCP payload per segment
+
+kern::SkBuff* MakePacket(kern::Kernel* kernel, uint32_t bytes) {
+  kern::SkBuff* skb = kern::AllocSkb(kernel, bytes);
+  if (skb == nullptr) {
+    return nullptr;
+  }
+  uint8_t* p = kern::SkbPut(skb, bytes);
+  p[0] = static_cast<uint8_t>(kTestProto & 0xff);
+  p[1] = static_cast<uint8_t>(kTestProto >> 8);
+  skb->protocol = kTestProto;
+  return skb;
+}
+
+}  // namespace
+
+const char* NetWorkloadName(NetWorkload workload) {
+  switch (workload) {
+    case NetWorkload::kTcpStreamTx:
+      return "TCP_STREAM TX";
+    case NetWorkload::kTcpStreamRx:
+      return "TCP_STREAM RX";
+    case NetWorkload::kUdpStreamTx:
+      return "UDP_STREAM TX";
+    case NetWorkload::kUdpStreamRx:
+      return "UDP_STREAM RX";
+    case NetWorkload::kTcpRr:
+      return "TCP_RR";
+    case NetWorkload::kUdpRr:
+      return "UDP_RR";
+  }
+  return "?";
+}
+
+struct NetperfHarness::Impl {
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<lxfi::Runtime> rt;
+  kern::NicHw* hw = nullptr;
+  kern::NetDevice* dev = nullptr;
+  kern::NetStack* stack = nullptr;
+  uint64_t rx_delivered = 0;
+  bool echo_mode = false;
+  uint8_t echo_frame[kSmallMsg] = {};
+  int pending_echoes = 0;
+};
+
+NetperfHarness::NetperfHarness(bool isolated, bool guard_timing) : impl_(new Impl()) {
+  impl_->kernel = std::make_unique<kern::Kernel>(256ull << 20);
+  if (isolated) {
+    lxfi::RuntimeOptions options;
+    options.guard_timing = guard_timing;
+    impl_->rt = std::make_unique<lxfi::Runtime>(impl_->kernel.get(), options);
+  }
+  kernel_ = impl_->kernel.get();
+  rt_ = impl_->rt.get();
+  lxfi::InstallKernelApi(kernel_, rt_);
+  impl_->hw = mods::PlugInE1000Device(kernel_);
+  kern::Module* mod = kernel_->LoadModule(mods::E1000ModuleDef());
+  if (mod == nullptr) {
+    kern::Panic("netperf harness: e1000 failed to load");
+  }
+  impl_->stack = kern::GetNetStack(kernel_);
+  impl_->dev = impl_->stack->DevByIndex(1);
+  impl_->stack->SetProtocolHandler(kTestProto, [this](kern::SkBuff* skb) {
+    ++impl_->rx_delivered;
+    kern::FreeSkb(kernel_, skb);
+  });
+  // Wire the peer: in echo (RR) mode every transmitted frame produces a
+  // response frame queued for injection after the modeled network delay.
+  impl_->hw->SetTxSink([this](const uint8_t* frame, uint16_t len) {
+    if (impl_->echo_mode) {
+      ++impl_->pending_echoes;
+    }
+  });
+  impl_->echo_frame[0] = static_cast<uint8_t>(kTestProto & 0xff);
+  impl_->echo_frame[1] = static_cast<uint8_t>(kTestProto >> 8);
+}
+
+NetperfHarness::~NetperfHarness() {
+  // Runtime must detach from the kernel before either is destroyed; member
+  // order in Impl handles destruction, but unload keeps the slab honest.
+  delete impl_;
+}
+
+NetperfMeasurement NetperfHarness::Run(const NetperfConfig& config) {
+  NetperfMeasurement result;
+  Impl* im = impl_;
+  kern::Kernel* k = kernel_;
+  kern::NetStack* stack = im->stack;
+  kern::NicHw* hw = im->hw;
+  im->echo_mode =
+      config.workload == NetWorkload::kTcpRr || config.workload == NetWorkload::kUdpRr;
+  im->rx_delivered = 0;
+  im->pending_echoes = 0;
+
+  if (rt_ != nullptr) {
+    rt_->guards().Reset();
+  }
+  uint64_t before_indcalls = 0;
+
+  uint8_t data_frame[kTcpSegment];
+  std::memset(data_frame, 0xab, sizeof(data_frame));
+  data_frame[0] = static_cast<uint8_t>(kTestProto & 0xff);
+  data_frame[1] = static_cast<uint8_t>(kTestProto >> 8);
+
+  uint64_t start = lxfi::MonotonicNowNs();
+  switch (config.workload) {
+    case NetWorkload::kUdpStreamTx: {
+      for (uint64_t i = 0; i < config.packets; ++i) {
+        kern::SkBuff* skb = MakePacket(k, kSmallMsg);
+        int rc = stack->DevQueueXmit(im->dev, skb);
+        if (rc == kern::kNetdevTxBusy) {
+          kern::FreeSkb(k, skb);
+        }
+        if ((i & 15) == 15) {
+          hw->ProcessTx();
+        }
+      }
+      hw->ProcessTx();
+      result.packets = hw->frames_tx();
+      break;
+    }
+    case NetWorkload::kUdpStreamRx: {
+      for (uint64_t i = 0; i < config.packets; ++i) {
+        hw->InjectRx(data_frame, kSmallMsg, /*coalesce=*/true);
+        if ((i & 15) == 15) {
+          hw->FlushRxIrq();
+          stack->RunSoftirq(64);
+        }
+      }
+      hw->FlushRxIrq();
+      stack->RunSoftirq(64);
+      result.packets = im->rx_delivered;
+      break;
+    }
+    case NetWorkload::kTcpStreamTx: {
+      for (uint64_t i = 0; i < config.packets; ++i) {
+        kern::SkBuff* skb = MakePacket(k, kTcpSegment);
+        int rc = stack->DevQueueXmit(im->dev, skb);
+        if (rc == kern::kNetdevTxBusy) {
+          kern::FreeSkb(k, skb);
+        }
+        if ((i & 1) == 1) {
+          hw->ProcessTx();
+          // Peer ACK clock: one small frame per two segments.
+          hw->InjectRx(im->echo_frame, kSmallMsg, /*coalesce=*/true);
+        }
+        if ((i & 15) == 15) {
+          hw->FlushRxIrq();
+          stack->RunSoftirq(64);
+        }
+      }
+      hw->ProcessTx();
+      hw->FlushRxIrq();
+      stack->RunSoftirq(64);
+      result.packets = hw->frames_tx();
+      break;
+    }
+    case NetWorkload::kTcpStreamRx: {
+      for (uint64_t i = 0; i < config.packets; ++i) {
+        hw->InjectRx(data_frame, kTcpSegment, /*coalesce=*/true);
+        if ((i & 7) == 7) {
+          hw->FlushRxIrq();
+          stack->RunSoftirq(64);
+          // ACK every other segment.
+          for (int a = 0; a < 4; ++a) {
+            kern::SkBuff* ack = MakePacket(k, kSmallMsg);
+            if (stack->DevQueueXmit(im->dev, ack) == kern::kNetdevTxBusy) {
+              kern::FreeSkb(k, ack);
+            }
+          }
+          hw->ProcessTx();
+        }
+      }
+      hw->FlushRxIrq();
+      stack->RunSoftirq(64);
+      result.packets = im->rx_delivered;
+      break;
+    }
+    case NetWorkload::kTcpRr:
+    case NetWorkload::kUdpRr: {
+      for (uint64_t i = 0; i < config.packets; ++i) {
+        kern::SkBuff* skb = MakePacket(k, kSmallMsg);
+        int rc = stack->DevQueueXmit(im->dev, skb);
+        if (rc == kern::kNetdevTxBusy) {
+          kern::FreeSkb(k, skb);
+        }
+        hw->ProcessTx();
+        while (im->pending_echoes > 0) {
+          --im->pending_echoes;
+          hw->InjectRx(im->echo_frame, kSmallMsg, /*coalesce=*/false);
+          stack->RunSoftirq(64);
+        }
+      }
+      result.packets = im->rx_delivered;  // completed transactions
+      break;
+    }
+  }
+  result.path_wall_ns = lxfi::MonotonicNowNs() - start;
+
+  if (rt_ != nullptr) {
+    for (int i = 0; i < static_cast<int>(lxfi::GuardType::kCount); ++i) {
+      auto t = static_cast<lxfi::GuardType>(i);
+      result.guard_counts[i] = rt_->guards().count(t);
+      result.guard_time_ns[i] = rt_->guards().time_ns(t);
+    }
+    result.kernel_indcalls =
+        rt_->guards().count(lxfi::GuardType::kIndCallAll) - before_indcalls;
+  }
+  result.driver_calls = hw->frames_tx() + hw->frames_rx();
+  return result;
+}
+
+MachineModel ModelFor(NetWorkload workload, bool one_switch) {
+  // Constants backed out of Figure 12's stock rows (throughput + CPU%):
+  // c_stock = cpu% / rate; link = the stock throughput; for RR,
+  // rtt = 1/rate - c_stock.
+  switch (workload) {
+    case NetWorkload::kTcpStreamTx:
+      return MachineModel{1801.0, 72169.0, 0.0, kTcpSegment * 8.0};
+    case NetWorkload::kTcpStreamRx:
+      return MachineModel{4363.0, 66471.0, 0.0, kTcpSegment * 8.0};
+    case NetWorkload::kUdpStreamTx:
+      return MachineModel{174.0, 3.1e6, 0.0, 0.0};
+    case NetWorkload::kUdpStreamRx:
+      return MachineModel{200.0, 2.3e6, 0.0, 0.0};
+    case NetWorkload::kTcpRr:
+      return one_switch ? MachineModel{15000.0, 0.0, 47500.0, 0.0}
+                        : MachineModel{19149.0, 0.0, 87234.0, 0.0};
+    case NetWorkload::kUdpRr:
+      return one_switch ? MachineModel{11500.0, 0.0, 38500.0, 0.0}
+                        : MachineModel{18000.0, 0.0, 82000.0, 0.0};
+  }
+  return MachineModel{};
+}
+
+Figure12Row ComputeRow(NetWorkload workload, bool one_switch,
+                       const NetperfMeasurement& stock, const NetperfMeasurement& lxfi) {
+  MachineModel model = ModelFor(workload, one_switch);
+  double delta_ns = std::max(0.0, lxfi.PathNsPerPacket() - stock.PathNsPerPacket());
+  double c_stock = model.c_stock_ns;
+  double c_lxfi = model.c_stock_ns + delta_ns;
+
+  auto rate_for = [&](double c) {
+    if (model.rtt_ns > 0) {
+      return 1e9 / (model.rtt_ns + c);
+    }
+    double cpu_rate = 1e9 / c;
+    return model.link_pps > 0 ? std::min(model.link_pps, cpu_rate) : cpu_rate;
+  };
+
+  double stock_rate = rate_for(c_stock);
+  double lxfi_rate = rate_for(c_lxfi);
+
+  Figure12Row row;
+  row.test = NetWorkloadName(workload);
+  if (one_switch) {
+    row.test += " (1-switch)";
+  }
+  row.stock_cpu_pct = 100.0 * stock_rate * c_stock / 1e9;
+  row.lxfi_cpu_pct = 100.0 * lxfi_rate * c_lxfi / 1e9;
+  if (model.rtt_ns > 0) {
+    row.stock_throughput = stock_rate;
+    row.lxfi_throughput = lxfi_rate;
+    row.unit = "Tx/sec";
+  } else if (model.payload_bits > 0) {
+    row.stock_throughput = stock_rate * model.payload_bits / 1e6;
+    row.lxfi_throughput = lxfi_rate * model.payload_bits / 1e6;
+    row.unit = "Mbit/sec";
+  } else {
+    row.stock_throughput = stock_rate / 1e6;
+    row.lxfi_throughput = lxfi_rate / 1e6;
+    row.unit = "Mpkt/sec";
+  }
+  return row;
+}
+
+}  // namespace eval

@@ -1,0 +1,35 @@
+// SFI microbenchmarks (Figure 11): hotlist, lld, MD5 from the MiSFIT suite,
+// each built as a kernel module and run bare vs LXFI-instrumented.
+//
+// The instrumented variants execute the same guards the module rewriter
+// inserts: a WRITE-capability check before each store (with the hoisting
+// optimizations the paper's compiler plugin performs — a single check for a
+// run of constant-offset stores into one object, which is why MD5 stays
+// cheap), and wrapper entry/exit guards around internal helper calls for
+// lld. "Code size" is reported as the ratio of inserted guard sites to
+// baseline operations, the binary-free analogue of the paper's code-size
+// column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eval {
+
+struct MicroResult {
+  std::string name;
+  double base_ns = 0;          // uninstrumented runtime
+  double instrumented_ns = 0;  // with LXFI guards
+  double code_size_ratio = 0;  // instrumented "sites" / baseline ops, +1.0
+
+  double SlowdownPct() const {
+    return base_ns == 0 ? 0.0 : 100.0 * (instrumented_ns - base_ns) / base_ns;
+  }
+};
+
+// Runs all three microbenchmarks; `scale` multiplies iteration counts.
+MicroResult RunHotlist(int scale = 1);
+MicroResult RunLld(int scale = 1);
+MicroResult RunMd5(int scale = 1);
+
+}  // namespace eval

@@ -1,0 +1,150 @@
+#include "src/kernel/block/block.h"
+
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/panic.h"
+
+namespace kern {
+
+BlockDevice* BlockLayer::CreateRamDisk(const std::string& name, uint64_t sectors) {
+  void* mem = kernel_->slab().Alloc(sizeof(BlockDevice));
+  KERN_BUG_ON(mem == nullptr);
+  BlockDevice* dev = new (mem) BlockDevice();
+  std::snprintf(dev->name, sizeof(dev->name), "%s", name.c_str());
+  dev->sectors = sectors;
+  dev->backing = static_cast<uint8_t*>(kernel_->slab().Alloc(sectors * kSectorSize));
+  KERN_BUG_ON(dev->backing == nullptr);
+  devices_.push_back(dev);
+  return dev;
+}
+
+int BlockLayer::RamIo(BlockDevice* dev, Bio* bio) {
+  if (bio->sector * kSectorSize + bio->size > dev->sectors * kSectorSize) {
+    bio->status = -kEinval;
+    return -kEinval;
+  }
+  uint8_t* disk = dev->backing + bio->sector * kSectorSize;
+  if (bio->write) {
+    std::memcpy(disk, bio->data, bio->size);
+    ++dev->writes;
+  } else {
+    std::memcpy(bio->data, disk, bio->size);
+    ++dev->reads;
+  }
+  bio->status = 0;
+  return 0;
+}
+
+int BlockLayer::SubmitBio(BlockDevice* dev, Bio* bio) {
+  auto it = dm_targets_.find(dev);
+  if (it == dm_targets_.end()) {
+    int rc = RamIo(dev, bio);
+    if (bio->end_io != 0) {
+      kernel_->IndirectCall<void, Bio*>(&bio->end_io, "bio_end_io_t", bio);
+    }
+    return rc;
+  }
+  // Device-mapper path: ask the module's target to map the bio.
+  DmTarget* target = it->second;
+  int rc = kernel_->IndirectCall<int, DmTarget*, Bio*>(&target->type->map, "target_type::map",
+                                                       target, bio);
+  if (rc == kDmMapioRemapped) {
+    // The target rewrote sector/data; the core submits to the underlying
+    // device on the target's behalf.
+    rc = SubmitBio(target->underlying, bio);
+  } else if (rc == kDmMapioKill) {
+    bio->status = -kEinval;
+    rc = -kEinval;
+  } else {
+    rc = bio->status;
+  }
+  if (bio->end_io != 0) {
+    kernel_->IndirectCall<void, Bio*>(&bio->end_io, "bio_end_io_t", bio);
+  }
+  return rc;
+}
+
+int BlockLayer::RegisterTargetType(DmTargetType* type) {
+  if (type->name == nullptr || target_types_.count(type->name) != 0) {
+    return -kEinval;
+  }
+  target_types_[type->name] = type;
+  return 0;
+}
+
+void BlockLayer::UnregisterTargetType(DmTargetType* type) {
+  if (type->name != nullptr) {
+    target_types_.erase(type->name);
+  }
+}
+
+BlockDevice* BlockLayer::DmCreate(const std::string& name, const std::string& type_name,
+                                  BlockDevice* underlying, const std::string& params) {
+  auto tt = target_types_.find(type_name);
+  if (tt == target_types_.end()) {
+    return nullptr;
+  }
+  void* dev_mem = kernel_->slab().Alloc(sizeof(BlockDevice));
+  void* tgt_mem = kernel_->slab().Alloc(sizeof(DmTarget));
+  KERN_BUG_ON(dev_mem == nullptr || tgt_mem == nullptr);
+  BlockDevice* dm_dev = new (dev_mem) BlockDevice();
+  std::snprintf(dm_dev->name, sizeof(dm_dev->name), "%s", name.c_str());
+  dm_dev->sectors = underlying != nullptr ? underlying->sectors : 0;
+  DmTarget* target = new (tgt_mem) DmTarget();
+  target->type = tt->second;
+  target->underlying = underlying;
+  target->dm_dev = dm_dev;
+
+  if (tt->second->ctr != 0) {
+    int rc = kernel_->IndirectCall<int, DmTarget*, const char*>(&tt->second->ctr,
+                                                                "target_type::ctr", target,
+                                                                params.c_str());
+    if (rc != 0) {
+      kernel_->slab().Free(tgt_mem);
+      kernel_->slab().Free(dev_mem);
+      return nullptr;
+    }
+  }
+  devices_.push_back(dm_dev);
+  dm_targets_[dm_dev] = target;
+  return dm_dev;
+}
+
+void BlockLayer::DmRemove(BlockDevice* dm_dev) {
+  auto it = dm_targets_.find(dm_dev);
+  if (it == dm_targets_.end()) {
+    return;
+  }
+  DmTarget* target = it->second;
+  if (target->type->dtr != 0) {
+    kernel_->IndirectCall<void, DmTarget*>(&target->type->dtr, "target_type::dtr", target);
+  }
+  dm_targets_.erase(it);
+  for (auto dit = devices_.begin(); dit != devices_.end(); ++dit) {
+    if (*dit == dm_dev) {
+      devices_.erase(dit);
+      break;
+    }
+  }
+  kernel_->slab().Free(target);
+  kernel_->slab().Free(dm_dev);
+}
+
+BlockDevice* BlockLayer::FindDevice(const std::string& name) const {
+  for (BlockDevice* dev : devices_) {
+    if (name == dev->name) {
+      return dev;
+    }
+  }
+  return nullptr;
+}
+
+DmTarget* BlockLayer::TargetOf(BlockDevice* dm_dev) {
+  auto it = dm_targets_.find(dm_dev);
+  return it == dm_targets_.end() ? nullptr : it->second;
+}
+
+BlockLayer* GetBlockLayer(Kernel* kernel) { return kernel->EnsureSubsystem<BlockLayer>(kernel); }
+
+}  // namespace kern

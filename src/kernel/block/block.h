@@ -1,0 +1,102 @@
+// Block layer and device-mapper core.
+//
+// Provides what the dm-crypt / dm-zero / dm-snapshot modules need: bios,
+// block devices (RAM-backed), and a device-mapper core that dispatches bios
+// to module-provided target `map` functions through checked indirect calls.
+// Each mapped device is one LXFI principal in the annotated modules, which
+// is how a compromise through one USB disk cannot touch the system disk
+// (§2.1's dm-crypt scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace kern {
+
+class Kernel;
+class Module;
+
+inline constexpr size_t kSectorSize = 512;
+
+struct Bio {
+  uint64_t sector = 0;
+  uint32_t size = 0;  // bytes, multiple of kSectorSize
+  uint8_t* data = nullptr;
+  bool write = false;
+  int status = 0;
+  // Completion callback (module- or kernel-provided).
+  uintptr_t end_io = 0;  // void(Bio*)
+  void* bi_private = nullptr;
+};
+
+// dm target map() outcomes (include/linux/device-mapper.h).
+inline constexpr int kDmMapioSubmitted = 0;
+inline constexpr int kDmMapioRemapped = 1;
+inline constexpr int kDmMapioKill = 2;
+
+struct BlockDevice {
+  char name[24] = {};
+  uint64_t sectors = 0;
+  uint8_t* backing = nullptr;  // RAM disk storage (kernel-owned), null for dm
+  void* private_data = nullptr;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+// Module-provided target type (module memory).
+struct DmTargetType {
+  const char* name = nullptr;
+  uintptr_t ctr = 0;  // int(DmTarget*, const char* params)
+  uintptr_t dtr = 0;  // void(DmTarget*)
+  uintptr_t map = 0;  // int(DmTarget*, Bio*)
+  Module* module = nullptr;
+};
+
+struct DmTarget {
+  DmTargetType* type = nullptr;
+  void* private_data = nullptr;     // module state for this target instance
+  BlockDevice* underlying = nullptr;  // device the target maps onto
+  BlockDevice* dm_dev = nullptr;      // the virtual device exposing the target
+};
+
+class BlockLayer {
+ public:
+  explicit BlockLayer(Kernel* kernel) : kernel_(kernel) {}
+
+  // Creates a RAM-backed disk.
+  BlockDevice* CreateRamDisk(const std::string& name, uint64_t sectors);
+
+  // Issues a bio directly to a RAM disk (or a dm device; see MapBio).
+  int SubmitBio(BlockDevice* dev, Bio* bio);
+
+  // --- device-mapper ------------------------------------------------------
+  int RegisterTargetType(DmTargetType* type);
+  void UnregisterTargetType(DmTargetType* type);
+
+  // dmsetup create: builds a virtual device with one target of `type_name`
+  // mapping onto `underlying`, running the module's ctr.
+  BlockDevice* DmCreate(const std::string& name, const std::string& type_name,
+                        BlockDevice* underlying, const std::string& params);
+  void DmRemove(BlockDevice* dm_dev);
+
+  DmTarget* TargetOf(BlockDevice* dm_dev);
+
+  // dm_get_device: looks a registered device up by name (nullptr if absent).
+  BlockDevice* FindDevice(const std::string& name) const;
+
+ private:
+  int RamIo(BlockDevice* dev, Bio* bio);
+
+  Kernel* kernel_;
+  std::vector<BlockDevice*> devices_;
+  std::unordered_map<std::string, DmTargetType*> target_types_;
+  std::unordered_map<BlockDevice*, DmTarget*> dm_targets_;
+};
+
+BlockLayer* GetBlockLayer(Kernel* kernel);
+
+}  // namespace kern

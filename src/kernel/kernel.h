@@ -1,0 +1,126 @@
+// The simulated kernel: one object owning the kernel address space (arena),
+// allocators, processes, symbol tables, kthread contexts, modules and
+// subsystems. Tests construct a fresh Kernel per case; attaching an LXFI
+// runtime via set_isolation() turns it into the protected configuration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/arena.h"
+#include "src/kernel/isolation.h"
+#include "src/kernel/kmalloc.h"
+#include "src/kernel/ksymtab.h"
+#include "src/kernel/kthread.h"
+#include "src/kernel/module.h"
+#include "src/kernel/process.h"
+#include "src/kernel/types.h"
+#include "src/kernel/uaccess.h"
+
+namespace kern {
+
+class Kernel {
+ public:
+  // `arena_bytes` bounds the simulated kernel address space.
+  explicit Kernel(size_t arena_bytes = 64ull << 20);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  lxfi::Arena& arena() { return arena_; }
+  SlabAllocator& slab() { return slab_; }
+  ProcessTable& procs() { return *procs_; }
+  SymbolTable& symtab() { return symtab_; }
+  FuncRegistry& funcs() { return funcs_; }
+  UserSpace& user() { return user_; }
+
+  IsolationHooks* isolation() const { return isolation_; }
+  void set_isolation(IsolationHooks* hooks);
+
+  // --- Kthreads ---------------------------------------------------------
+  KthreadContext* CreateKthread();
+  KthreadContext* current() { return current_ctx_; }
+  void SwitchTo(KthreadContext* ctx) { current_ctx_ = ctx; }
+  Task* current_task() { return current_ctx_ != nullptr ? current_ctx_->current_task : nullptr; }
+  void SetCurrentTask(Task* task) { current_ctx_->current_task = task; }
+
+  // Simulated interrupt delivery: runs `handler` in interrupt context on the
+  // current kthread, with principal save/restore around it when isolated.
+  void DeliverInterrupt(const std::function<void()>& handler);
+
+  // --- Exported symbols --------------------------------------------------
+  // EXPORT_SYMBOL: registers a kernel function under `name` and returns its
+  // minted kernel-text address.
+  template <typename Sig>
+  uintptr_t ExportSymbol(const std::string& name, std::function<Sig> fn) {
+    uintptr_t addr = funcs_.Register<Sig>(TextKind::kKernelText, name, std::move(fn));
+    symtab_.Add(name, addr);
+    return addr;
+  }
+
+  // --- Modules -----------------------------------------------------------
+  // insmod: allocates sections, runs isolation setup, then the module's init
+  // under its shared principal. Returns nullptr (and logs) on init failure.
+  Module* LoadModule(ModuleDef def);
+  void UnloadModule(Module* module);
+  Module* FindModule(const std::string& name);
+  const std::vector<std::unique_ptr<Module>>& modules() const { return modules_; }
+
+  // --- Indirect calls from core kernel code ------------------------------
+  // Every indirect call site in the core kernel is "rewritten" to go through
+  // this helper (§4.1): pptr is the home slot of the function pointer (the
+  // intra-procedural trace-back result, e.g. &dev->ops->handler rather than
+  // &local_copy), fnptr_type the declared type of the pointer, from which
+  // the runtime derives the annotation hash to match against the target's.
+  template <typename Ret, typename... Args>
+  Ret IndirectCall(const uintptr_t* pptr, const char* fnptr_type, Args... args) {
+    uintptr_t target = *pptr;
+    if (isolation_ != nullptr) {
+      isolation_->CheckKernelIndirectCall(pptr, fnptr_type, target);
+    }
+    return funcs_.Invoke<Ret, Args...>(target, args...);
+  }
+
+  // --- Subsystems ---------------------------------------------------------
+  // Typed singleton slots for net/pci/block/sound substrates, created on
+  // first use so kernel.h need not know their types.
+  template <typename T, typename... A>
+  T* EnsureSubsystem(A&&... args) {
+    auto it = subsystems_.find(std::type_index(typeid(T)));
+    if (it == subsystems_.end()) {
+      auto holder = std::make_shared<T>(std::forward<A>(args)...);
+      T* raw = holder.get();
+      subsystems_.emplace(std::type_index(typeid(T)), std::move(holder));
+      return raw;
+    }
+    return static_cast<T*>(it->second.get());
+  }
+
+  template <typename T>
+  T* GetSubsystem() {
+    auto it = subsystems_.find(std::type_index(typeid(T)));
+    return it == subsystems_.end() ? nullptr : static_cast<T*>(it->second.get());
+  }
+
+ private:
+  lxfi::Arena arena_;
+  SlabAllocator slab_;
+  SymbolTable symtab_;
+  FuncRegistry funcs_;
+  UserSpace user_;
+  std::unique_ptr<ProcessTable> procs_;
+  IsolationHooks* isolation_ = nullptr;
+
+  std::vector<std::unique_ptr<KthreadContext>> kthreads_;
+  KthreadContext* current_ctx_ = nullptr;
+
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::unordered_map<std::type_index, std::shared_ptr<void>> subsystems_;
+};
+
+}  // namespace kern

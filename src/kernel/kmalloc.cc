@@ -1,0 +1,117 @@
+#include "src/kernel/kmalloc.h"
+
+#include <cstring>
+
+#include "src/kernel/panic.h"
+#include "src/kernel/types.h"
+
+namespace kern {
+
+SlabAllocator::SlabAllocator(lxfi::Arena* arena) : arena_(arena) {}
+
+int SlabAllocator::ClassIndexFor(size_t size) {
+  for (size_t i = 0; i < kClassSizes.size(); ++i) {
+    if (size <= kClassSizes[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void* SlabAllocator::Alloc(size_t size) {
+  if (size == 0) {
+    return nullptr;
+  }
+  int ci = ClassIndexFor(size);
+  void* p = ci >= 0 ? AllocFromClass(static_cast<size_t>(ci), size) : AllocLarge(size);
+  if (p != nullptr) {
+    std::memset(p, 0, size);
+  }
+  return p;
+}
+
+void* SlabAllocator::AllocFromClass(size_t class_index, size_t requested) {
+  auto& partial = partial_[class_index];
+  if (partial.empty()) {
+    void* page = arena_->Allocate(kPageSize, kPageSize);
+    if (page == nullptr) {
+      return nullptr;
+    }
+    ++pages_allocated_;
+    auto* slab = new SlabPage{class_index, {}};
+    size_t object_size = kClassSizes[class_index];
+    size_t count = kPageSize / object_size;
+    // Populate the freelist back-to-front so allocations come out in
+    // ascending address order, giving the adjacency the slab exploits need.
+    for (size_t i = count; i > 0; --i) {
+      slab->freelist.push_back(static_cast<char*>(page) + (i - 1) * object_size);
+    }
+    page_of_[reinterpret_cast<uintptr_t>(page)] = slab;
+    partial.push_back(slab);
+  }
+  SlabPage* slab = partial.back();
+  void* obj = slab->freelist.back();
+  slab->freelist.pop_back();
+  if (slab->freelist.empty()) {
+    partial.pop_back();
+  }
+  live_[reinterpret_cast<uintptr_t>(obj)] = LiveObject{requested, class_index, 0};
+  return obj;
+}
+
+void* SlabAllocator::AllocLarge(size_t size) {
+  size_t pages = (size + kPageSize - 1) / kPageSize;
+  void* p = arena_->Allocate(pages * kPageSize, kPageSize);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  pages_allocated_ += pages;
+  live_[reinterpret_cast<uintptr_t>(p)] = LiveObject{size, SIZE_MAX, pages * kPageSize};
+  return p;
+}
+
+void SlabAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
+  if (it == live_.end()) {
+    Panic("kfree of unknown or already-freed pointer (slab corruption)");
+  }
+  LiveObject obj = it->second;
+  live_.erase(it);
+  if (obj.class_index == SIZE_MAX) {
+    // Large allocation: pages are returned to the arena only on arena reset;
+    // a bump arena cannot reclaim. This mirrors a leaky __get_free_pages and
+    // is fine for bounded test/benchmark lifetimes.
+    return;
+  }
+  uintptr_t page_base = reinterpret_cast<uintptr_t>(ptr) & ~(kPageSize - 1);
+  auto pit = page_of_.find(page_base);
+  KERN_BUG_ON(pit == page_of_.end());
+  SlabPage* slab = pit->second;
+  if (slab->freelist.empty()) {
+    partial_[slab->class_index].push_back(slab);
+  }
+  slab->freelist.push_back(ptr);
+}
+
+size_t SlabAllocator::AllocSize(const void* ptr) const {
+  auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
+  return it == live_.end() ? 0 : it->second.requested;
+}
+
+size_t SlabAllocator::UsableSize(const void* ptr) const {
+  auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
+  if (it == live_.end()) {
+    return 0;
+  }
+  const LiveObject& obj = it->second;
+  return obj.class_index == SIZE_MAX ? obj.large_bytes : kClassSizes[obj.class_index];
+}
+
+bool SlabAllocator::IsLive(const void* ptr) const {
+  return live_.count(reinterpret_cast<uintptr_t>(ptr)) != 0;
+}
+
+}  // namespace kern

@@ -1,0 +1,78 @@
+// Slab allocator (kmalloc/kfree) for the simulated kernel.
+//
+// Mirrors the properties of Linux's SLUB that matter to LXFI and to the
+// exploits from the paper's §8.1:
+//  - power-of-two-ish size classes backed by 4 KiB slab pages,
+//  - objects of one class packed contiguously in a page, so two consecutive
+//    allocations of the same class are usually adjacent (the CAN BCM
+//    integer-overflow exploit depends on overwriting the *next* slab object),
+//  - ksize()-style introspection so capability annotations can revoke the
+//    exact granted range on kfree.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/arena.h"
+
+namespace kern {
+
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(lxfi::Arena* arena);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Allocates `size` bytes; returns nullptr when the arena is exhausted or
+  // size is 0. Memory is zeroed (kzalloc semantics keep module state
+  // deterministic; Linux modules in this repo all use kzalloc-style init).
+  void* Alloc(size_t size);
+
+  // Frees a pointer previously returned by Alloc. Freeing nullptr is a no-op;
+  // freeing an unknown pointer panics (slab corruption in a real kernel).
+  void Free(void* ptr);
+
+  // Requested size of a live allocation (what the caller asked for).
+  // Returns 0 for unknown pointers.
+  size_t AllocSize(const void* ptr) const;
+
+  // Usable size of a live allocation: the size class capacity, like ksize().
+  size_t UsableSize(const void* ptr) const;
+
+  bool IsLive(const void* ptr) const;
+
+  // Stats.
+  size_t live_objects() const { return live_.size(); }
+  size_t pages_allocated() const { return pages_allocated_; }
+
+  static constexpr std::array<size_t, 8> kClassSizes = {32, 64, 128, 256, 512, 1024, 2048, 4096};
+
+ private:
+  struct SlabPage {
+    size_t class_index;
+    std::vector<void*> freelist;
+  };
+
+  struct LiveObject {
+    size_t requested;
+    size_t class_index;  // class index, or SIZE_MAX for a large (multi-page) allocation
+    size_t large_bytes;  // only for large allocations
+  };
+
+  static int ClassIndexFor(size_t size);
+  void* AllocFromClass(size_t class_index, size_t requested);
+  void* AllocLarge(size_t size);
+
+  lxfi::Arena* arena_;
+  // Per-class list of pages that still have free objects.
+  std::array<std::vector<SlabPage*>, kClassSizes.size()> partial_;
+  std::unordered_map<uintptr_t, SlabPage*> page_of_;  // page base -> slab page
+  std::unordered_map<uintptr_t, LiveObject> live_;
+  size_t pages_allocated_ = 0;
+};
+
+}  // namespace kern

@@ -1,0 +1,25 @@
+// Kernel execution contexts.
+//
+// LXFI keeps a shadow stack per kernel thread (§5); interrupts save and
+// restore the current principal. The simulation models kernel threads as
+// explicitly-switched contexts on one host thread, which keeps the
+// enforcement logic identical while avoiding host-threading nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kern {
+
+struct Task;
+
+struct KthreadContext {
+  int id = 0;
+  Task* current_task = nullptr;
+  int irq_depth = 0;
+  // Opaque per-thread LXFI state (the shadow stack); owned by the runtime.
+  void* lxfi_shadow = nullptr;
+};
+
+}  // namespace kern

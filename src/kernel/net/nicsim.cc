@@ -1,0 +1,69 @@
+#include "src/kernel/net/nicsim.h"
+
+#include <cstring>
+
+namespace kern {
+
+int NicHw::ProcessTx() {
+  if (regs_->tdba == 0 || regs_->tdlen == 0) {
+    return 0;
+  }
+  auto* ring = reinterpret_cast<NicTxDesc*>(regs_->tdba);
+  int sent = 0;
+  while (regs_->tdh != regs_->tdt) {
+    NicTxDesc& desc = ring[regs_->tdh];
+    if (tx_sink_ && desc.buf_addr != 0) {
+      tx_sink_(reinterpret_cast<const uint8_t*>(desc.buf_addr), desc.len);
+    }
+    desc.status |= kNicDescDone;
+    regs_->tdh = (regs_->tdh + 1) % regs_->tdlen;
+    ++sent;
+    ++frames_tx_;
+  }
+  if (sent > 0 && raise_irq_) {
+    regs_->icr |= kNicIntTxDone;
+    raise_irq_(kNicIntTxDone);
+  }
+  return sent;
+}
+
+bool NicHw::InjectRx(const uint8_t* frame, uint16_t len, bool coalesce) {
+  if (regs_->rdba == 0 || regs_->rdlen == 0) {
+    ++rx_drops_;
+    return false;
+  }
+  auto* ring = reinterpret_cast<NicRxDesc*>(regs_->rdba);
+  uint32_t next = (regs_->rdh + 1) % regs_->rdlen;
+  if (regs_->rdh == regs_->rdt) {
+    // No free descriptors published by the driver.
+    ++rx_drops_;
+    return false;
+  }
+  NicRxDesc& desc = ring[regs_->rdh];
+  if (desc.buf_addr == 0) {
+    ++rx_drops_;
+    return false;
+  }
+  std::memcpy(reinterpret_cast<void*>(desc.buf_addr), frame, len);
+  desc.len = len;
+  desc.status |= kNicDescDone;
+  regs_->rdh = next;
+  ++frames_rx_;
+  if (coalesce) {
+    rx_irq_pending_ = true;
+  } else if (raise_irq_) {
+    regs_->icr |= kNicIntRx;
+    raise_irq_(kNicIntRx);
+  }
+  return true;
+}
+
+void NicHw::FlushRxIrq() {
+  if (rx_irq_pending_ && raise_irq_) {
+    rx_irq_pending_ = false;
+    regs_->icr |= kNicIntRx;
+    raise_irq_(kNicIntRx);
+  }
+}
+
+}  // namespace kern

@@ -1,0 +1,91 @@
+// Simulated e1000-class NIC hardware.
+//
+// Stands in for the Intel 82540EM the paper's netperf evaluation uses: MMIO
+// register block, descriptor rings in "DMA" memory, and interrupt delivery.
+// The driver module programs the device exactly as a real driver would —
+// writing buffer addresses into descriptors and bumping tail registers with
+// (LXFI-checked) memory stores — and the hardware side here consumes those
+// writes. DMA reads/writes performed by the device are not module stores and
+// are therefore not subject to WRITE-capability checks, matching real
+// hardware semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kern {
+
+// Interrupt cause bits (subset of E1000 ICR).
+inline constexpr uint32_t kNicIntTxDone = 1u << 0;
+inline constexpr uint32_t kNicIntRx = 1u << 1;
+
+// MMIO register block, mapped via pci_iomap. The driver writes these fields
+// through checked stores.
+struct NicRegs {
+  uint32_t ctrl = 0;
+  uint32_t ims = 0;  // interrupt mask
+  uint32_t icr = 0;  // interrupt cause (read-to-clear semantics simplified)
+  // TX ring.
+  uint64_t tdba = 0;  // descriptor base (kernel VA of the ring array)
+  uint32_t tdlen = 0;
+  uint32_t tdh = 0;  // head (device-owned)
+  uint32_t tdt = 0;  // tail (driver-owned)
+  // RX ring.
+  uint64_t rdba = 0;
+  uint32_t rdlen = 0;
+  uint32_t rdh = 0;
+  uint32_t rdt = 0;
+};
+
+struct NicTxDesc {
+  uint64_t buf_addr = 0;
+  uint16_t len = 0;
+  uint8_t cmd = 0;
+  uint8_t status = 0;  // bit0 = DD (descriptor done)
+};
+
+struct NicRxDesc {
+  uint64_t buf_addr = 0;
+  uint16_t len = 0;
+  uint8_t status = 0;  // bit0 = DD
+};
+
+inline constexpr uint8_t kNicDescDone = 1u << 0;
+
+class NicHw {
+ public:
+  explicit NicHw(NicRegs* regs) : regs_(regs) {}
+
+  // Wire-side hooks.
+  // Called for each transmitted frame (payload copied out of DMA buffers).
+  void SetTxSink(std::function<void(const uint8_t*, uint16_t)> sink) { tx_sink_ = std::move(sink); }
+  // Raises an interrupt: the harness wires this to the kernel's
+  // DeliverInterrupt + the driver's registered handler.
+  void SetIrqRaiser(std::function<void(uint32_t)> raise) { raise_irq_ = std::move(raise); }
+
+  // Device-side processing: consumes TX descriptors [tdh, tdt) and fires a
+  // TX-done interrupt if any were processed. Returns frames transmitted.
+  int ProcessTx();
+
+  // Delivers one frame from the wire into the next available RX descriptor.
+  // Returns false (drop) when the ring is full. Fires an RX interrupt unless
+  // `coalesce` is set; call FlushRxIrq() after a batch when coalescing.
+  bool InjectRx(const uint8_t* frame, uint16_t len, bool coalesce = false);
+  void FlushRxIrq();
+
+  uint64_t frames_tx() const { return frames_tx_; }
+  uint64_t frames_rx() const { return frames_rx_; }
+  uint64_t rx_drops() const { return rx_drops_; }
+
+ private:
+  NicRegs* regs_;
+  std::function<void(const uint8_t*, uint16_t)> tx_sink_;
+  std::function<void(uint32_t)> raise_irq_;
+  uint64_t frames_tx_ = 0;
+  uint64_t frames_rx_ = 0;
+  uint64_t rx_drops_ = 0;
+  bool rx_irq_pending_ = false;
+};
+
+}  // namespace kern

@@ -1,0 +1,66 @@
+#include "src/kernel/net/skbuff.h"
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/panic.h"
+
+namespace kern {
+
+SkBuff* AllocSkb(Kernel* kernel, uint32_t size, uint32_t headroom) {
+  void* hdr = kernel->slab().Alloc(sizeof(SkBuff));
+  if (hdr == nullptr) {
+    return nullptr;
+  }
+  SkBuff* skb = new (hdr) SkBuff();
+  uint32_t cap = size + headroom;
+  skb->head = static_cast<uint8_t*>(kernel->slab().Alloc(cap));
+  if (skb->head == nullptr) {
+    kernel->slab().Free(hdr);
+    return nullptr;
+  }
+  skb->data = skb->head + headroom;
+  skb->len = 0;
+  skb->capacity = cap;
+  return skb;
+}
+
+void FreeSkb(Kernel* kernel, SkBuff* skb) {
+  if (skb == nullptr) {
+    return;
+  }
+  kernel->slab().Free(skb->head);
+  kernel->slab().Free(skb);
+}
+
+uint8_t* SkbPut(SkBuff* skb, uint32_t len) {
+  uint8_t* tail = skb->data + skb->len;
+  KERN_BUG_ON(skb->data - skb->head + skb->len + len > skb->capacity);
+  skb->len += len;
+  return tail;
+}
+
+void SkBuffQueue::Push(SkBuff* skb) {
+  skb->next = nullptr;
+  if (tail != nullptr) {
+    tail->next = skb;
+  } else {
+    head = skb;
+  }
+  tail = skb;
+  ++count;
+}
+
+SkBuff* SkBuffQueue::Pop() {
+  if (head == nullptr) {
+    return nullptr;
+  }
+  SkBuff* skb = head;
+  head = skb->next;
+  if (head == nullptr) {
+    tail = nullptr;
+  }
+  skb->next = nullptr;
+  --count;
+  return skb;
+}
+
+}  // namespace kern

@@ -1,0 +1,149 @@
+// Minimal in-kernel transport engines: UDP datagrams and a simplified TCP.
+//
+// The netperf harness models TCP/UDP behavior at the packet level; these
+// engines provide the actual protocol semantics for tests and examples that
+// need end-to-end correctness under loss: sequence numbers, cumulative
+// ACKs, a fixed send window, go-back-N retransmission on a tick-driven
+// timer, and an out-of-order reassembly buffer on the receiver.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace kern {
+
+// Wire format: a tiny fixed header followed by payload.
+struct TransportHeader {
+  uint32_t seq = 0;    // first payload byte's sequence number
+  uint32_t ack = 0;    // cumulative ACK (next expected byte)
+  uint16_t len = 0;    // payload bytes
+  uint8_t flags = 0;   // bit0 = ACK-only
+};
+
+inline constexpr uint8_t kTransportFlagAck = 1u << 0;
+inline constexpr size_t kTransportMss = 512;
+
+// Emits a frame toward the peer (the "wire").
+using FrameSink = std::function<void(const uint8_t* frame, size_t len)>;
+
+// --- UDP ---------------------------------------------------------------------
+
+class UdpEndpoint {
+ public:
+  void SetTx(FrameSink tx) { tx_ = std::move(tx); }
+
+  // Sends one datagram (fire and forget).
+  void Send(const uint8_t* data, size_t len);
+
+  // Wire-side input.
+  void OnFrame(const uint8_t* frame, size_t len);
+
+  // Received datagrams in arrival order.
+  std::deque<std::vector<uint8_t>>& inbox() { return inbox_; }
+  uint64_t sent() const { return sent_; }
+  uint64_t received() const { return received_; }
+
+ private:
+  FrameSink tx_;
+  std::deque<std::vector<uint8_t>> inbox_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+// --- TCP (simplified) -----------------------------------------------------------
+
+class TcpEndpoint {
+ public:
+  // `window` is the fixed number of segments allowed in flight; `rto_ticks`
+  // the retransmission timeout in Tick() units.
+  explicit TcpEndpoint(uint32_t window = 16, uint32_t rto_ticks = 4)
+      : window_(window), rto_ticks_(rto_ticks) {}
+
+  void SetTx(FrameSink tx) { tx_ = std::move(tx); }
+
+  // Application write: enqueues bytes; segments go out as the window opens.
+  void Send(const uint8_t* data, size_t len);
+
+  // Wire-side input: data segment or ACK (possibly both).
+  void OnFrame(const uint8_t* frame, size_t len);
+
+  // Timer tick: retransmits the whole window after rto (go-back-N).
+  void Tick();
+
+  // Drives output: sends as many segments as the window allows. Called
+  // internally by Send/OnFrame/Tick; exposed for tests.
+  void PumpOutput();
+
+  // The in-order byte stream delivered to the application.
+  const std::vector<uint8_t>& received_stream() const { return received_; }
+
+  bool AllAcked() const { return snd_una_ == snd_nxt_ && send_buffer_.empty(); }
+
+  // Stats.
+  uint64_t segments_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t acks_sent = 0;
+  uint64_t out_of_order = 0;
+
+ private:
+  void EmitSegment(uint32_t seq, const uint8_t* data, uint16_t len, bool ack_only);
+  void SendAck();
+
+  FrameSink tx_;
+  uint32_t window_;
+  uint32_t rto_ticks_;
+
+  // Sender state.
+  std::vector<uint8_t> send_buffer_;  // unsent + unacked bytes, base = snd_una_
+  uint32_t snd_una_ = 0;              // oldest unacked seq
+  uint32_t snd_nxt_ = 0;              // next seq to send
+  uint32_t ticks_since_progress_ = 0;
+  bool pumping_ = false;              // reentrancy guard (synchronous links)
+
+  // Receiver state.
+  uint32_t rcv_nxt_ = 0;  // next expected byte
+  std::map<uint32_t, std::vector<uint8_t>> reorder_;  // seq -> payload
+  std::vector<uint8_t> received_;
+};
+
+// --- lossy link ------------------------------------------------------------------
+
+// Connects two endpoints with independent loss in each direction. Frames are
+// delivered synchronously (no queuing delay); loss is decided by the caller-
+// provided predicate so tests control randomness.
+class LossyLink {
+ public:
+  using LossFn = std::function<bool()>;  // true = drop this frame
+
+  template <typename EndpointA, typename EndpointB>
+  void Connect(EndpointA* a, EndpointB* b, LossFn drop_a_to_b, LossFn drop_b_to_a) {
+    a->SetTx([this, b, drop = std::move(drop_a_to_b)](const uint8_t* f, size_t n) {
+      ++frames_;
+      if (drop && drop()) {
+        ++dropped_;
+        return;
+      }
+      b->OnFrame(f, n);
+    });
+    b->SetTx([this, a, drop = std::move(drop_b_to_a)](const uint8_t* f, size_t n) {
+      ++frames_;
+      if (drop && drop()) {
+        ++dropped_;
+        return;
+      }
+      a->OnFrame(f, n);
+    });
+  }
+
+  uint64_t frames() const { return frames_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  uint64_t frames_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace kern

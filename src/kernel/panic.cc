@@ -1,0 +1,26 @@
+#include "src/kernel/panic.h"
+
+#include "src/base/log.h"
+
+namespace kern {
+namespace {
+
+PanicHandler g_handler;
+
+}  // namespace
+
+PanicHandler SetPanicHandler(PanicHandler handler) {
+  PanicHandler prev = g_handler;
+  g_handler = std::move(handler);
+  return prev;
+}
+
+void Panic(const std::string& msg) {
+  LXFI_LOG_ERROR("kernel panic: %s", msg.c_str());
+  if (g_handler) {
+    g_handler(msg);
+  }
+  throw KernelPanic(msg);
+}
+
+}  // namespace kern

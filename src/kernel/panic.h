@@ -1,0 +1,37 @@
+// panic() / BUG() for the simulated kernel.
+//
+// The paper's enforcement policy is "if the checks fail, the kernel panics"
+// (§3). In this reproduction a panic raises a KernelPanic exception by
+// default so tests can assert on it; benchmarks and exploit demos may install
+// a counting handler instead.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace kern {
+
+class KernelPanic : public std::runtime_error {
+ public:
+  explicit KernelPanic(const std::string& what) : std::runtime_error(what) {}
+};
+
+using PanicHandler = std::function<void(const std::string&)>;
+
+// Installs a panic handler; returns the previous one. A null handler restores
+// the default (throw KernelPanic).
+PanicHandler SetPanicHandler(PanicHandler handler);
+
+// Reports a fatal kernel condition. If the installed handler returns, a
+// KernelPanic is thrown anyway: panics must not be silently survivable.
+[[noreturn]] void Panic(const std::string& msg);
+
+#define KERN_BUG_ON(cond)                                            \
+  do {                                                               \
+    if (cond) {                                                      \
+      ::kern::Panic(std::string("BUG_ON(" #cond ") at ") + __func__); \
+    }                                                                \
+  } while (0)
+
+}  // namespace kern

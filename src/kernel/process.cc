@@ -1,0 +1,52 @@
+#include "src/kernel/process.h"
+
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/panic.h"
+
+namespace kern {
+
+ProcessTable::ProcessTable(Kernel* kernel) : kernel_(kernel) {}
+
+Task* ProcessTable::CreateTask(Uid uid) {
+  void* mem = kernel_->slab().Alloc(sizeof(Task));
+  KERN_BUG_ON(mem == nullptr);
+  Task* task = new (mem) Task();
+  task->pid = next_pid_++;
+  task->cred.uid = uid;
+  task->cred.euid = uid;
+  pid_hash_[task->pid] = task;
+  all_tasks_.push_back(task);
+  return task;
+}
+
+Task* ProcessTable::FindByPid(Pid pid) const {
+  auto it = pid_hash_.find(pid);
+  return it == pid_hash_.end() ? nullptr : it->second;
+}
+
+void ProcessTable::DetachPid(Task* task) { pid_hash_.erase(task->pid); }
+
+bool ProcessTable::IsHashed(const Task* task) const {
+  return pid_hash_.count(task->pid) != 0;
+}
+
+void ProcessTable::DoExit(Task* task) {
+  task->exited = true;
+  if (task->clear_child_tid != 0) {
+    // The missed check: a correct kernel would verify this is a user address
+    // unless the address limit covers it. CVE-2010-4258 is that the limit
+    // was left at KERNEL_DS on the oops path, so the write goes through for
+    // kernel addresses too. The core kernel performs this store directly
+    // (it is trusted code), which is precisely why the paper stops the chain
+    // at the later module-tainted indirect call instead.
+    std::memset(reinterpret_cast<void*>(task->clear_child_tid), 0, sizeof(uintptr_t));
+  }
+}
+
+Cred PrepareKernelCred() { return Cred{0, 0}; }
+
+void CommitCreds(Task* task, const Cred& cred) { task->cred = cred; }
+
+}  // namespace kern

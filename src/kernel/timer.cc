@@ -1,0 +1,53 @@
+#include "src/kernel/timer.h"
+
+#include <algorithm>
+
+#include "src/kernel/kernel.h"
+
+namespace kern {
+
+int TimerWheel::ModTimer(TimerList* timer, uint64_t expires) {
+  int was_pending = timer->pending ? 1 : 0;
+  timer->expires = expires;
+  if (!timer->pending) {
+    timer->pending = true;
+    pending_.push_back(timer);
+  }
+  return was_pending;
+}
+
+int TimerWheel::DelTimer(TimerList* timer) {
+  if (!timer->pending) {
+    return 0;
+  }
+  timer->pending = false;
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), timer), pending_.end());
+  return 1;
+}
+
+int TimerWheel::Advance(uint64_t ticks) {
+  now_ += ticks;
+  int fired = 0;
+  // Collect expired first: handlers may rearm (mod_timer) reentrantly.
+  std::vector<TimerList*> expired;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if ((*it)->expires <= now_) {
+      expired.push_back(*it);
+      (*it)->pending = false;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (TimerList* timer : expired) {
+    // The home slot is the timer's own function field — module-writable
+    // memory, so the writer-set full check applies (§4.1).
+    kernel_->IndirectCall<void, void*>(&timer->function, "timer_fn", timer->data);
+    ++fired;
+  }
+  return fired;
+}
+
+TimerWheel* GetTimerWheel(Kernel* kernel) { return kernel->EnsureSubsystem<TimerWheel>(kernel); }
+
+}  // namespace kern

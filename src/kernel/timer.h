@@ -1,0 +1,54 @@
+// Kernel timers (timer_list / mod_timer / del_timer).
+//
+// Another kernel interface that stores module-provided function pointers in
+// module-writable memory and invokes them later from trusted context — the
+// same shape the paper's indirect-call check exists for. The wheel is
+// tick-driven: tests and harnesses advance it explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace kern {
+
+class Kernel;
+
+// Lives in module (or kernel) memory; `function` is a text address of
+// signature void(void* data).
+struct TimerList {
+  uintptr_t function = 0;
+  void* data = nullptr;
+  uint64_t expires = 0;  // absolute tick
+  bool pending = false;
+};
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(Kernel* kernel) : kernel_(kernel) {}
+
+  uint64_t now() const { return now_; }
+
+  // mod_timer: (re)arms the timer for absolute tick `expires`. Returns 1 if
+  // it was already pending (rearm), 0 otherwise, like Linux.
+  int ModTimer(TimerList* timer, uint64_t expires);
+
+  // del_timer: returns 1 if the timer was pending.
+  int DelTimer(TimerList* timer);
+
+  // Advances time by `ticks`, firing expired timers through the checked
+  // indirect-call path. Returns the number fired.
+  int Advance(uint64_t ticks);
+
+  size_t pending_count() const { return pending_.size(); }
+
+ private:
+  Kernel* kernel_;
+  uint64_t now_ = 0;
+  std::vector<TimerList*> pending_;
+};
+
+TimerWheel* GetTimerWheel(Kernel* kernel);
+
+}  // namespace kern

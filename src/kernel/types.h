@@ -1,0 +1,30 @@
+// Fundamental types for the simulated kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kern {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+using Pid = int32_t;
+using Uid = uint32_t;
+
+// Linux-style errno values used at simulated syscall/module boundaries.
+inline constexpr int kEperm = 1;
+inline constexpr int kEnoent = 2;
+inline constexpr int kEfault = 14;
+inline constexpr int kEbusy = 16;
+inline constexpr int kEnodev = 19;
+inline constexpr int kEinval = 22;
+inline constexpr int kEnospc = 28;
+inline constexpr int kEnomem = 12;
+inline constexpr int kEnotconn = 107;
+
+// netdev_tx_t values (include/linux/netdevice.h).
+inline constexpr int kNetdevTxOk = 0;
+inline constexpr int kNetdevTxBusy = 16;
+
+}  // namespace kern

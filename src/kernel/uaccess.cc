@@ -1,0 +1,34 @@
+#include "src/kernel/uaccess.h"
+
+#include <cstring>
+
+namespace kern {
+
+int UserSpace::CopyToUser(uintptr_t dst_uaddr, const void* src, size_t len) {
+  if (!AccessOk(dst_uaddr, len)) {
+    return -kEfault;
+  }
+  std::memcpy(mem_.data() + dst_uaddr, src, len);
+  return 0;
+}
+
+int UserSpace::CopyFromUser(void* dst, uintptr_t src_uaddr, size_t len) {
+  if (!AccessOk(src_uaddr, len)) {
+    return -kEfault;
+  }
+  std::memcpy(dst, mem_.data() + src_uaddr, len);
+  return 0;
+}
+
+int UserSpace::CopyToUserUnchecked(uintptr_t dst_addr, const void* src, size_t len) {
+  if (dst_addr < kUserSpaceTop) {
+    std::memcpy(mem_.data() + dst_addr, src, len);
+  } else {
+    // Missing access_ok: the "user" address is actually kernel memory and
+    // the copy scribbles over it.
+    std::memcpy(reinterpret_cast<void*>(dst_addr), src, len);
+  }
+  return 0;
+}
+
+}  // namespace kern

@@ -1,0 +1,424 @@
+#include "src/lxfi/annotation_parser.h"
+
+#include <cctype>
+
+#include "src/base/hash.h"
+#include "src/base/string_util.h"
+
+namespace lxfi {
+
+std::string NormalizeAnnotationText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+uint64_t AnnotationHash(const std::string& text) {
+  std::string norm = NormalizeAnnotationText(text);
+  return norm.empty() ? 0 : Fnv1a64(norm);
+}
+
+namespace {
+
+struct Token {
+  enum class Type { kIdent, kInt, kPunct, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  int64_t value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { Advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token Take() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+
+  bool TakeIf(const char* punct_or_ident) {
+    if (tok_.text == punct_or_ident && tok_.type != Token::Type::kEnd) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) {
+      tok_ = Token{Token::Type::kEnd, "", 0};
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                    src_[pos_] == '_' || src_[pos_] == ':')) {
+        ++pos_;
+      }
+      tok_ = Token{Token::Type::kIdent, src_.substr(start, pos_ - start), 0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      int base = 10;
+      if (c == '0' && pos_ + 1 < src_.size() && (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        base = 16;
+        pos_ += 2;
+      }
+      while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])))) {
+        ++pos_;
+      }
+      std::string digits = src_.substr(start, pos_ - start);
+      tok_ = Token{Token::Type::kInt, digits,
+                   static_cast<int64_t>(std::strtoll(digits.c_str(), nullptr, base == 16 ? 16 : 10))};
+      return;
+    }
+    // Two-char comparison operators.
+    if (pos_ + 1 < src_.size()) {
+      std::string two = src_.substr(pos_, 2);
+      if (two == "==" || two == "!=" || two == "<=" || two == ">=") {
+        pos_ += 2;
+        tok_ = Token{Token::Type::kPunct, two, 0};
+        return;
+      }
+    }
+    tok_ = Token{Token::Type::kPunct, std::string(1, c), 0};
+    ++pos_;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  Token tok_;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& name, const std::vector<std::string>& params, const std::string& text)
+      : set_(std::make_unique<AnnotationSet>()), lex_(text) {
+    set_->name = name;
+    set_->text = text;
+    set_->params = params;
+    set_->ahash = AnnotationHash(text);
+  }
+
+  std::unique_ptr<AnnotationSet> Run(std::string* error) {
+    while (lex_.peek().type != Token::Type::kEnd) {
+      if (!ParseAnnotation()) {
+        *error = error_;
+        return nullptr;
+      }
+    }
+    return std::move(set_);
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " (near '" + lex_.peek().text + "')";
+    }
+    return false;
+  }
+
+  bool Expect(const char* punct) {
+    if (!lex_.TakeIf(punct)) {
+      return Fail(std::string("expected '") + punct + "'");
+    }
+    return true;
+  }
+
+  bool ParseAnnotation() {
+    Token t = lex_.Take();
+    if (t.type != Token::Type::kIdent) {
+      return Fail("expected pre/post/principal");
+    }
+    Annotation a;
+    if (t.text == "pre" || t.text == "post") {
+      a.kind = t.text == "pre" ? Annotation::Kind::kPre : Annotation::Kind::kPost;
+      in_post_ = a.kind == Annotation::Kind::kPost;
+      if (!Expect("(")) {
+        return false;
+      }
+      a.action = ParseAction();
+      if (a.action == nullptr) {
+        return false;
+      }
+      if (!Expect(")")) {
+        return false;
+      }
+    } else if (t.text == "principal") {
+      a.kind = Annotation::Kind::kPrincipal;
+      if (!Expect("(")) {
+        return false;
+      }
+      if (lex_.peek().text == "global") {
+        lex_.Take();
+        a.principal_target = Annotation::PrincipalTarget::kGlobal;
+      } else if (lex_.peek().text == "shared") {
+        lex_.Take();
+        a.principal_target = Annotation::PrincipalTarget::kShared;
+      } else {
+        a.principal_target = Annotation::PrincipalTarget::kExpr;
+        in_post_ = false;
+        a.principal_expr = ParseExpr();
+        if (a.principal_expr == nullptr) {
+          return false;
+        }
+      }
+      if (!Expect(")")) {
+        return false;
+      }
+    } else {
+      return Fail("unknown annotation '" + t.text + "'");
+    }
+    set_->annotations.push_back(std::move(a));
+    return true;
+  }
+
+  std::unique_ptr<Action> ParseAction() {
+    Token t = lex_.Take();
+    if (t.type != Token::Type::kIdent) {
+      Fail("expected action");
+      return nullptr;
+    }
+    auto action = std::make_unique<Action>();
+    if (t.text == "if") {
+      action->op = Action::Op::kIf;
+      if (!Expect("(")) {
+        return nullptr;
+      }
+      action->cond = ParseExpr();
+      if (action->cond == nullptr) {
+        return nullptr;
+      }
+      if (!Expect(")")) {
+        return nullptr;
+      }
+      action->then = ParseAction();
+      if (action->then == nullptr) {
+        return nullptr;
+      }
+      return action;
+    }
+    if (t.text == "copy") {
+      action->op = Action::Op::kCopy;
+    } else if (t.text == "transfer") {
+      action->op = Action::Op::kTransfer;
+    } else if (t.text == "check") {
+      action->op = Action::Op::kCheck;
+    } else {
+      Fail("unknown action '" + t.text + "'");
+      return nullptr;
+    }
+    if (!Expect("(")) {
+      return nullptr;
+    }
+    if (!ParseCapList(&action->caps)) {
+      return nullptr;
+    }
+    if (!Expect(")")) {
+      return nullptr;
+    }
+    return action;
+  }
+
+  bool ParseCapList(CapListSpec* spec) {
+    Token t = lex_.Take();
+    if (t.type != Token::Type::kIdent) {
+      return Fail("expected capability kind or iterator name");
+    }
+    if (t.text == "write" || t.text == "call" || t.text == "ref") {
+      spec->is_iterator = false;
+      if (t.text == "write") {
+        spec->kind = CapKind::kWrite;
+      } else if (t.text == "call") {
+        spec->kind = CapKind::kCall;
+      } else {
+        spec->kind = CapKind::kRef;
+        if (!Expect("(")) {
+          return false;
+        }
+        // Accept "struct foo" or "foo".
+        Token ty = lex_.Take();
+        if (ty.type != Token::Type::kIdent) {
+          return Fail("expected ref type name");
+        }
+        std::string type_name = ty.text;
+        if (type_name == "struct") {
+          Token ty2 = lex_.Take();
+          if (ty2.type != Token::Type::kIdent) {
+            return Fail("expected ref type name after 'struct'");
+          }
+          type_name = ty2.text;
+        }
+        spec->ref_type_name = type_name;
+        if (!Expect(")")) {
+          return false;
+        }
+      }
+      if (!Expect(",")) {
+        return false;
+      }
+      spec->ptr = ParseExpr();
+      if (spec->ptr == nullptr) {
+        return false;
+      }
+      if (lex_.TakeIf(",")) {
+        spec->size = ParseExpr();
+        if (spec->size == nullptr) {
+          return false;
+        }
+      }
+      return true;
+    }
+    // Iterator form: name(expr).
+    spec->is_iterator = true;
+    spec->iterator_name = t.text;
+    if (!Expect("(")) {
+      return false;
+    }
+    spec->iterator_arg = ParseExpr();
+    if (spec->iterator_arg == nullptr) {
+      return false;
+    }
+    return Expect(")");
+  }
+
+  std::unique_ptr<Expr> ParseExpr() { return ParseCmp(); }
+
+  std::unique_ptr<Expr> ParseCmp() {
+    auto lhs = ParseAdd();
+    if (lhs == nullptr) {
+      return nullptr;
+    }
+    const std::string& p = lex_.peek().text;
+    if (p == "<" || p == ">" || p == "<=" || p == ">=" || p == "==" || p == "!=") {
+      std::string op = lex_.Take().text;
+      auto rhs = ParseAdd();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      return e;
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseAdd() {
+    auto lhs = ParseUnary();
+    if (lhs == nullptr) {
+      return nullptr;
+    }
+    while (lex_.peek().text == "+" || lex_.peek().text == "-") {
+      std::string op = lex_.Take().text;
+      auto rhs = ParseUnary();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseUnary() {
+    if (lex_.TakeIf("-")) {
+      auto inner = ParseUnary();
+      if (inner == nullptr) {
+        return nullptr;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNeg;
+      e->lhs = std::move(inner);
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  std::unique_ptr<Expr> ParsePrimary() {
+    if (lex_.TakeIf("(")) {
+      auto e = ParseExpr();
+      if (e == nullptr || !Expect(")")) {
+        return nullptr;
+      }
+      return e;
+    }
+    Token t = lex_.Take();
+    auto e = std::make_unique<Expr>();
+    if (t.type == Token::Type::kInt) {
+      e->kind = Expr::Kind::kInt;
+      e->value = t.value;
+      return e;
+    }
+    if (t.type == Token::Type::kIdent) {
+      if (t.text == "return") {
+        if (!in_post_) {
+          Fail("'return' may only appear in post annotations");
+          return nullptr;
+        }
+        e->kind = Expr::Kind::kReturn;
+        return e;
+      }
+      // Parameter by name.
+      for (size_t i = 0; i < set_->params.size(); ++i) {
+        if (set_->params[i] == t.text) {
+          e->kind = Expr::Kind::kArg;
+          e->arg_index = static_cast<int>(i);
+          return e;
+        }
+      }
+      // argN form.
+      if (t.text.size() > 3 && t.text.compare(0, 3, "arg") == 0) {
+        bool digits = true;
+        for (size_t i = 3; i < t.text.size(); ++i) {
+          digits = digits && std::isdigit(static_cast<unsigned char>(t.text[i]));
+        }
+        if (digits) {
+          e->kind = Expr::Kind::kArg;
+          e->arg_index = std::atoi(t.text.c_str() + 3);
+          return e;
+        }
+      }
+      Fail("unknown identifier '" + t.text + "' (not a parameter)");
+      return nullptr;
+    }
+    Fail("expected expression");
+    return nullptr;
+  }
+
+  std::unique_ptr<AnnotationSet> set_;
+  Lexer lex_;
+  std::string error_;
+  bool in_post_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<AnnotationSet> ParseAnnotations(const std::string& name,
+                                                const std::vector<std::string>& params,
+                                                const std::string& text, std::string* error) {
+  Parser parser(name, params, text);
+  return parser.Run(error);
+}
+
+}  // namespace lxfi

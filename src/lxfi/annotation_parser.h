@@ -1,0 +1,19 @@
+// Recursive-descent parser for the annotation grammar of Figure 2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lxfi/annotation.h"
+
+namespace lxfi {
+
+// Parses `text` into an AnnotationSet for a function with the given
+// parameter names. On error returns nullptr and fills *error.
+std::unique_ptr<AnnotationSet> ParseAnnotations(const std::string& name,
+                                                const std::vector<std::string>& params,
+                                                const std::string& text, std::string* error);
+
+}  // namespace lxfi

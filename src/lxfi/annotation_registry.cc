@@ -1,0 +1,43 @@
+#include "src/lxfi/annotation_registry.h"
+
+#include "src/lxfi/annotation_parser.h"
+
+namespace lxfi {
+
+lxfi::Status AnnotationRegistry::Register(const std::string& name,
+                                          const std::vector<std::string>& params,
+                                          const std::string& text) {
+  uint64_t new_hash = AnnotationHash(text);
+  auto it = sets_.find(name);
+  if (it != sets_.end()) {
+    if (it->second->ahash != new_hash) {
+      return AlreadyExists("conflicting annotations for '" + name +
+                           "': a function may not obtain different annotations "
+                           "from multiple sources");
+    }
+    return OkStatus();
+  }
+  std::string error;
+  auto set = ParseAnnotations(name, params, text, &error);
+  if (set == nullptr) {
+    return InvalidArgument("annotation parse error for '" + name + "': " + error);
+  }
+  sets_[name] = std::move(set);
+  return OkStatus();
+}
+
+const AnnotationSet* AnnotationRegistry::Find(const std::string& name) const {
+  auto it = sets_.find(name);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+uint64_t AnnotationRegistry::AhashOf(const std::string& name) const {
+  const AnnotationSet* set = Find(name);
+  return set == nullptr ? 0 : set->ahash;
+}
+
+void AnnotationRegistry::NoteUse(const std::string& name, const std::string& module_name) {
+  uses_[name].insert(module_name);
+}
+
+}  // namespace lxfi

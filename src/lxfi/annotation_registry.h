@@ -1,0 +1,88 @@
+// Registry of annotation sets and capability iterators.
+//
+// Keyed by symbol name (kernel exports like "kmalloc") or function-pointer
+// type name ("net_device_ops::ndo_start_xmit"). Annotation propagation
+// (§4.2) gives each module-defined function the annotation set of its
+// declared function-pointer type; the §4.1 indirect-call check compares the
+// ahash of the invoked function against the ahash of the call site's pointer
+// type. The registry also tracks, for Figure 9, which modules use each
+// annotated name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lxfi/annotation.h"
+#include "src/lxfi/cap.h"
+
+namespace kern {
+class Kernel;
+}
+
+namespace lxfi {
+
+class AnnotationRegistry {
+ public:
+  // Registers (or re-registers identically) annotations for `name`. Returns
+  // an error on parse failure or on a conflicting redefinition, mirroring
+  // the rewriter's "annotations must be exactly the same" rule.
+  lxfi::Status Register(const std::string& name, const std::vector<std::string>& params,
+                        const std::string& text);
+
+  const AnnotationSet* Find(const std::string& name) const;
+
+  // ahash of `name`'s annotations; 0 when unannotated.
+  uint64_t AhashOf(const std::string& name) const;
+
+  // Figure 9 accounting: a module's loader calls this for every annotated
+  // name the module touches (imports and function-pointer types).
+  void NoteUse(const std::string& name, const std::string& module_name);
+  const std::map<std::string, std::set<std::string>>& uses() const { return uses_; }
+
+  const std::map<std::string, std::unique_ptr<AnnotationSet>>& all() const { return sets_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<AnnotationSet>> sets_;
+  std::map<std::string, std::set<std::string>> uses_;  // name -> modules using it
+};
+
+// Capability iterators (the paper's iterator-func, e.g. skb_caps): a
+// programmer-supplied function enumerating the capabilities that make up a
+// compound object. `arg` is the evaluated annotation expression (usually a
+// pointer).
+class CapIterContext {
+ public:
+  explicit CapIterContext(kern::Kernel* kernel) : kernel_(kernel) {}
+
+  kern::Kernel* kernel() const { return kernel_; }
+  void Emit(const Capability& cap) { caps_.push_back(cap); }
+  const std::vector<Capability>& caps() const { return caps_; }
+
+ private:
+  kern::Kernel* kernel_;
+  std::vector<Capability> caps_;
+};
+
+using CapIterator = std::function<void(CapIterContext&, uint64_t arg)>;
+
+class IteratorRegistry {
+ public:
+  void Register(const std::string& name, CapIterator fn) { iterators_[name] = std::move(fn); }
+  const CapIterator* Find(const std::string& name) const {
+    auto it = iterators_.find(name);
+    return it == iterators_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return iterators_.size(); }
+  const std::map<std::string, CapIterator>& all() const { return iterators_; }
+
+ private:
+  std::map<std::string, CapIterator> iterators_;
+};
+
+}  // namespace lxfi

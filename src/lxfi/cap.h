@@ -1,0 +1,59 @@
+// Capabilities (§3.2).
+//
+// LXFI tracks three capability kinds per principal:
+//   WRITE(ptr, size) — may write [ptr, ptr+size) and pass it to kernel
+//                      routines that require writable memory;
+//   REF(t, a)        — may pass `a` to kernel functions demanding a REF of
+//                      type t (object ownership without write access);
+//   CALL(a)          — may call or jump to text address a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/hash.h"
+
+namespace lxfi {
+
+enum class CapKind : uint8_t {
+  kWrite,
+  kRef,
+  kCall,
+};
+
+// REF types are interned as hashes of their type name ("pci_dev",
+// "io_port", ...). Annotations spell the name; the runtime only compares ids.
+using RefTypeId = uint64_t;
+
+inline RefTypeId RefType(std::string_view name) { return Fnv1a64(name); }
+
+struct Capability {
+  CapKind kind = CapKind::kWrite;
+  uintptr_t addr = 0;
+  size_t size = 0;         // WRITE only
+  RefTypeId ref_type = 0;  // REF only
+
+  static Capability Write(uintptr_t addr, size_t size) {
+    return Capability{CapKind::kWrite, addr, size, 0};
+  }
+  static Capability Write(const void* p, size_t size) {
+    return Write(reinterpret_cast<uintptr_t>(p), size);
+  }
+  static Capability Call(uintptr_t target) { return Capability{CapKind::kCall, target, 0, 0}; }
+  static Capability Ref(RefTypeId type, uintptr_t addr) {
+    return Capability{CapKind::kRef, addr, 0, type};
+  }
+  static Capability Ref(std::string_view type_name, const void* p) {
+    return Ref(RefType(type_name), reinterpret_cast<uintptr_t>(p));
+  }
+
+  bool operator==(const Capability& o) const {
+    return kind == o.kind && addr == o.addr && size == o.size && ref_type == o.ref_type;
+  }
+
+  std::string ToString() const;
+};
+
+const char* CapKindName(CapKind kind);
+
+}  // namespace lxfi

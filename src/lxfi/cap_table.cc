@@ -1,0 +1,163 @@
+#include "src/lxfi/cap_table.h"
+
+#include <algorithm>
+
+#include "src/base/string_util.h"
+
+namespace lxfi {
+
+const char* CapKindName(CapKind kind) {
+  switch (kind) {
+    case CapKind::kWrite:
+      return "WRITE";
+    case CapKind::kRef:
+      return "REF";
+    case CapKind::kCall:
+      return "CALL";
+  }
+  return "?";
+}
+
+std::string Capability::ToString() const {
+  switch (kind) {
+    case CapKind::kWrite:
+      return StrFormat("WRITE(%#llx, %zu)", static_cast<unsigned long long>(addr), size);
+    case CapKind::kCall:
+      return StrFormat("CALL(%#llx)", static_cast<unsigned long long>(addr));
+    case CapKind::kRef:
+      return StrFormat("REF(%#llx, %#llx)", static_cast<unsigned long long>(ref_type),
+                       static_cast<unsigned long long>(addr));
+  }
+  return "?";
+}
+
+void CapTable::GrantWrite(uintptr_t addr, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  WriteRange range{addr, size};
+  uintptr_t first = BucketOf(addr);
+  uintptr_t last = BucketOf(addr + size - 1);
+  for (uintptr_t b = first; b <= last; ++b) {
+    auto& vec = write_buckets_[b];
+    if (std::find(vec.begin(), vec.end(), range) == vec.end()) {
+      vec.push_back(range);
+    }
+  }
+}
+
+bool CapTable::RevokeWriteOverlapping(uintptr_t addr, size_t size) {
+  if (size == 0) {
+    return false;
+  }
+  // Collect overlapping ranges from the buckets the query range touches,
+  // then remove each from every bucket *it* touches.
+  std::vector<WriteRange> victims;
+  uintptr_t first = BucketOf(addr);
+  uintptr_t last = BucketOf(addr + size - 1);
+  for (uintptr_t b = first; b <= last; ++b) {
+    auto it = write_buckets_.find(b);
+    if (it == write_buckets_.end()) {
+      continue;
+    }
+    for (const WriteRange& r : it->second) {
+      if (r.addr < addr + size && addr < r.addr + r.size &&
+          std::find(victims.begin(), victims.end(), r) == victims.end()) {
+        victims.push_back(r);
+      }
+    }
+  }
+  for (const WriteRange& r : victims) {
+    uintptr_t rf = BucketOf(r.addr);
+    uintptr_t rl = BucketOf(r.addr + r.size - 1);
+    for (uintptr_t b = rf; b <= rl; ++b) {
+      auto it = write_buckets_.find(b);
+      if (it == write_buckets_.end()) {
+        continue;
+      }
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), r), vec.end());
+      if (vec.empty()) {
+        write_buckets_.erase(it);
+      }
+    }
+  }
+  return !victims.empty();
+}
+
+bool CapTable::CheckWrite(uintptr_t addr, size_t size) const {
+  if (size == 0) {
+    return true;
+  }
+  auto it = write_buckets_.find(BucketOf(addr));
+  if (it == write_buckets_.end()) {
+    return false;
+  }
+  for (const WriteRange& r : it->second) {
+    if (r.addr <= addr && addr + size <= r.addr + r.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Capability> CapTable::WriteRanges() const {
+  std::vector<Capability> out;
+  for (const auto& [bucket, vec] : write_buckets_) {
+    for (const WriteRange& r : vec) {
+      // Report a range only from its first bucket to avoid duplicates.
+      if (BucketOf(r.addr) == bucket) {
+        out.push_back(Capability::Write(r.addr, r.size));
+      }
+    }
+  }
+  return out;
+}
+
+void CapTable::Grant(const Capability& cap) {
+  switch (cap.kind) {
+    case CapKind::kWrite:
+      GrantWrite(cap.addr, cap.size);
+      break;
+    case CapKind::kCall:
+      GrantCall(cap.addr);
+      break;
+    case CapKind::kRef:
+      GrantRef(cap.ref_type, cap.addr);
+      break;
+  }
+}
+
+bool CapTable::Check(const Capability& cap) const {
+  switch (cap.kind) {
+    case CapKind::kWrite:
+      return CheckWrite(cap.addr, cap.size);
+    case CapKind::kCall:
+      return CheckCall(cap.addr);
+    case CapKind::kRef:
+      return CheckRef(cap.ref_type, cap.addr);
+  }
+  return false;
+}
+
+bool CapTable::Revoke(const Capability& cap) {
+  switch (cap.kind) {
+    case CapKind::kWrite:
+      return RevokeWriteOverlapping(cap.addr, cap.size);
+    case CapKind::kCall:
+      return RevokeCall(cap.addr);
+    case CapKind::kRef:
+      return RevokeRef(cap.ref_type, cap.addr);
+  }
+  return false;
+}
+
+void CapTable::Clear() {
+  write_buckets_.clear();
+  call_.clear();
+  ref_.clear();
+}
+
+size_t CapTable::write_count() const { return WriteRanges().size(); }
+
+}  // namespace lxfi

@@ -1,0 +1,79 @@
+// Per-principal capability tables (§5).
+//
+// One hash structure per capability kind. WRITE capabilities are identified
+// by an address *range*; to keep lookups constant-time the table inserts each
+// range into every 4 KiB-masked bucket it covers (the paper masks the low 12
+// bits of the address when computing hash keys), so a containment query
+// probes exactly one bucket. The paper found this beats a balanced tree for
+// the ≤page-sized objects kernel modules manipulate; bench_captable measures
+// that claim against an ordered interval map.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/lxfi/cap.h"
+
+namespace lxfi {
+
+class CapTable {
+ public:
+  static constexpr uintptr_t kBucketShift = 12;
+
+  // --- WRITE --------------------------------------------------------------
+  void GrantWrite(uintptr_t addr, size_t size);
+  // Removes all WRITE ranges overlapping [addr, addr+size); returns true if
+  // anything was removed.
+  bool RevokeWriteOverlapping(uintptr_t addr, size_t size);
+  // True iff some granted range fully contains [addr, addr+size).
+  bool CheckWrite(uintptr_t addr, size_t size) const;
+  // Enumerates distinct granted ranges (for writer-set seeding and debug).
+  std::vector<Capability> WriteRanges() const;
+
+  // --- CALL ---------------------------------------------------------------
+  void GrantCall(uintptr_t target) { call_.insert(target); }
+  bool RevokeCall(uintptr_t target) { return call_.erase(target) != 0; }
+  bool CheckCall(uintptr_t target) const { return call_.count(target) != 0; }
+
+  // --- REF ----------------------------------------------------------------
+  void GrantRef(RefTypeId type, uintptr_t addr) { ref_.insert(RefKey(type, addr)); }
+  bool RevokeRef(RefTypeId type, uintptr_t addr) { return ref_.erase(RefKey(type, addr)) != 0; }
+  bool CheckRef(RefTypeId type, uintptr_t addr) const {
+    return ref_.count(RefKey(type, addr)) != 0;
+  }
+
+  // --- generic ------------------------------------------------------------
+  void Grant(const Capability& cap);
+  bool Check(const Capability& cap) const;
+  // Revokes `cap` (range-overlap semantics for WRITE); returns true if held.
+  bool Revoke(const Capability& cap);
+
+  void Clear();
+
+  size_t write_count() const;
+  size_t call_count() const { return call_.size(); }
+  size_t ref_count() const { return ref_.size(); }
+
+ private:
+  struct WriteRange {
+    uintptr_t addr;
+    size_t size;
+    bool operator==(const WriteRange& o) const { return addr == o.addr && size == o.size; }
+  };
+
+  static uint64_t RefKey(RefTypeId type, uintptr_t addr) {
+    return HashCombine(type, static_cast<uint64_t>(addr));
+  }
+
+  static uintptr_t BucketOf(uintptr_t addr) { return addr >> kBucketShift; }
+
+  // bucket -> ranges that intersect the bucket's 4 KiB span.
+  std::unordered_map<uintptr_t, std::vector<WriteRange>> write_buckets_;
+  std::unordered_set<uintptr_t> call_;
+  std::unordered_set<uint64_t> ref_;
+};
+
+}  // namespace lxfi

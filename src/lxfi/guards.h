@@ -1,0 +1,90 @@
+// Guard accounting (Figure 13).
+//
+// Every runtime check ("guard") increments a counter by type; when timing is
+// enabled the runtime also accumulates real nanoseconds per guard type, which
+// is how bench_guards reproduces the paper's guards-per-packet and
+// time-per-guard breakdown for the UDP_STREAM TX workload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/base/clock.h"
+
+namespace lxfi {
+
+enum class GuardType : int {
+  kAnnotationAction = 0,  // copy/transfer/check action executed
+  kFunctionEntry,         // wrapper entry (shadow push, principal switch)
+  kFunctionExit,          // wrapper exit (shadow pop/validate)
+  kMemWrite,              // module store check
+  kIndCallAll,            // kernel indirect-call guard, any outcome
+  kIndCallFull,           // kernel indirect-call guard that took the slow path
+  kIndCallModule,         // indirect calls whose target is module text
+                          // (Figure 13's "Kernel ind-call e1000" row)
+  kCount,
+};
+
+const char* GuardTypeName(GuardType type);
+
+class GuardStats {
+ public:
+  void Reset() {
+    counts_.fill(0);
+    time_ns_.fill(0);
+  }
+
+  void Count(GuardType type) { ++counts_[static_cast<size_t>(type)]; }
+  void AddTime(GuardType type, uint64_t ns) { time_ns_[static_cast<size_t>(type)] += ns; }
+
+  uint64_t count(GuardType type) const { return counts_[static_cast<size_t>(type)]; }
+  uint64_t time_ns(GuardType type) const { return time_ns_[static_cast<size_t>(type)]; }
+
+  double MeanNs(GuardType type) const {
+    uint64_t n = count(type);
+    return n == 0 ? 0.0 : static_cast<double>(time_ns(type)) / static_cast<double>(n);
+  }
+
+  uint64_t TotalTimeNs() const {
+    uint64_t t = 0;
+    for (uint64_t v : time_ns_) {
+      t += v;
+    }
+    return t;
+  }
+
+  bool timing_enabled = false;
+
+  std::string Report() const;
+
+ private:
+  std::array<uint64_t, static_cast<size_t>(GuardType::kCount)> counts_ = {};
+  std::array<uint64_t, static_cast<size_t>(GuardType::kCount)> time_ns_ = {};
+};
+
+// RAII timing for one guard; counts always, times only when enabled.
+class ScopedGuard {
+ public:
+  ScopedGuard(GuardStats* stats, GuardType type) : stats_(stats), type_(type) {
+    stats_->Count(type_);
+    if (stats_->timing_enabled) {
+      start_ = MonotonicNowNs();
+    }
+  }
+  ~ScopedGuard() {
+    if (stats_->timing_enabled) {
+      stats_->AddTime(type_, MonotonicNowNs() - start_);
+    }
+  }
+
+  ScopedGuard(const ScopedGuard&) = delete;
+  ScopedGuard& operator=(const ScopedGuard&) = delete;
+
+ private:
+  GuardStats* stats_;
+  GuardType type_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace lxfi

@@ -1,0 +1,436 @@
+#include "src/lxfi/kernel_api.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/kernel/block/block.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/skbuff.h"
+#include "src/kernel/net/socket.h"
+#include "src/kernel/panic.h"
+#include "src/kernel/pci/pci.h"
+#include "src/kernel/sound/sound.h"
+#include "src/kernel/timer.h"
+#include "src/lxfi/runtime.h"
+
+namespace lxfi {
+namespace {
+
+void MustRegister(Runtime* rt, const std::string& name, const std::vector<std::string>& params,
+                  const std::string& text) {
+  lxfi::Status st = rt->annotations().Register(name, params, text);
+  if (!st.ok()) {
+    kern::Panic("kernel API annotation registration failed: " + st.ToString());
+  }
+}
+
+// --- capability iterators (the programmer-supplied iterator-funcs, §3.3) ---
+
+void InstallIterators(Runtime* rt) {
+  IteratorRegistry& reg = rt->iterators();
+
+  // Capabilities of a kmalloc allocation: exactly the bytes the caller asked
+  // for (the CAN BCM defense hinges on this being the *actual* size).
+  reg.Register("alloc_caps", [](CapIterContext& ctx, uint64_t arg) {
+    const void* ptr = reinterpret_cast<const void*>(arg);
+    size_t size = ctx.kernel()->slab().AllocSize(ptr);
+    if (size > 0) {
+      ctx.Emit(Capability::Write(ptr, size));
+    }
+  });
+
+  // Figure 4's skb_caps: the sk_buff header and its payload buffer.
+  reg.Register("skb_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* skb = reinterpret_cast<kern::SkBuff*>(arg);
+    if (skb == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(skb, sizeof(kern::SkBuff)));
+    if (skb->head != nullptr && skb->capacity > 0) {
+      ctx.Emit(Capability::Write(skb->head, skb->capacity));
+    }
+  });
+
+  // A net_device as handed to a driver: the struct, REF ownership, and the
+  // driver-private area.
+  reg.Register("etherdev_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* dev = reinterpret_cast<kern::NetDevice*>(arg);
+    if (dev == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(dev, sizeof(kern::NetDevice)));
+    ctx.Emit(Capability::Ref("net_device", dev));
+    if (dev->priv != nullptr) {
+      size_t priv_size = ctx.kernel()->slab().AllocSize(dev->priv);
+      if (priv_size > 0) {
+        ctx.Emit(Capability::Write(dev->priv, priv_size));
+      }
+    }
+  });
+
+  // BAR0 register window of a PCI device.
+  reg.Register("pci_regs_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* dev = reinterpret_cast<kern::PciDev*>(arg);
+    if (dev != nullptr && dev->regs != nullptr) {
+      ctx.Emit(Capability::Write(dev->regs, dev->regs_size));
+    }
+  });
+
+  reg.Register("napi_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::NapiStruct)));
+    }
+  });
+
+  reg.Register("sock_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::Socket)));
+    }
+  });
+
+  reg.Register("fam_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(
+          Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::NetProtoFamily)));
+    }
+  });
+
+  reg.Register("pcidrv_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::PciDriver)));
+    }
+  });
+
+  // A bio and its data buffer.
+  reg.Register("bio_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* bio = reinterpret_cast<kern::Bio*>(arg);
+    if (bio == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(bio, sizeof(kern::Bio)));
+    if (bio->data != nullptr && bio->size > 0) {
+      ctx.Emit(Capability::Write(bio->data, bio->size));
+    }
+  });
+
+  reg.Register("dmtt_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::DmTargetType)));
+    }
+  });
+
+  // A dm target instance: its struct plus REF ownership of the device it
+  // maps onto (Guideline 3's fixed-value REF idea applied to block devices).
+  reg.Register("dmtarget_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* target = reinterpret_cast<kern::DmTarget*>(arg);
+    if (target == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(target, sizeof(kern::DmTarget)));
+    if (target->underlying != nullptr) {
+      ctx.Emit(Capability::Ref("block_device", target->underlying));
+    }
+  });
+
+  reg.Register("timer_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::TimerList)));
+    }
+  });
+
+  reg.Register("sndcard_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::SoundCard)));
+    }
+  });
+
+  reg.Register("substream_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* ss = reinterpret_cast<kern::PcmSubstream*>(arg);
+    if (ss == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(ss, sizeof(kern::PcmSubstream)));
+    if (ss->dma_buffer != nullptr && ss->buffer_bytes > 0) {
+      ctx.Emit(Capability::Write(ss->dma_buffer, ss->buffer_bytes));
+    }
+  });
+}
+
+// --- annotations (Figure 4 style) -------------------------------------------
+
+void InstallAnnotations(Runtime* rt) {
+  // Memory allocator.
+  MustRegister(rt, "kmalloc", {"size"}, "post(if (return != 0) transfer(write, return, size))");
+  MustRegister(rt, "kzalloc", {"size"}, "post(if (return != 0) transfer(write, return, size))");
+  MustRegister(rt, "kfree", {"ptr"}, "pre(transfer(alloc_caps(ptr)))");
+  MustRegister(rt, "ksize", {"ptr"}, "pre(check(alloc_caps(ptr)))");
+  MustRegister(rt, "dma_alloc_coherent", {"size"},
+               "post(if (return != 0) transfer(write, return, size))");
+  MustRegister(rt, "dma_free_coherent", {"ptr"}, "pre(transfer(alloc_caps(ptr)))");
+
+  // The §1 motivating example: spin_lock_init writes a zero through its
+  // argument, so the caller must prove write access.
+  MustRegister(rt, "spin_lock_init", {"lock"}, "pre(check(write, lock, 8))");
+  MustRegister(rt, "spin_lock", {"lock"}, "pre(check(write, lock, 8))");
+  MustRegister(rt, "spin_unlock", {"lock"}, "pre(check(write, lock, 8))");
+
+  MustRegister(rt, "printk", {"fmt"}, "");
+
+  // uaccess: the checked copy validates the user pointer itself; the
+  // unchecked __copy_to_user shifts the burden to the caller, hence the
+  // WRITE check — exactly what the RDS module forgot (CVE-2010-3904).
+  MustRegister(rt, "copy_to_user", {"dst", "src", "n"}, "");
+  MustRegister(rt, "copy_from_user", {"dst", "src", "n"}, "pre(check(write, dst, n))");
+  MustRegister(rt, "__copy_to_user", {"dst", "src", "n"}, "pre(check(write, dst, n))");
+
+  // Exported but not imported by any of the 10 modules; the rootkit exploit
+  // tries to reach it.
+  MustRegister(rt, "detach_pid", {"task"}, "pre(check(ref(struct task_struct), task))");
+
+  // Network.
+  MustRegister(rt, "alloc_skb", {"size"}, "post(if (return != 0) transfer(skb_caps(return)))");
+  MustRegister(rt, "netdev_alloc_skb", {"dev", "size"},
+               "pre(check(ref(struct net_device), dev)) "
+               "post(if (return != 0) transfer(skb_caps(return)))");
+  MustRegister(rt, "kfree_skb", {"skb"}, "pre(transfer(skb_caps(skb)))");
+  MustRegister(rt, "skb_put", {"skb", "len"}, "pre(check(skb_caps(skb)))");
+  MustRegister(rt, "netif_rx", {"skb"}, "pre(transfer(skb_caps(skb)))");
+  MustRegister(rt, "alloc_etherdev", {"priv_size"},
+               "post(if (return != 0) transfer(etherdev_caps(return)))");
+  MustRegister(rt, "free_netdev", {"dev"}, "pre(transfer(etherdev_caps(dev)))");
+  MustRegister(rt, "register_netdev", {"dev"}, "pre(check(ref(struct net_device), dev))");
+  MustRegister(rt, "unregister_netdev", {"dev"}, "pre(check(ref(struct net_device), dev))");
+  MustRegister(rt, "netif_napi_add", {"dev", "napi", "poll"},
+               "pre(check(ref(struct net_device), dev)) pre(check(napi_caps(napi))) "
+               "pre(check(call, poll))");
+  MustRegister(rt, "napi_schedule", {"napi"}, "pre(check(napi_caps(napi)))");
+
+  // PCI.
+  MustRegister(rt, "pci_register_driver", {"drv"}, "pre(check(pcidrv_caps(drv)))");
+  MustRegister(rt, "pci_unregister_driver", {"drv"}, "pre(check(pcidrv_caps(drv)))");
+  MustRegister(rt, "pci_enable_device", {"pcidev"}, "pre(check(ref(struct pci_dev), pcidev))");
+  MustRegister(rt, "pci_disable_device", {"pcidev"}, "pre(check(ref(struct pci_dev), pcidev))");
+  MustRegister(rt, "pci_iomap", {"pcidev"},
+               "pre(check(ref(struct pci_dev), pcidev)) "
+               "post(if (return != 0) transfer(pci_regs_caps(pcidev)))");
+  MustRegister(rt, "request_irq", {"irq", "handler", "dev_id"}, "pre(check(call, handler))");
+  MustRegister(rt, "free_irq", {"irq"}, "");
+
+  // Sockets. sock_register only *reads* the net_proto_family (which is
+  // usually const data); the create pointer inside it is vetted by the
+  // indirect-call check at dispatch time, so no WRITE check is demanded.
+  MustRegister(rt, "sock_register", {"fam"}, "");
+  MustRegister(rt, "sock_unregister", {"family"}, "");
+
+  // Block / device-mapper.
+  MustRegister(rt, "submit_bio", {"dev", "bio"},
+               "pre(check(ref(struct block_device), dev)) pre(transfer(bio_caps(bio))) "
+               "post(transfer(bio_caps(bio)))");
+  MustRegister(rt, "dm_register_target", {"type"}, "pre(check(dmtt_caps(type)))");
+  MustRegister(rt, "dm_unregister_target", {"type"}, "pre(check(dmtt_caps(type)))");
+  MustRegister(rt, "dm_get_device", {"name"},
+               "post(if (return != 0) copy(ref(struct block_device), return))");
+
+  // Timers: the module must own the timer_list it arms; the function
+  // pointer inside it is vetted by the indirect-call check at expiry.
+  MustRegister(rt, "mod_timer", {"timer", "expires"}, "pre(check(timer_caps(timer)))");
+  MustRegister(rt, "del_timer", {"timer"}, "pre(check(timer_caps(timer)))");
+  MustRegister(rt, "timer_fn", {"data"}, "principal(data)");
+
+  // Sound.
+  MustRegister(rt, "snd_card_register", {"card"}, "pre(check(sndcard_caps(card)))");
+  MustRegister(rt, "snd_card_unregister", {"card"}, "pre(check(sndcard_caps(card)))");
+
+  // --- function-pointer types (kernel -> module) ---------------------------
+  MustRegister(rt, "pci_driver::probe", {"pcidev"},
+               "principal(pcidev) pre(copy(ref(struct pci_dev), pcidev)) "
+               "post(if (return < 0) transfer(ref(struct pci_dev), pcidev))");
+  MustRegister(rt, "pci_driver::remove", {"pcidev"},
+               "principal(pcidev) pre(check(ref(struct pci_dev), pcidev))");
+  MustRegister(rt, "net_device_ops::ndo_open", {"dev"}, "principal(dev)");
+  MustRegister(rt, "net_device_ops::ndo_stop", {"dev"}, "principal(dev)");
+  MustRegister(rt, "net_device_ops::ndo_start_xmit", {"skb", "dev"},
+               "principal(dev) pre(transfer(skb_caps(skb))) "
+               "post(if (return == 16) transfer(skb_caps(skb)))");
+  MustRegister(rt, "napi_struct::poll", {"napi", "budget"}, "principal(napi)");
+  MustRegister(rt, "irq_handler_t", {"irq", "dev_id"}, "principal(dev_id)");
+  MustRegister(rt, "net_proto_family::create", {"sock"},
+               "principal(sock) pre(copy(sock_caps(sock)))");
+  MustRegister(rt, "proto_ops::release", {"sock"},
+               "principal(sock) post(transfer(sock_caps(sock)))");
+  MustRegister(rt, "proto_ops::bind", {"sock", "uaddr", "len"}, "principal(sock)");
+  MustRegister(rt, "proto_ops::ioctl", {"sock", "cmd", "arg"}, "principal(sock)");
+  MustRegister(rt, "proto_ops::sendmsg", {"sock", "msg"}, "principal(sock)");
+  MustRegister(rt, "proto_ops::recvmsg", {"sock", "msg"}, "principal(sock)");
+  MustRegister(rt, "target_type::ctr", {"target", "params"},
+               "principal(target) pre(copy(dmtarget_caps(target)))");
+  MustRegister(rt, "target_type::dtr", {"target"},
+               "principal(target) post(transfer(dmtarget_caps(target)))");
+  // map() outcomes: 0 = the target completed (or dispatched) the bio itself,
+  // 1 = remapped, core submits to the underlying device. Either way the
+  // bio's capabilities return to the kernel when map() is done; 2 (kill)
+  // leaves them revoked from everyone via the pre transfer.
+  MustRegister(rt, "target_type::map", {"target", "bio"},
+               "principal(target) pre(transfer(bio_caps(bio))) "
+               "post(if (return == 0) transfer(bio_caps(bio))) "
+               "post(if (return == 1) transfer(bio_caps(bio)))");
+  MustRegister(rt, "pcm_ops::open", {"ss"}, "principal(ss) pre(copy(substream_caps(ss)))");
+  MustRegister(rt, "pcm_ops::close", {"ss"}, "principal(ss) post(transfer(substream_caps(ss)))");
+  MustRegister(rt, "pcm_ops::trigger", {"ss", "cmd"}, "principal(ss)");
+  MustRegister(rt, "pcm_ops::pointer", {"ss"}, "principal(ss)");
+  MustRegister(rt, "bio_end_io_t", {"bio"}, "");
+}
+
+}  // namespace
+
+void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
+  kern::Kernel* k = kernel;
+
+  // --- memory ---------------------------------------------------------------
+  auto kmalloc_impl = [k, rt](size_t size) -> void* {
+    void* p = k->slab().Alloc(size);
+    if (p != nullptr && rt != nullptr) {
+      // Fresh allocations are zeroed; zeroing resets writer attribution (§5).
+      rt->writer_set().ClearRange(reinterpret_cast<uintptr_t>(p), size);
+    }
+    return p;
+  };
+  k->ExportSymbol<KmallocSig>("kmalloc", kmalloc_impl);
+  k->ExportSymbol<KmallocSig>("kzalloc", kmalloc_impl);
+  k->ExportSymbol<KmallocSig>("dma_alloc_coherent", kmalloc_impl);
+  k->ExportSymbol<KfreeSig>("kfree", [k](void* p) { k->slab().Free(p); });
+  k->ExportSymbol<KfreeSig>("dma_free_coherent", [k](void* p) { k->slab().Free(p); });
+  k->ExportSymbol<KsizeSig>("ksize",
+                            [k](const void* p) -> size_t { return k->slab().UsableSize(p); });
+
+  // --- spinlocks (simulated single-core: init/lock/unlock write the word) ---
+  k->ExportSymbol<SpinlockSig>("spin_lock_init", [](uintptr_t* lock) { *lock = 0; });
+  k->ExportSymbol<SpinlockSig>("spin_lock", [](uintptr_t* lock) { *lock = 1; });
+  k->ExportSymbol<SpinlockSig>("spin_unlock", [](uintptr_t* lock) { *lock = 0; });
+
+  k->ExportSymbol<PrintkSig>("printk", [](const char* msg) { LXFI_LOG_DEBUG("printk: %s", msg); });
+
+  // --- uaccess ---------------------------------------------------------------
+  k->ExportSymbol<CopyToUserSig>(
+      "copy_to_user", [k](uintptr_t dst, const void* src, size_t n) -> int {
+        return k->user().CopyToUser(dst, src, n);
+      });
+  k->ExportSymbol<CopyFromUserSig>(
+      "copy_from_user", [k](void* dst, uintptr_t src, size_t n) -> int {
+        return k->user().CopyFromUser(dst, src, n);
+      });
+  k->ExportSymbol<CopyToUserSig>(
+      "__copy_to_user", [k](uintptr_t dst, const void* src, size_t n) -> int {
+        return k->user().CopyToUserUnchecked(dst, src, n);
+      });
+
+  // --- process ---------------------------------------------------------------
+  k->ExportSymbol<DetachPidSig>("detach_pid",
+                                [k](kern::Task* task) { k->procs().DetachPid(task); });
+
+  // --- network ----------------------------------------------------------------
+  k->ExportSymbol<AllocSkbSig>(
+      "alloc_skb", [k](uint32_t size) -> kern::SkBuff* { return kern::AllocSkb(k, size); });
+  k->ExportSymbol<NetdevAllocSkbSig>(
+      "netdev_alloc_skb", [k](kern::NetDevice* dev, uint32_t size) -> kern::SkBuff* {
+        kern::SkBuff* skb = kern::AllocSkb(k, size);
+        if (skb != nullptr && dev != nullptr) {
+          skb->ifindex = dev->ifindex;
+        }
+        return skb;
+      });
+  k->ExportSymbol<KfreeSkbSig>("kfree_skb", [k](kern::SkBuff* skb) { kern::FreeSkb(k, skb); });
+  k->ExportSymbol<SkbPutSig>("skb_put", [](kern::SkBuff* skb, uint32_t len) -> uint8_t* {
+    return kern::SkbPut(skb, len);
+  });
+  k->ExportSymbol<NetifRxSig>("netif_rx", [k](kern::SkBuff* skb) -> int {
+    kern::GetNetStack(k)->NetifRx(skb);
+    return 0;
+  });
+  k->ExportSymbol<AllocEtherdevSig>("alloc_etherdev", [k](size_t priv_size) -> kern::NetDevice* {
+    return kern::AllocEtherdev(k, priv_size);
+  });
+  k->ExportSymbol<FreeNetdevSig>("free_netdev",
+                                 [k](kern::NetDevice* dev) { kern::FreeNetdev(k, dev); });
+  k->ExportSymbol<RegisterNetdevSig>("register_netdev", [k](kern::NetDevice* dev) -> int {
+    return kern::GetNetStack(k)->RegisterNetdev(dev);
+  });
+  k->ExportSymbol<UnregisterNetdevSig>("unregister_netdev", [k](kern::NetDevice* dev) {
+    kern::GetNetStack(k)->UnregisterNetdev(dev);
+  });
+  k->ExportSymbol<NetifNapiAddSig>(
+      "netif_napi_add", [](kern::NetDevice* dev, kern::NapiStruct* napi, uintptr_t poll) {
+        napi->dev = dev;
+        napi->poll = poll;
+        dev->napi = napi;
+      });
+  k->ExportSymbol<NapiScheduleSig>("napi_schedule", [k](kern::NapiStruct* napi) {
+    kern::GetNetStack(k)->NapiSchedule(napi);
+  });
+
+  // --- PCI ---------------------------------------------------------------------
+  k->ExportSymbol<PciRegisterDriverSig>("pci_register_driver", [k](kern::PciDriver* drv) -> int {
+    return kern::GetPciBus(k)->RegisterDriver(drv) >= 0 ? 0 : -kern::kEnodev;
+  });
+  k->ExportSymbol<PciUnregisterDriverSig>("pci_unregister_driver", [k](kern::PciDriver* drv) {
+    kern::GetPciBus(k)->UnregisterDriver(drv);
+  });
+  k->ExportSymbol<PciEnableDeviceSig>("pci_enable_device", [k](kern::PciDev* dev) -> int {
+    return kern::GetPciBus(k)->EnableDevice(dev);
+  });
+  k->ExportSymbol<PciDisableDeviceSig>("pci_disable_device",
+                                       [](kern::PciDev* dev) { dev->enabled = false; });
+  k->ExportSymbol<PciIomapSig>("pci_iomap",
+                               [](kern::PciDev* dev) -> void* { return dev->regs; });
+  k->ExportSymbol<RequestIrqSig>("request_irq",
+                                 [k](int irq, uintptr_t handler, void* dev_id) -> int {
+                                   return kern::GetPciBus(k)->RequestIrq(irq, handler, dev_id);
+                                 });
+  k->ExportSymbol<FreeIrqSig>("free_irq", [k](int irq) { kern::GetPciBus(k)->FreeIrq(irq); });
+
+  // --- sockets -------------------------------------------------------------------
+  k->ExportSymbol<SockRegisterSig>("sock_register", [k](kern::NetProtoFamily* fam) -> int {
+    return kern::GetSocketLayer(k)->RegisterFamily(fam);
+  });
+  k->ExportSymbol<SockUnregisterSig>("sock_unregister", [k](int family) {
+    kern::GetSocketLayer(k)->UnregisterFamily(family);
+  });
+
+  // --- block / dm ------------------------------------------------------------------
+  k->ExportSymbol<SubmitBioSig>("submit_bio", [k](kern::BlockDevice* dev, kern::Bio* bio) -> int {
+    return kern::GetBlockLayer(k)->SubmitBio(dev, bio);
+  });
+  k->ExportSymbol<DmRegisterTargetSig>("dm_register_target", [k](kern::DmTargetType* t) -> int {
+    return kern::GetBlockLayer(k)->RegisterTargetType(t);
+  });
+  k->ExportSymbol<DmUnregisterTargetSig>("dm_unregister_target", [k](kern::DmTargetType* t) {
+    kern::GetBlockLayer(k)->UnregisterTargetType(t);
+  });
+  k->ExportSymbol<DmGetDeviceSig>("dm_get_device", [k](const char* name) -> kern::BlockDevice* {
+    return kern::GetBlockLayer(k)->FindDevice(name);
+  });
+
+  // --- timers ----------------------------------------------------------------
+  k->ExportSymbol<ModTimerSig>("mod_timer", [k](kern::TimerList* t, uint64_t expires) -> int {
+    return kern::GetTimerWheel(k)->ModTimer(t, expires);
+  });
+  k->ExportSymbol<DelTimerSig>("del_timer", [k](kern::TimerList* t) -> int {
+    return kern::GetTimerWheel(k)->DelTimer(t);
+  });
+
+  // --- sound ---------------------------------------------------------------------------
+  k->ExportSymbol<SndCardRegisterSig>("snd_card_register", [k](kern::SoundCard* card) -> int {
+    return kern::GetSoundCore(k)->RegisterCard(card);
+  });
+  k->ExportSymbol<SndCardUnregisterSig>("snd_card_unregister", [k](kern::SoundCard* card) {
+    kern::GetSoundCore(k)->UnregisterCard(card);
+  });
+
+  if (rt != nullptr) {
+    InstallIterators(rt);
+    InstallAnnotations(rt);
+  }
+}
+
+}  // namespace lxfi

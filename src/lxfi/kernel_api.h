@@ -1,0 +1,108 @@
+// The annotated core-kernel API surface.
+//
+// InstallKernelApi registers every kernel export the 10 modules use —
+// implementations on the Kernel's symbol/dispatch tables, plus (when a
+// runtime is supplied) the LXFI annotations from the paper's Figures 2–4 and
+// the programmer-written capability iterators. A stock kernel installs the
+// same exports with no annotations, which is the uninstrumented baseline of
+// Figure 12.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kern {
+class Kernel;
+struct SkBuff;
+struct NetDevice;
+struct NapiStruct;
+struct PciDev;
+struct PciDriver;
+struct Socket;
+struct MsgHdr;
+struct NetProtoFamily;
+struct Bio;
+struct BlockDevice;
+struct DmTarget;
+struct DmTargetType;
+struct SoundCard;
+struct PcmSubstream;
+struct Task;
+struct TimerList;
+}  // namespace kern
+
+namespace lxfi {
+
+class Runtime;
+
+// Signature aliases shared by exports, imports and fn-ptr types, so the
+// std::function types match exactly across ExportSymbol / GetImport /
+// IndirectCall.
+using KmallocSig = void*(size_t);
+using KfreeSig = void(void*);
+using KsizeSig = size_t(const void*);
+using SpinlockSig = void(uintptr_t*);
+using PrintkSig = void(const char*);
+using CopyToUserSig = int(uintptr_t, const void*, size_t);
+using CopyFromUserSig = int(void*, uintptr_t, size_t);
+using DetachPidSig = void(kern::Task*);
+using ModTimerSig = int(kern::TimerList*, uint64_t);
+using DelTimerSig = int(kern::TimerList*);
+using TimerFnSig = void(void*);
+
+using AllocSkbSig = kern::SkBuff*(uint32_t);
+using NetdevAllocSkbSig = kern::SkBuff*(kern::NetDevice*, uint32_t);
+using KfreeSkbSig = void(kern::SkBuff*);
+using SkbPutSig = uint8_t*(kern::SkBuff*, uint32_t);
+using NetifRxSig = int(kern::SkBuff*);
+using AllocEtherdevSig = kern::NetDevice*(size_t);
+using FreeNetdevSig = void(kern::NetDevice*);
+using RegisterNetdevSig = int(kern::NetDevice*);
+using UnregisterNetdevSig = void(kern::NetDevice*);
+using NetifNapiAddSig = void(kern::NetDevice*, kern::NapiStruct*, uintptr_t);
+using NapiScheduleSig = void(kern::NapiStruct*);
+
+using PciRegisterDriverSig = int(kern::PciDriver*);
+using PciUnregisterDriverSig = void(kern::PciDriver*);
+using PciEnableDeviceSig = int(kern::PciDev*);
+using PciDisableDeviceSig = void(kern::PciDev*);
+using PciIomapSig = void*(kern::PciDev*);
+using RequestIrqSig = int(int, uintptr_t, void*);
+using FreeIrqSig = void(int);
+
+using SockRegisterSig = int(kern::NetProtoFamily*);
+using SockUnregisterSig = void(int);
+
+using SubmitBioSig = int(kern::BlockDevice*, kern::Bio*);
+using DmRegisterTargetSig = int(kern::DmTargetType*);
+using DmUnregisterTargetSig = void(kern::DmTargetType*);
+using DmGetDeviceSig = kern::BlockDevice*(const char*);
+
+using SndCardRegisterSig = int(kern::SoundCard*);
+using SndCardUnregisterSig = void(kern::SoundCard*);
+
+// Module-function pointer type signatures (kernel -> module).
+using PciProbeSig = int(kern::PciDev*);
+using PciRemoveSig = void(kern::PciDev*);
+using NdoOpenSig = int(kern::NetDevice*);
+using NdoStartXmitSig = int(kern::SkBuff*, kern::NetDevice*);
+using NapiPollSig = int(kern::NapiStruct*, int);
+using IrqHandlerSig = void(int, void*);
+using SockCreateSig = int(kern::Socket*);
+using SockReleaseSig = int(kern::Socket*);
+using SockBindSig = int(kern::Socket*, uintptr_t, size_t);
+using SockIoctlSig = int(kern::Socket*, unsigned, uintptr_t);
+using SockMsgSig = int(kern::Socket*, kern::MsgHdr*);
+using DmCtrSig = int(kern::DmTarget*, const char*);
+using DmDtrSig = void(kern::DmTarget*);
+using DmMapSig = int(kern::DmTarget*, kern::Bio*);
+using PcmOpenSig = int(kern::PcmSubstream*);
+using PcmCloseSig = int(kern::PcmSubstream*);
+using PcmTriggerSig = int(kern::PcmSubstream*, int);
+using PcmPointerSig = uint32_t(kern::PcmSubstream*);
+using BioEndIoSig = void(kern::Bio*);
+
+// Installs exports (always) and annotations + iterators (when rt != null).
+void InstallKernelApi(kern::Kernel* kernel, Runtime* rt);
+
+}  // namespace lxfi

@@ -1,0 +1,39 @@
+// Checked memory stores — the write guards the module rewriter inserts
+// before every store instruction in module code (§4.2 "Memory writes").
+//
+// Module source in this repo performs all stores to kernel-visible memory
+// through these helpers; on a stock kernel (no runtime attached) they
+// degrade to plain stores, which is the uninstrumented baseline.
+#pragma once
+
+#include <cstring>
+
+#include "src/kernel/module.h"
+#include "src/lxfi/principal.h"
+#include "src/lxfi/runtime.h"
+
+namespace lxfi {
+
+template <typename T>
+inline void Store(kern::Module& m, T* dst, T value) {
+  if (m.lxfi_ctx != nullptr) {
+    static_cast<ModuleCtx*>(m.lxfi_ctx)->runtime()->CheckWrite(dst, sizeof(T));
+  }
+  *dst = value;
+}
+
+inline void MemCopy(kern::Module& m, void* dst, const void* src, size_t n) {
+  if (m.lxfi_ctx != nullptr) {
+    static_cast<ModuleCtx*>(m.lxfi_ctx)->runtime()->CheckWrite(dst, n);
+  }
+  std::memcpy(dst, src, n);
+}
+
+inline void MemSet(kern::Module& m, void* dst, int c, size_t n) {
+  if (m.lxfi_ctx != nullptr) {
+    static_cast<ModuleCtx*>(m.lxfi_ctx)->runtime()->CheckWrite(dst, n);
+  }
+  std::memset(dst, c, n);
+}
+
+}  // namespace lxfi

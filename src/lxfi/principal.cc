@@ -1,0 +1,101 @@
+#include "src/lxfi/principal.h"
+
+#include "src/base/string_util.h"
+#include "src/kernel/module.h"
+
+namespace lxfi {
+
+std::string Principal::DebugName() const {
+  const std::string& mod = module_->name();
+  switch (kind_) {
+    case PrincipalKind::kShared:
+      return mod + "::<shared>";
+    case PrincipalKind::kGlobal:
+      return mod + "::<global>";
+    case PrincipalKind::kInstance:
+      return StrFormat("%s::%#llx", mod.c_str(), static_cast<unsigned long long>(name_));
+  }
+  return mod + "::?";
+}
+
+ModuleCtx::ModuleCtx(Runtime* runtime, kern::Module* kmod)
+    : runtime_(runtime),
+      kmod_(kmod),
+      shared_(this, PrincipalKind::kShared, 0),
+      global_(this, PrincipalKind::kGlobal, 0) {}
+
+const std::string& ModuleCtx::name() const { return kmod_->name(); }
+
+Principal* ModuleCtx::GetOrCreate(uintptr_t name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  instances_.push_back(std::make_unique<Principal>(this, PrincipalKind::kInstance, name));
+  Principal* p = instances_.back().get();
+  by_name_[name] = p;
+  return p;
+}
+
+Principal* ModuleCtx::Lookup(uintptr_t name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+bool ModuleCtx::Alias(uintptr_t existing, uintptr_t alias) {
+  Principal* p = Lookup(existing);
+  if (p == nullptr) {
+    return false;
+  }
+  by_name_[alias] = p;
+  return true;
+}
+
+void ModuleCtx::DropInstance(uintptr_t name) {
+  Principal* p = Lookup(name);
+  if (p == nullptr) {
+    return;
+  }
+  // Remove all names bound to this principal.
+  for (auto it = by_name_.begin(); it != by_name_.end();) {
+    if (it->second == p) {
+      it = by_name_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+    if (it->get() == p) {
+      instances_.erase(it);
+      break;
+    }
+  }
+}
+
+bool ModuleCtx::Owns(const Principal* p, const Capability& cap) const {
+  if (p->caps().Check(cap)) {
+    return true;
+  }
+  if (p != &shared_ && shared_.caps().Check(cap)) {
+    return true;
+  }
+  if (p->kind() == PrincipalKind::kGlobal) {
+    for (const auto& inst : instances_) {
+      if (inst->caps().Check(cap)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ModuleCtx::RevokeEverywhere(const Capability& cap) {
+  bool any = shared_.caps().Revoke(cap);
+  any |= global_.caps().Revoke(cap);
+  for (auto& inst : instances_) {
+    any |= inst->caps().Revoke(cap);
+  }
+  return any;
+}
+
+}  // namespace lxfi

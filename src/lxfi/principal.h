@@ -1,0 +1,106 @@
+// Principals and per-module principal state (§3.1).
+//
+// A module is split into principals named by pointer values (the address of
+// the socket / net_device / block device the instance serves). Two special
+// principals exist per module:
+//   shared — capabilities every principal in the module may use (initial
+//            imports, module sections); checks fall back to it.
+//   global — implicitly owns the union of all the module's capabilities;
+//            code manipulating cross-instance state switches to it.
+// A logical principal can have several names (pci_dev vs net_device);
+// lxfi_princ_alias maps a new name onto an existing principal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lxfi/cap_table.h"
+
+namespace kern {
+class Module;
+}
+
+namespace lxfi {
+
+class Runtime;
+
+enum class PrincipalKind {
+  kInstance,
+  kShared,
+  kGlobal,
+};
+
+class ModuleCtx;
+
+class Principal {
+ public:
+  Principal(ModuleCtx* module, PrincipalKind kind, uintptr_t name)
+      : module_(module), kind_(kind), name_(name) {}
+
+  ModuleCtx* module() const { return module_; }
+  PrincipalKind kind() const { return kind_; }
+  uintptr_t name() const { return name_; }
+
+  CapTable& caps() { return caps_; }
+  const CapTable& caps() const { return caps_; }
+
+  std::string DebugName() const;
+
+ private:
+  ModuleCtx* module_;
+  PrincipalKind kind_;
+  uintptr_t name_;  // primary name (0 for shared/global)
+  CapTable caps_;
+};
+
+// Per-loaded-module LXFI state.
+class ModuleCtx {
+ public:
+  ModuleCtx(Runtime* runtime, kern::Module* kmod);
+
+  Runtime* runtime() const { return runtime_; }
+  kern::Module* kmod() const { return kmod_; }
+  const std::string& name() const;
+
+  Principal* shared() { return &shared_; }
+  Principal* global() { return &global_; }
+
+  // Finds the principal for `name`, creating an instance principal on first
+  // use (instances come into existence when first named, e.g. by a
+  // principal() annotation selecting a socket pointer).
+  Principal* GetOrCreate(uintptr_t name);
+  Principal* Lookup(uintptr_t name) const;
+
+  // lxfi_princ_alias: binds `alias` to the principal currently named
+  // `existing` (§3.3). Fails (returns false) when `existing` is unknown.
+  bool Alias(uintptr_t existing, uintptr_t alias);
+
+  // Drops an instance principal and its capabilities (e.g. socket release).
+  void DropInstance(uintptr_t name);
+
+  // All instance principals (no shared/global).
+  const std::vector<std::unique_ptr<Principal>>& instances() const { return instances_; }
+
+  // Capability ownership honoring shared/global semantics:
+  //  - `p` owns the cap directly, or
+  //  - the module's shared principal owns it, or
+  //  - `p` is the global principal and *any* principal of the module owns it.
+  bool Owns(const Principal* p, const Capability& cap) const;
+
+  // Revokes `cap` from every principal of this module; returns true if any
+  // principal held it.
+  bool RevokeEverywhere(const Capability& cap);
+
+ private:
+  Runtime* runtime_;
+  kern::Module* kmod_;
+  Principal shared_;
+  Principal global_;
+  std::vector<std::unique_ptr<Principal>> instances_;
+  std::unordered_map<uintptr_t, Principal*> by_name_;
+};
+
+}  // namespace lxfi

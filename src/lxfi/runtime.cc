@@ -1,0 +1,713 @@
+#include "src/lxfi/runtime.h"
+
+#include <pthread.h>
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/string_util.h"
+#include "src/kernel/panic.h"
+
+namespace lxfi {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kWrite:
+      return "write-violation";
+    case ViolationKind::kCall:
+      return "call-violation";
+    case ViolationKind::kRef:
+      return "ref-violation";
+    case ViolationKind::kCapCheck:
+      return "cap-check-violation";
+    case ViolationKind::kIndirectCall:
+      return "indirect-call-violation";
+    case ViolationKind::kAnnotationMismatch:
+      return "annotation-mismatch";
+    case ViolationKind::kShadowStack:
+      return "shadow-stack-violation";
+    case ViolationKind::kPrincipal:
+      return "principal-violation";
+  }
+  return "?";
+}
+
+const char* GuardTypeName(GuardType type) {
+  switch (type) {
+    case GuardType::kAnnotationAction:
+      return "annotation-action";
+    case GuardType::kFunctionEntry:
+      return "function-entry";
+    case GuardType::kFunctionExit:
+      return "function-exit";
+    case GuardType::kMemWrite:
+      return "mem-write-check";
+    case GuardType::kIndCallAll:
+      return "kernel-indcall-all";
+    case GuardType::kIndCallFull:
+      return "kernel-indcall-full";
+    case GuardType::kIndCallModule:
+      return "kernel-indcall-module";
+    case GuardType::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string GuardStats::Report() const {
+  std::string out;
+  for (int i = 0; i < static_cast<int>(GuardType::kCount); ++i) {
+    auto t = static_cast<GuardType>(i);
+    out += StrFormat("%-20s count=%12llu mean=%8.1f ns total=%10.3f ms\n", GuardTypeName(t),
+                     static_cast<unsigned long long>(count(t)), MeanNs(t),
+                     static_cast<double>(time_ns(t)) / 1e6);
+  }
+  return out;
+}
+
+Runtime::Runtime(kern::Kernel* kernel, RuntimeOptions options)
+    : kernel_(kernel), options_(options) {
+  guards_.timing_enabled = options_.guard_timing;
+  // Locate the current thread's stack: it stands in for the kernel stack the
+  // paper grants every module WRITE access to (§3.2).
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* stack_addr = nullptr;
+    size_t stack_size = 0;
+    if (pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0) {
+      stack_lo_ = reinterpret_cast<uintptr_t>(stack_addr);
+      stack_hi_ = stack_lo_ + stack_size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  kernel_->set_isolation(this);
+}
+
+Runtime::~Runtime() {
+  if (kernel_->isolation() == this) {
+    kernel_->set_isolation(nullptr);
+  }
+}
+
+// --- module lifecycle -------------------------------------------------------
+
+bool Runtime::OnModuleLoad(kern::Module* module) {
+  auto ctx = std::make_unique<ModuleCtx>(this, module);
+  ModuleCtx* mc = ctx.get();
+  ctxs_[module] = std::move(ctx);
+  module->lxfi_ctx = mc;
+  Principal* shared = mc->shared();
+
+  // Initial CALL capabilities: one per imported kernel symbol (§3.2). The
+  // safe default applies — importing an unannotated kernel function fails
+  // the load, since LXFI could not enforce any contract on it.
+  for (const std::string& name : module->def().imports) {
+    uintptr_t addr = kernel_->symtab().Find(name);
+    if (addr == 0) {
+      LXFI_LOG_ERROR("module %s imports unknown symbol %s", module->name().c_str(), name.c_str());
+      return false;
+    }
+    if (annotations_.Find(name) == nullptr) {
+      LXFI_LOG_ERROR("module %s imports unannotated kernel function %s (safe default: refuse)",
+                     module->name().c_str(), name.c_str());
+      return false;
+    }
+    shared->caps().GrantCall(addr);
+    annotations_.NoteUse(name, module->name());
+  }
+
+  // Module-defined functions: propagate annotations from the declared
+  // function-pointer type, verify multi-source consistency, and register the
+  // instrumented wrapper under a minted module-text address (§4.2).
+  for (const kern::FuncDecl& fd : module->def().functions) {
+    const AnnotationSet* type_set = annotations_.Find(fd.type_name);
+    const AnnotationSet* fn_set = annotations_.Find(fd.name);
+    if (type_set != nullptr && fn_set != nullptr && type_set->ahash != fn_set->ahash) {
+      LXFI_LOG_ERROR("module %s: function %s obtains conflicting annotations from %s",
+                     module->name().c_str(), fd.name.c_str(), fd.type_name.c_str());
+      return false;
+    }
+    const AnnotationSet* set = type_set != nullptr ? type_set : fn_set;
+    const auto* factory = std::any_cast<WrapFactory>(&fd.wrapper_factory);
+    if (factory == nullptr) {
+      LXFI_LOG_ERROR("module %s: function %s was not processed by the module rewriter",
+                     module->name().c_str(), fd.name.c_str());
+      return false;
+    }
+    std::any wrapped = (*factory)(this, mc, set, fd.name);
+    uintptr_t addr = kernel_->funcs().RegisterAny(kern::TextKind::kModuleText,
+                                                  module->name() + "." + fd.name, std::move(wrapped),
+                                                  set != nullptr ? set->ahash : 0, module);
+    module->SetFuncAddr(fd.name, addr);
+    shared->caps().GrantCall(addr);
+    if (type_set != nullptr) {
+      annotations_.NoteUse(fd.type_name, module->name());
+    }
+  }
+
+  // Initial WRITE capabilities: writable sections (and the simulated user
+  // window, standing in for the current process's user memory that modules
+  // may legitimately target through checked uaccess helpers). The shared
+  // principal also lands in the writer set for every writable section, since
+  // those sections may contain function pointers the kernel will call (§5).
+  if (module->data() != nullptr) {
+    Grant(shared, Capability::Write(module->data(), module->data_size()));
+  }
+  Grant(shared, Capability::Write(uintptr_t{0}, kern::kUserSpaceTop));
+  return true;
+}
+
+void Runtime::OnModuleUnload(kern::Module* module) {
+  auto it = ctxs_.find(module);
+  if (it == ctxs_.end()) {
+    return;
+  }
+  ModuleCtx* mc = it->second.get();
+  // Unregister module text so stale function pointers fault rather than run.
+  for (const kern::FuncDecl& fd : module->def().functions) {
+    uintptr_t addr = module->FuncAddr(fd.name);
+    if (addr != 0) {
+      kernel_->funcs().Unregister(addr);
+    }
+  }
+  // Drop writer attribution for the module's principals. (A real kernel
+  // would also have to treat still-reachable module-written pointers as
+  // poisoned; unloading with live references is already a bug upstream.)
+  writer_set_.RemoveWriter(mc->shared());
+  writer_set_.RemoveWriter(mc->global());
+  for (const auto& inst : mc->instances()) {
+    writer_set_.RemoveWriter(inst.get());
+  }
+  module->lxfi_ctx = nullptr;
+  ctxs_.erase(it);
+}
+
+int Runtime::CallModuleInit(kern::Module* module, const std::function<int()>& init) {
+  ModuleCtx* mc = CtxOf(module);
+  uint64_t token = WrapperEnter(mc->shared(), "module_init");
+  int rc;
+  try {
+    rc = init();
+  } catch (...) {
+    WrapperExit(token, "module_init");
+    throw;
+  }
+  WrapperExit(token, "module_init");
+  return rc;
+}
+
+void Runtime::CallModuleExit(kern::Module* module, const std::function<void()>& exit_fn) {
+  ModuleCtx* mc = CtxOf(module);
+  uint64_t token = WrapperEnter(mc->shared(), "module_exit");
+  try {
+    exit_fn();
+  } catch (...) {
+    WrapperExit(token, "module_exit");
+    throw;
+  }
+  WrapperExit(token, "module_exit");
+}
+
+ModuleCtx* Runtime::CtxOf(kern::Module* module) {
+  auto it = ctxs_.find(module);
+  return it == ctxs_.end() ? nullptr : it->second.get();
+}
+
+// --- thread / interrupt context ----------------------------------------------
+
+ShadowStack* Runtime::CurrentShadow() {
+  kern::KthreadContext* ctx = kernel_->current();
+  auto it = shadows_.find(ctx);
+  if (it == shadows_.end()) {
+    it = shadows_.emplace(ctx, std::make_unique<ShadowStack>()).first;
+    ctx->lxfi_shadow = it->second.get();
+  }
+  return it->second.get();
+}
+
+Principal* Runtime::CurrentPrincipal() { return CurrentShadow()->current; }
+
+void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
+  if (shadows_.count(ctx) == 0) {
+    auto shadow = std::make_unique<ShadowStack>();
+    ctx->lxfi_shadow = shadow.get();
+    shadows_[ctx] = std::move(shadow);
+  }
+}
+
+void Runtime::OnKthreadDestroy(kern::KthreadContext* ctx) {
+  shadows_.erase(ctx);
+  ctx->lxfi_shadow = nullptr;
+}
+
+void Runtime::OnInterruptEnter(kern::KthreadContext* ctx) {
+  // Save the interrupted principal on the shadow stack and run the handler
+  // with kernel privilege until a wrapper switches again (§3.1).
+  ShadowStack* shadow = CurrentShadow();
+  uint64_t token = shadow->Push(shadow->current, "irq");
+  shadow->irq_tokens.push_back(token);
+  shadow->current = nullptr;
+}
+
+void Runtime::OnInterruptExit(kern::KthreadContext* ctx) {
+  ShadowStack* shadow = CurrentShadow();
+  if (shadow->irq_tokens.empty()) {
+    RaiseViolation(ViolationKind::kShadowStack, "interrupt exit without matching entry");
+    return;
+  }
+  uint64_t token = shadow->irq_tokens.back();
+  shadow->irq_tokens.pop_back();
+  bool ok = false;
+  Principal* saved = shadow->Pop(token, &ok);
+  if (!ok) {
+    RaiseViolation(ViolationKind::kShadowStack, "shadow stack corrupted across interrupt");
+    return;
+  }
+  shadow->current = saved;
+}
+
+// --- capability operations ----------------------------------------------------
+
+void Runtime::Grant(Principal* p, const Capability& cap) {
+  p->caps().Grant(cap);
+  if (cap.kind == CapKind::kWrite) {
+    writer_set_.AddRange(p, cap.addr, cap.size);
+  }
+}
+
+bool Runtime::Owns(Principal* p, const Capability& cap) const {
+  return p->module()->Owns(p, cap);
+}
+
+void Runtime::RevokeEverywhere(const Capability& cap) {
+  for (auto& [kmod, mc] : ctxs_) {
+    mc->RevokeEverywhere(cap);
+  }
+}
+
+// --- instrumentation checks -----------------------------------------------------
+
+void Runtime::CheckWrite(const void* dst, size_t size) {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    return;  // trusted (core kernel) context
+  }
+  ScopedGuard guard(&guards_, GuardType::kMemWrite);
+  Capability cap = Capability::Write(dst, size);
+  if (!OwnsForEnforcement(p, cap)) {
+    RaiseViolation(ViolationKind::kWrite,
+                   StrFormat("%s attempted %zu-byte store to %p without WRITE capability",
+                             p->DebugName().c_str(), size, dst));
+  }
+}
+
+void Runtime::CheckCall(Principal* p, uintptr_t target, const std::string& name) {
+  if (p == nullptr) {
+    return;
+  }
+  if (!Owns(p, Capability::Call(target))) {
+    RaiseViolation(ViolationKind::kCall,
+                   StrFormat("%s has no CALL capability for %s (%#llx)", p->DebugName().c_str(),
+                             name.c_str(), static_cast<unsigned long long>(target)));
+  }
+}
+
+std::vector<Principal*> Runtime::PossibleWriters(uintptr_t slot_addr) {
+  if (options_.writer_set_tracking) {
+    return writer_set_.WritersFor(slot_addr);
+  }
+  // Ablation mode: recompute from capability tables every time.
+  std::vector<Principal*> writers;
+  for (auto& [kmod, mc] : ctxs_) {
+    auto consider = [&](Principal* p) {
+      if (p->caps().CheckWrite(slot_addr, sizeof(uintptr_t))) {
+        writers.push_back(p);
+      }
+    };
+    consider(mc->shared());
+    consider(mc->global());
+    for (const auto& inst : mc->instances()) {
+      consider(inst.get());
+    }
+  }
+  return writers;
+}
+
+void Runtime::CheckKernelIndirectCall(const void* pptr, const char* fnptr_type,
+                                      uintptr_t target) {
+  ScopedGuard guard(&guards_, GuardType::kIndCallAll);
+  if (target >= kern::kModuleTextBase) {
+    guards_.Count(GuardType::kIndCallModule);
+  }
+  uintptr_t slot = reinterpret_cast<uintptr_t>(pptr);
+  if (options_.writer_set_tracking && writer_set_.Empty(slot)) {
+    return;  // fast path: no principal could have written this slot
+  }
+  ScopedGuard full_guard(&guards_, GuardType::kIndCallFull);
+  std::vector<Principal*> writers = PossibleWriters(slot);
+  if (writers.empty()) {
+    return;
+  }
+  // Every principal that could have written the slot must hold a CALL
+  // capability for the stored target (§4.1).
+  for (Principal* writer : writers) {
+    if (!Owns(writer, Capability::Call(target))) {
+      RaiseViolation(
+          ViolationKind::kIndirectCall,
+          StrFormat("kernel indirect call through %p (type %s) to %#llx: writer %s lacks CALL",
+                    pptr, fnptr_type, static_cast<unsigned long long>(target),
+                    writer->DebugName().c_str()));
+      return;
+    }
+  }
+  // Annotation hashes of the pointer type and the invoked function must
+  // match, so a module cannot launder a function through a pointer with
+  // different (weaker) annotations. Kernel functions without annotations are
+  // exempt (§7).
+  const kern::DispatchEntry* entry = kernel_->funcs().Lookup(target);
+  if (entry == nullptr) {
+    RaiseViolation(ViolationKind::kIndirectCall,
+                   StrFormat("kernel indirect call to unmapped address %#llx via %s",
+                             static_cast<unsigned long long>(target), fnptr_type));
+    return;
+  }
+  uint64_t type_hash = annotations_.AhashOf(fnptr_type);
+  if (entry->ahash != 0 || entry->kind == kern::TextKind::kModuleText) {
+    if (entry->ahash != type_hash) {
+      RaiseViolation(ViolationKind::kAnnotationMismatch,
+                     StrFormat("function %s (ahash %#llx) invoked through pointer type %s "
+                               "(ahash %#llx)",
+                               entry->name.c_str(), static_cast<unsigned long long>(entry->ahash),
+                               fnptr_type, static_cast<unsigned long long>(type_hash)));
+    }
+  }
+}
+
+// --- module-facing runtime API ---------------------------------------------------
+
+void Runtime::LxfiCheck(const Capability& cap) {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    return;
+  }
+  if (!Owns(p, cap)) {
+    RaiseViolation(ViolationKind::kCapCheck, StrFormat("lxfi_check failed: %s does not own %s",
+                                                       p->DebugName().c_str(),
+                                                       cap.ToString().c_str()));
+  }
+}
+
+void Runtime::PrincAlias(const void* existing, const void* alias) {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    RaiseViolation(ViolationKind::kPrincipal, "lxfi_princ_alias outside module context");
+    return;
+  }
+  ModuleCtx* mc = p->module();
+  if (!mc->Alias(reinterpret_cast<uintptr_t>(existing), reinterpret_cast<uintptr_t>(alias))) {
+    RaiseViolation(ViolationKind::kPrincipal,
+                   StrFormat("lxfi_princ_alias: %p names no principal in %s", existing,
+                             mc->name().c_str()));
+  }
+}
+
+Principal* Runtime::SwitchPrincipal(Principal* to) {
+  ShadowStack* shadow = CurrentShadow();
+  Principal* prev = shadow->current;
+  if (prev != nullptr && to != nullptr && to->module() != prev->module()) {
+    RaiseViolation(ViolationKind::kPrincipal,
+                   StrFormat("principal switch across modules: %s -> %s",
+                             prev->DebugName().c_str(), to->DebugName().c_str()));
+    return prev;
+  }
+  shadow->current = to;
+  return prev;
+}
+
+Principal* Runtime::GlobalOfCurrent() {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    RaiseViolation(ViolationKind::kPrincipal, "global-principal switch outside module context");
+    return nullptr;
+  }
+  return p->module()->global();
+}
+
+Principal* Runtime::SharedOfCurrent() {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    RaiseViolation(ViolationKind::kPrincipal, "shared-principal switch outside module context");
+    return nullptr;
+  }
+  return p->module()->shared();
+}
+
+Principal* Runtime::InstanceOfCurrent(const void* name) {
+  Principal* p = CurrentPrincipal();
+  if (p == nullptr) {
+    RaiseViolation(ViolationKind::kPrincipal, "instance-principal switch outside module context");
+    return nullptr;
+  }
+  return p->module()->GetOrCreate(reinterpret_cast<uintptr_t>(name));
+}
+
+void Runtime::DropPrincipal(kern::Module* module, const void* name) {
+  ModuleCtx* mc = CtxOf(module);
+  if (mc == nullptr) {
+    return;
+  }
+  Principal* p = mc->Lookup(reinterpret_cast<uintptr_t>(name));
+  if (p != nullptr) {
+    writer_set_.RemoveWriter(p);
+    mc->DropInstance(reinterpret_cast<uintptr_t>(name));
+  }
+}
+
+// --- diagnostics ----------------------------------------------------------------------
+
+std::string Runtime::DumpState() const {
+  std::string out;
+  out += StrFormat("lxfi runtime: %zu module(s), %zu tracked writer page(s), %zu violation(s)\n",
+                   ctxs_.size(), writer_set_.TrackedPages(), violations_.size());
+  for (const auto& [kmod, mc] : ctxs_) {
+    out += StrFormat("module %s: %zu instance principal(s)\n", mc->name().c_str(),
+                     mc->instances().size());
+    auto describe = [&](const Principal* p) {
+      out += StrFormat("  %-28s WRITE=%zu CALL=%zu REF=%zu\n", p->DebugName().c_str(),
+                       p->caps().write_count(), p->caps().call_count(), p->caps().ref_count());
+    };
+    describe(mc->shared());
+    describe(mc->global());
+    for (const auto& inst : mc->instances()) {
+      describe(inst.get());
+    }
+  }
+  return out;
+}
+
+// --- violations ---------------------------------------------------------------------
+
+void Runtime::RaiseViolation(ViolationKind kind, const std::string& details) {
+  violations_.push_back(ViolationRecord{kind, details});
+  LXFI_LOG_WARN("lxfi violation: %s: %s", ViolationKindName(kind), details.c_str());
+  switch (options_.policy) {
+    case ViolationPolicy::kThrow:
+      throw LxfiViolation(kind, details);
+    case ViolationPolicy::kPanic:
+      kern::Panic(std::string("lxfi: ") + ViolationKindName(kind) + ": " + details);
+    case ViolationPolicy::kCount:
+      return;
+  }
+}
+
+// --- annotation-action evaluation ----------------------------------------------------
+
+int64_t Runtime::EvalExpr(const Expr& expr, const CallEnv& env) const {
+  switch (expr.kind) {
+    case Expr::Kind::kInt:
+      return expr.value;
+    case Expr::Kind::kArg:
+      if (expr.arg_index < 0 || static_cast<size_t>(expr.arg_index) >= env.nargs) {
+        return 0;
+      }
+      return static_cast<int64_t>(env.args[expr.arg_index]);
+    case Expr::Kind::kReturn:
+      return static_cast<int64_t>(env.ret);
+    case Expr::Kind::kNeg:
+      return -EvalExpr(*expr.lhs, env);
+    case Expr::Kind::kBinary: {
+      int64_t a = EvalExpr(*expr.lhs, env);
+      int64_t b = EvalExpr(*expr.rhs, env);
+      if (expr.op == "+") {
+        return a + b;
+      }
+      if (expr.op == "-") {
+        return a - b;
+      }
+      if (expr.op == "<") {
+        return a < b;
+      }
+      if (expr.op == ">") {
+        return a > b;
+      }
+      if (expr.op == "<=") {
+        return a <= b;
+      }
+      if (expr.op == ">=") {
+        return a >= b;
+      }
+      if (expr.op == "==") {
+        return a == b;
+      }
+      if (expr.op == "!=") {
+        return a != b;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::vector<Capability> Runtime::ResolveCaps(const CapListSpec& spec, const CallEnv& env,
+                                             bool post) {
+  std::vector<Capability> caps;
+  if (spec.is_iterator) {
+    const CapIterator* iter = iterators_.Find(spec.iterator_name);
+    if (iter == nullptr) {
+      RaiseViolation(ViolationKind::kCapCheck,
+                     "unknown capability iterator '" + spec.iterator_name + "' in " + env.what);
+      return caps;
+    }
+    CapIterContext ctx(kernel_);
+    (*iter)(ctx, static_cast<uint64_t>(EvalExpr(*spec.iterator_arg, env)));
+    return ctx.caps();
+  }
+  auto addr = static_cast<uintptr_t>(EvalExpr(*spec.ptr, env));
+  switch (spec.kind) {
+    case CapKind::kWrite: {
+      // Default size is one pointer-sized object (the paper defaults to
+      // sizeof(*ptr); interface authors here spell sizes explicitly except
+      // for pointer cells).
+      size_t size = spec.size != nullptr ? static_cast<size_t>(EvalExpr(*spec.size, env))
+                                         : sizeof(uintptr_t);
+      caps.push_back(Capability::Write(addr, size));
+      break;
+    }
+    case CapKind::kCall:
+      caps.push_back(Capability::Call(addr));
+      break;
+    case CapKind::kRef:
+      caps.push_back(Capability::Ref(RefType(spec.ref_type_name), addr));
+      break;
+  }
+  return caps;
+}
+
+void Runtime::ApplyAction(const Action& action, const CallEnv& env, bool post) {
+  if (action.op == Action::Op::kIf) {
+    if (EvalExpr(*action.cond, env) != 0) {
+      ApplyAction(*action.then, env, post);
+    }
+    return;
+  }
+  std::vector<Capability> caps = ResolveCaps(action.caps, env, post);
+  // Which side is granting? pre of module->kernel and post of kernel->module
+  // flow *from* the module; the opposite two flow from the (all-owning)
+  // kernel toward the module principal.
+  bool from_module = env.kernel_to_module == post;
+  for (const Capability& cap : caps) {
+    ScopedGuard guard(&guards_, GuardType::kAnnotationAction);
+    switch (action.op) {
+      case Action::Op::kCheck:
+        if (from_module && !OwnsForEnforcement(env.principal, cap)) {
+          RaiseViolation(cap.kind == CapKind::kRef ? ViolationKind::kRef
+                                                   : ViolationKind::kCapCheck,
+                         StrFormat("check failed in %s: %s does not own %s", env.what,
+                                   env.principal->DebugName().c_str(), cap.ToString().c_str()));
+        }
+        break;
+      case Action::Op::kCopy:
+        if (from_module) {
+          if (!OwnsForEnforcement(env.principal, cap)) {
+            RaiseViolation(ViolationKind::kCapCheck,
+                           StrFormat("copy source check failed in %s: %s does not own %s",
+                                     env.what, env.principal->DebugName().c_str(),
+                                     cap.ToString().c_str()));
+          }
+          // Copy toward the kernel: nothing to track, the kernel owns all.
+        } else {
+          Grant(env.principal, cap);
+        }
+        break;
+      case Action::Op::kTransfer:
+        if (from_module) {
+          if (!OwnsForEnforcement(env.principal, cap)) {
+            RaiseViolation(ViolationKind::kCapCheck,
+                           StrFormat("transfer source check failed in %s: %s does not own %s",
+                                     env.what, env.principal->DebugName().c_str(),
+                                     cap.ToString().c_str()));
+          }
+          RevokeEverywhere(cap);
+        } else {
+          RevokeEverywhere(cap);
+          Grant(env.principal, cap);
+        }
+        break;
+      case Action::Op::kIf:
+        break;
+    }
+  }
+}
+
+void Runtime::RunActions(const AnnotationSet* set, CallEnv& env, bool post) {
+  if (set == nullptr) {
+    return;
+  }
+  Annotation::Kind want = post ? Annotation::Kind::kPost : Annotation::Kind::kPre;
+  for (const Annotation& a : set->annotations) {
+    if (a.kind == want && a.action != nullptr) {
+      ApplyAction(*a.action, env, post);
+    }
+  }
+}
+
+Principal* Runtime::SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc,
+                                          const CallEnv& env) {
+  if (set != nullptr) {
+    for (const Annotation& a : set->annotations) {
+      if (a.kind != Annotation::Kind::kPrincipal) {
+        continue;
+      }
+      switch (a.principal_target) {
+        case Annotation::PrincipalTarget::kGlobal:
+          return mc->global();
+        case Annotation::PrincipalTarget::kShared:
+          return mc->shared();
+        case Annotation::PrincipalTarget::kExpr: {
+          auto name = static_cast<uintptr_t>(EvalExpr(*a.principal_expr, env));
+          return mc->GetOrCreate(name);
+        }
+      }
+    }
+  }
+  return mc->shared();
+}
+
+// --- wrapper entry/exit --------------------------------------------------------------
+
+uint64_t Runtime::WrapperEnter(Principal* switch_to, const char* what) {
+  ScopedGuard guard(&guards_, GuardType::kFunctionEntry);
+  ShadowStack* shadow = CurrentShadow();
+  uint64_t token = shadow->Push(shadow->current, what);
+  shadow->current = switch_to;
+  return token;
+}
+
+void Runtime::WrapperExit(uint64_t token, const char* what) {
+  ScopedGuard guard(&guards_, GuardType::kFunctionExit);
+  ShadowStack* shadow = CurrentShadow();
+  bool ok = false;
+  Principal* saved = shadow->Pop(token, &ok);
+  if (!ok) {
+    RaiseViolation(ViolationKind::kShadowStack,
+                   StrFormat("return-path corruption detected leaving %s", what));
+    return;
+  }
+  shadow->current = saved;
+}
+
+void Runtime::WrapperAbort(uint64_t token, const char* what) {
+  // Unwind path: pop frames down to (and including) `token` without raising
+  // nested violations while an exception is in flight.
+  ShadowStack* shadow = CurrentShadow();
+  while (shadow->depth() > 0) {
+    bool ok = false;
+    Principal* saved = shadow->PopAny(&ok, token);
+    shadow->current = saved;
+    if (ok) {
+      return;
+    }
+  }
+}
+
+}  // namespace lxfi

@@ -1,0 +1,196 @@
+// The LXFI runtime (§5): the reference monitor interposed on every control
+// transfer between the core kernel and modules. Owns per-module principal
+// state, evaluates annotation actions at wrapper boundaries, tracks writer
+// sets, maintains shadow stacks, and reports violations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/isolation.h"
+#include "src/kernel/kernel.h"
+#include "src/lxfi/annotation_registry.h"
+#include "src/lxfi/cap.h"
+#include "src/lxfi/guards.h"
+#include "src/lxfi/principal.h"
+#include "src/lxfi/shadow_stack.h"
+#include "src/lxfi/violation.h"
+#include "src/lxfi/writer_set.h"
+
+namespace lxfi {
+
+struct RuntimeOptions {
+  ViolationPolicy policy = ViolationPolicy::kThrow;
+  // Collect per-guard wall time (Figure 13). Off by default: timing itself
+  // costs two clock reads per guard.
+  bool guard_timing = false;
+  // Writer-set fast path for kernel indirect calls (§4.1). Disabling it is
+  // the bench_writerset ablation: every indirect call takes the full check.
+  bool writer_set_tracking = true;
+};
+
+// Bound arguments of one wrapped call, for annotation-expression evaluation.
+struct CallEnv {
+  ModuleCtx* mc = nullptr;
+  Principal* principal = nullptr;  // module-side principal of the call
+  bool kernel_to_module = false;
+  const uint64_t* args = nullptr;
+  size_t nargs = 0;
+  uint64_t ret = 0;
+  const char* what = "";
+};
+
+// The factory type the module rewriter stores in kern::FuncDecl: produces
+// the instrumented invoker (a std::any holding std::function<Sig>).
+class Runtime;
+using WrapFactory =
+    std::function<std::any(Runtime*, ModuleCtx*, const AnnotationSet*, const std::string&)>;
+
+class Runtime : public kern::IsolationHooks {
+ public:
+  explicit Runtime(kern::Kernel* kernel, RuntimeOptions options = {});
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  kern::Kernel* kernel() const { return kernel_; }
+  AnnotationRegistry& annotations() { return annotations_; }
+  IteratorRegistry& iterators() { return iterators_; }
+  GuardStats& guards() { return guards_; }
+  WriterSet& writer_set() { return writer_set_; }
+  RuntimeOptions& options() { return options_; }
+
+  // --- kern::IsolationHooks ----------------------------------------------
+  bool OnModuleLoad(kern::Module* module) override;
+  void OnModuleUnload(kern::Module* module) override;
+  int CallModuleInit(kern::Module* module, const std::function<int()>& init) override;
+  void CallModuleExit(kern::Module* module, const std::function<void()>& exit_fn) override;
+  void CheckKernelIndirectCall(const void* pptr, const char* fnptr_type,
+                               uintptr_t target) override;
+  void OnInterruptEnter(kern::KthreadContext* ctx) override;
+  void OnInterruptExit(kern::KthreadContext* ctx) override;
+  void OnKthreadCreate(kern::KthreadContext* ctx) override;
+  void OnKthreadDestroy(kern::KthreadContext* ctx) override;
+
+  // --- principal context --------------------------------------------------
+  Principal* CurrentPrincipal();
+  ShadowStack* CurrentShadow();
+  ModuleCtx* CtxOf(kern::Module* module);
+
+  // --- capability operations ----------------------------------------------
+  void Grant(Principal* p, const Capability& cap);
+  bool Owns(Principal* p, const Capability& cap) const;
+  // Transfer semantics: revoke from every principal of every module (§3.3).
+  void RevokeEverywhere(const Capability& cap);
+
+  // §3.2 initial capability (2): every module holds WRITE for the current
+  // kernel stack. Module locals live on the host thread stack here, so the
+  // runtime treats that range as module-writable during enforcement.
+  bool OnKernelStack(uintptr_t addr, size_t size) const {
+    return addr >= stack_lo_ && addr + size <= stack_hi_;
+  }
+  // Ownership as the enforcement paths see it (stack grant included).
+  bool OwnsForEnforcement(Principal* p, const Capability& cap) const {
+    if (cap.kind == CapKind::kWrite && OnKernelStack(cap.addr, cap.size)) {
+      return true;
+    }
+    return Owns(p, cap);
+  }
+
+  // --- instrumentation entry points ---------------------------------------
+  // Module store guard (inserted before each memory write, §4.2).
+  void CheckWrite(const void* dst, size_t size);
+  // CALL-capability check for a module's direct (wrapped) call.
+  void CheckCall(Principal* p, uintptr_t target, const std::string& name);
+
+  // --- module-facing runtime API (lxfi_* functions, §3.4) ------------------
+  // lxfi_check: verify the current principal owns `cap`.
+  void LxfiCheck(const Capability& cap);
+  // lxfi_princ_alias: name `alias` as the principal currently named
+  // `existing` in the current module.
+  void PrincAlias(const void* existing, const void* alias);
+  // Principal switches (Guideline 6). Use via ScopedPrincipal.
+  Principal* SwitchPrincipal(Principal* to);
+  Principal* GlobalOfCurrent();
+  Principal* SharedOfCurrent();
+  Principal* InstanceOfCurrent(const void* name);
+  // Drops a per-instance principal (object teardown).
+  void DropPrincipal(kern::Module* module, const void* name);
+
+  // --- diagnostics ------------------------------------------------------------
+  // Human-readable snapshot of every module's principals and capability
+  // counts (the debugging aid a deployed isolation runtime needs).
+  std::string DumpState() const;
+
+  // --- violations -----------------------------------------------------------
+  void RaiseViolation(ViolationKind kind, const std::string& details);
+  uint64_t violation_count() const { return violations_.size(); }
+  const std::vector<ViolationRecord>& violations() const { return violations_; }
+  void ClearViolations() { violations_.clear(); }
+
+  // --- wrapper machinery (used by wrap.h; internal) -------------------------
+  // Evaluates pre (post=false) or post (post=true) actions of `set`.
+  void RunActions(const AnnotationSet* set, CallEnv& env, bool post);
+  // Resolves the principal() annotation for a kernel->module call.
+  Principal* SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc, const CallEnv& env);
+  // Shadow-stack push + principal switch; returns the frame token.
+  uint64_t WrapperEnter(Principal* switch_to, const char* what);
+  void WrapperExit(uint64_t token, const char* what);
+  // Unwind-safe exit used while an exception is in flight.
+  void WrapperAbort(uint64_t token, const char* what);
+
+  // Binds a wrapped import for a module (module rewriter output; §4.2
+  // "function wrappers"). Declared in wrap.h.
+  template <typename Ret, typename... Args>
+  std::function<Ret(Args...)> BindImport(ModuleCtx* mc, const std::string& name);
+
+  // Wraps a module-defined function per its fn-ptr type annotations.
+  template <typename Ret, typename... Args>
+  std::function<Ret(Args...)> WrapModuleFunction(ModuleCtx* mc, const AnnotationSet* set,
+                                                 const std::string& label,
+                                                 std::function<Ret(Args...)> inner);
+
+ private:
+  friend class ActionEvaluator;
+
+  // Materializes the capabilities named by one caplist spec.
+  std::vector<Capability> ResolveCaps(const CapListSpec& spec, const CallEnv& env, bool post);
+  int64_t EvalExpr(const Expr& expr, const CallEnv& env) const;
+  void ApplyAction(const Action& action, const CallEnv& env, bool post);
+  std::vector<Principal*> PossibleWriters(uintptr_t slot_addr);
+
+  kern::Kernel* kernel_;
+  RuntimeOptions options_;
+  AnnotationRegistry annotations_;
+  IteratorRegistry iterators_;
+  GuardStats guards_;
+  WriterSet writer_set_;
+  std::unordered_map<kern::Module*, std::unique_ptr<ModuleCtx>> ctxs_;
+  std::unordered_map<kern::KthreadContext*, std::unique_ptr<ShadowStack>> shadows_;
+  std::vector<ViolationRecord> violations_;
+  uintptr_t stack_lo_ = 0;
+  uintptr_t stack_hi_ = 0;
+};
+
+// RAII principal switch for module code that must run as global/shared or as
+// another instance (Guideline 6). The constructor enforces that the switch
+// stays within the current module.
+class ScopedPrincipal {
+ public:
+  ScopedPrincipal(Runtime* rt, Principal* to) : rt_(rt), prev_(rt->SwitchPrincipal(to)) {}
+  ~ScopedPrincipal() { rt_->SwitchPrincipal(prev_); }
+
+  ScopedPrincipal(const ScopedPrincipal&) = delete;
+  ScopedPrincipal& operator=(const ScopedPrincipal&) = delete;
+
+ private:
+  Runtime* rt_;
+  Principal* prev_;
+};
+
+}  // namespace lxfi

@@ -1,0 +1,51 @@
+// Violation reporting.
+//
+// The paper's policy is to panic the kernel on any failed check (§3). Tests
+// need to observe violations and exploit demos need to survive them, so the
+// runtime routes every violation through a configurable policy; the default
+// throws LxfiViolation (which the simulated kernel treats as fatal to the
+// offending request).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lxfi {
+
+enum class ViolationKind {
+  kWrite,               // store without a covering WRITE capability
+  kCall,                // call without a CALL capability
+  kRef,                 // missing REF capability on a checked argument
+  kCapCheck,            // failed check()/copy()/transfer() ownership test
+  kIndirectCall,        // kernel-side indirect-call check failed
+  kAnnotationMismatch,  // function vs function-pointer-type ahash mismatch
+  kShadowStack,         // return-address or principal stack corruption
+  kPrincipal,           // illegal principal operation
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+class LxfiViolation : public std::runtime_error {
+ public:
+  LxfiViolation(ViolationKind kind, const std::string& details)
+      : std::runtime_error(std::string(ViolationKindName(kind)) + ": " + details), kind_(kind) {}
+
+  ViolationKind kind() const { return kind_; }
+
+ private:
+  ViolationKind kind_;
+};
+
+enum class ViolationPolicy {
+  kThrow,  // throw LxfiViolation (default; the simulated "kill the request")
+  kPanic,  // kern::Panic — the paper's whole-kernel policy
+  kCount,  // record and continue (diagnostics/surveys only; UNSAFE)
+};
+
+struct ViolationRecord {
+  ViolationKind kind;
+  std::string details;
+};
+
+}  // namespace lxfi

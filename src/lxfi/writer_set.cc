@@ -1,0 +1,56 @@
+#include "src/lxfi/writer_set.h"
+
+#include <algorithm>
+
+namespace lxfi {
+
+const std::vector<Principal*> WriterSet::kEmpty;
+
+void WriterSet::AddRange(Principal* writer, uintptr_t addr, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  uintptr_t first = addr >> kPageShift;
+  uintptr_t last = (addr + size - 1) >> kPageShift;
+  for (uintptr_t page = first; page <= last; ++page) {
+    auto& writers = pages_[page];
+    if (std::find(writers.begin(), writers.end(), writer) == writers.end()) {
+      writers.push_back(writer);
+    }
+  }
+}
+
+void WriterSet::ClearRange(uintptr_t addr, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  // Clearing is page-granular; only clear pages fully contained in the range
+  // (a partial page may still hold other written locations). This is
+  // conservative in the safe direction: stale writer bits only cost an
+  // unnecessary full check, never a missed one (§5's benign false positive).
+  uintptr_t first_full = (addr + (uintptr_t{1} << kPageShift) - 1) >> kPageShift;
+  uintptr_t end = addr + size;
+  uintptr_t last_full = end >> kPageShift;  // exclusive
+  for (uintptr_t page = first_full; page < last_full; ++page) {
+    pages_.erase(page);
+  }
+}
+
+void WriterSet::RemoveWriter(Principal* writer) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    auto& writers = it->second;
+    writers.erase(std::remove(writers.begin(), writers.end(), writer), writers.end());
+    if (writers.empty()) {
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const std::vector<Principal*>& WriterSet::WritersFor(uintptr_t addr) const {
+  auto it = pages_.find(addr >> kPageShift);
+  return it == pages_.end() ? kEmpty : it->second;
+}
+
+}  // namespace lxfi

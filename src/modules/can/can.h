@@ -1,0 +1,49 @@
+// CAN core protocol module: raw AF_CAN sockets with loopback delivery.
+//
+// The benign sibling of can-bcm; provides the baseline socket surface the
+// Figure 9 annotation counts include for "can".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/kernel/module.h"
+#include "src/kernel/net/socket.h"
+
+namespace mods {
+
+// A classic CAN frame: 4-byte id, 4-byte dlc, 8 data bytes.
+struct CanFrame {
+  uint32_t can_id = 0;
+  uint32_t can_dlc = 0;
+  uint8_t data[8] = {};
+};
+static_assert(sizeof(CanFrame) == 16, "CAN frame must be 16 bytes (the BCM overflow stride)");
+
+struct CanSock {
+  kern::Socket* sock = nullptr;
+  uint32_t filter_id = 0;
+  CanFrame last_frame;
+  bool has_frame = false;
+};
+
+struct CanData {
+  kern::ProtoOps ops;
+  kern::NetProtoFamily family;
+};
+
+struct CanState {
+  kern::Module* m = nullptr;
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<int(kern::NetProtoFamily*)> sock_register;
+  std::function<void(int)> sock_unregister;
+  std::function<int(void*, uintptr_t, size_t)> copy_from_user;
+  std::function<int(uintptr_t, const void*, size_t)> copy_to_user;
+};
+
+kern::ModuleDef CanModuleDef();
+std::shared_ptr<CanState> GetCan(kern::Module& m);
+
+}  // namespace mods

@@ -1,0 +1,24 @@
+// Shared import-binding helper for the dm modules.
+#pragma once
+
+#include "src/lxfi/wrap.h"
+#include "src/modules/dm/dm_modules.h"
+
+namespace mods {
+
+inline void BindDmImports(kern::Module& m, DmImports* api) {
+  api->kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+  api->kfree = lxfi::GetImport<void, void*>(m, "kfree");
+  api->dm_register_target = lxfi::GetImport<int, kern::DmTargetType*>(m, "dm_register_target");
+  api->dm_unregister_target =
+      lxfi::GetImport<void, kern::DmTargetType*>(m, "dm_unregister_target");
+  api->submit_bio = lxfi::GetImport<int, kern::BlockDevice*, kern::Bio*>(m, "submit_bio");
+  api->dm_get_device = lxfi::GetImport<kern::BlockDevice*, const char*>(m, "dm_get_device");
+}
+
+inline std::vector<std::string> DmImportNames() {
+  return {"kmalloc",    "kfree",      "dm_register_target", "dm_unregister_target",
+          "submit_bio", "dm_get_device", "printk"};
+}
+
+}  // namespace mods

@@ -1,0 +1,78 @@
+// Device-mapper target modules: dm-crypt, dm-zero, dm-snapshot.
+//
+// Each mapped device is one LXFI principal (the paper's §2.1 scenario: a
+// compromise through a malicious USB disk must not reach the system disk
+// mapped by the same module). Targets receive bios through the annotated
+// target_type::map indirect call and reach underlying devices only through
+// REF capabilities granted per target instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/kernel/block/block.h"
+#include "src/kernel/module.h"
+
+namespace mods {
+
+// Common bound imports for the dm modules.
+struct DmImports {
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<int(kern::DmTargetType*)> dm_register_target;
+  std::function<void(kern::DmTargetType*)> dm_unregister_target;
+  std::function<int(kern::BlockDevice*, kern::Bio*)> submit_bio;
+  std::function<kern::BlockDevice*(const char*)> dm_get_device;
+};
+
+// --- dm-crypt ---------------------------------------------------------------
+// XOR-keystream "encryption": not cryptography, but it exercises exactly the
+// data paths the real dm-crypt does (bounce buffers, in-place transforms,
+// nested submit_bio), which is what the isolation evaluation needs.
+struct DmCryptTarget {
+  uint8_t key = 0;
+  uint64_t ios = 0;
+};
+
+struct DmCryptState {
+  kern::Module* m = nullptr;
+  DmImports api;
+  kern::DmTargetType* type = nullptr;  // in module .data
+};
+
+kern::ModuleDef DmCryptModuleDef();
+std::shared_ptr<DmCryptState> GetDmCrypt(kern::Module& m);
+
+// --- dm-zero -----------------------------------------------------------------
+struct DmZeroState {
+  kern::Module* m = nullptr;
+  DmImports api;
+  kern::DmTargetType* type = nullptr;
+};
+
+kern::ModuleDef DmZeroModuleDef();
+std::shared_ptr<DmZeroState> GetDmZero(kern::Module& m);
+
+// --- dm-snapshot ---------------------------------------------------------------
+// Copy-on-write: before the first write to a chunk, the original chunk is
+// copied to the COW device named in the constructor params.
+inline constexpr uint64_t kSnapChunkSectors = 8;
+
+struct DmSnapshotTarget {
+  kern::BlockDevice* cow = nullptr;
+  uint8_t* copied_bitmap = nullptr;  // one byte per chunk
+  uint64_t chunks = 0;
+  uint64_t cow_copies = 0;
+};
+
+struct DmSnapshotState {
+  kern::Module* m = nullptr;
+  DmImports api;
+  kern::DmTargetType* type = nullptr;
+};
+
+kern::ModuleDef DmSnapshotModuleDef();
+std::shared_ptr<DmSnapshotState> GetDmSnapshot(kern::Module& m);
+
+}  // namespace mods

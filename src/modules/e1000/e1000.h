@@ -1,0 +1,103 @@
+// e1000 network driver module (simulated Intel 82540EM).
+//
+// The module from the paper's Figures 1/4 and the netperf evaluation (§8.4):
+// a PCI network driver with NAPI RX, descriptor-ring TX, and per-NIC
+// principals. The probe path performs the lxfi_check + lxfi_princ_alias
+// sequence of Figure 4 to alias the pci_dev / net_device / napi names onto
+// one logical principal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/module.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/nicsim.h"
+#include "src/kernel/pci/pci.h"
+#include "src/kernel/timer.h"
+
+namespace mods {
+
+inline constexpr uint16_t kE1000Vendor = 0x8086;
+inline constexpr uint16_t kE1000Device = 0x100e;
+inline constexpr uint32_t kE1000TxRing = 64;
+inline constexpr uint32_t kE1000RxRing = 64;
+inline constexpr uint32_t kE1000BufSize = 2048;
+
+// Driver-private per-NIC state (lives in net_device->priv, module-owned).
+struct E1000Priv {
+  kern::PciDev* pdev = nullptr;
+  kern::NetDevice* ndev = nullptr;
+  kern::NicRegs* regs = nullptr;
+  kern::NicTxDesc* tx_ring = nullptr;
+  kern::NicRxDesc* rx_ring = nullptr;
+  uint8_t** tx_bufs = nullptr;  // per-descriptor bounce buffers
+  uint8_t** rx_bufs = nullptr;
+  uint32_t rx_next_clean = 0;
+  kern::NapiStruct* napi = nullptr;
+  kern::TimerList* watchdog = nullptr;
+  uint64_t watchdog_runs = 0;
+  uint64_t tx_count = 0;
+  uint64_t rx_count = 0;
+};
+
+// Module-level state shared by all entry points.
+struct E1000State {
+  kern::Module* m = nullptr;
+  std::vector<E1000Priv*> privs;  // one per bound NIC
+
+  E1000Priv* priv_for(const kern::PciDev* pdev) const {
+    for (E1000Priv* p : privs) {
+      if (p->pdev == pdev) {
+        return p;
+      }
+    }
+    return nullptr;
+  }
+  // Convenience for single-NIC tests.
+  E1000Priv* priv() const { return privs.empty() ? nullptr : privs.front(); }
+
+  // Bound kernel imports.
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<void*(size_t)> dma_alloc;
+  std::function<kern::NetDevice*(size_t)> alloc_etherdev;
+  std::function<void(kern::NetDevice*)> free_netdev;
+  std::function<int(kern::NetDevice*)> register_netdev;
+  std::function<void(kern::NetDevice*)> unregister_netdev;
+  std::function<kern::SkBuff*(kern::NetDevice*, uint32_t)> netdev_alloc_skb;
+  std::function<void(kern::SkBuff*)> kfree_skb;
+  std::function<uint8_t*(kern::SkBuff*, uint32_t)> skb_put;
+  std::function<int(kern::SkBuff*)> netif_rx;
+  std::function<void(kern::NetDevice*, kern::NapiStruct*, uintptr_t)> netif_napi_add;
+  std::function<void(kern::NapiStruct*)> napi_schedule;
+  std::function<int(kern::PciDev*)> pci_enable_device;
+  std::function<void*(kern::PciDev*)> pci_iomap;
+  std::function<int(int, uintptr_t, void*)> request_irq;
+  std::function<void(int)> free_irq;
+  std::function<int(kern::PciDriver*)> pci_register_driver;
+  std::function<void(kern::PciDriver*)> pci_unregister_driver;
+  std::function<int(kern::TimerList*, uint64_t)> mod_timer;
+  std::function<int(kern::TimerList*)> del_timer;
+};
+
+// Writable module data section: the ops table and pci_driver live here.
+struct E1000Data {
+  kern::NetDeviceOps ops;
+  kern::PciDriver drv;
+};
+
+// Builds the module definition (imports, functions, init/exit).
+kern::ModuleDef E1000ModuleDef();
+
+// Fetches the module state after load.
+std::shared_ptr<E1000State> GetE1000(kern::Module& m);
+
+// Simulation-side helper: plugs an e1000-compatible device into the PCI bus
+// and wires a NicHw to its register block and IRQ line. Call before loading
+// the module.
+kern::NicHw* PlugInE1000Device(kern::Kernel* kernel, int irq = 5);
+
+}  // namespace mods

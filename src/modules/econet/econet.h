@@ -1,0 +1,56 @@
+// econet protocol module.
+//
+// Carries the two module-side vulnerabilities of the §8.1 Econet exploit
+// chain (CVE-2010-3849 NULL-pointer dereference in sendmsg, CVE-2010-3850
+// missing privilege check in bind) and demonstrates multi-principal
+// structure: each econet socket is one principal; the module's global socket
+// list is manipulated only after switching to the global principal with a
+// preceding check (Guideline 6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/kernel/module.h"
+#include "src/kernel/net/socket.h"
+
+namespace mods {
+
+// Per-socket module state (kmalloc'd; owned by the socket's principal).
+struct EconetSock {
+  int station = -1;           // bound econet station number
+  kern::Socket* sock = nullptr;
+  EconetSock* next = nullptr;  // global socket list linkage
+  uint8_t last_msg[64] = {};
+  uint32_t last_len = 0;
+};
+
+// Module .data: the ops tables and the global list head.
+struct EconetData {
+  kern::ProtoOps ops;
+  kern::NetProtoFamily family;
+  EconetSock* sock_list = nullptr;
+};
+
+struct EconetState {
+  kern::Module* m = nullptr;
+
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<int(kern::NetProtoFamily*)> sock_register;
+  std::function<void(int)> sock_unregister;
+  std::function<int(void*, uintptr_t, size_t)> copy_from_user;
+  std::function<int(uintptr_t, const void*, size_t)> copy_to_user;
+
+  uint64_t sends = 0;
+  uint64_t binds = 0;
+};
+
+kern::ModuleDef EconetModuleDef();
+std::shared_ptr<EconetState> GetEconet(kern::Module& m);
+
+// Address of the ioctl slot in the module's ops table (the exploit target).
+uintptr_t* EconetIoctlSlot(kern::Module& m);
+
+}  // namespace mods

@@ -1,0 +1,198 @@
+// Parser tests for the Figure 2 annotation grammar.
+#include <gtest/gtest.h>
+
+#include "src/lxfi/annotation.h"
+#include "src/lxfi/annotation_parser.h"
+
+namespace {
+
+using lxfi::Annotation;
+using lxfi::Action;
+using lxfi::AnnotationSet;
+using lxfi::CapKind;
+using lxfi::ParseAnnotations;
+
+std::unique_ptr<AnnotationSet> MustParse(const std::string& text,
+                                         std::vector<std::string> params = {"a", "b", "c"}) {
+  std::string error;
+  auto set = ParseAnnotations("test_fn", params, text, &error);
+  EXPECT_NE(set, nullptr) << error << " while parsing: " << text;
+  return set;
+}
+
+void MustFail(const std::string& text, std::vector<std::string> params = {"a", "b", "c"}) {
+  std::string error;
+  auto set = ParseAnnotations("test_fn", params, text, &error);
+  EXPECT_EQ(set, nullptr) << "expected parse failure for: " << text;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AnnotationParser, EmptyTextIsValidAndHashesToZero) {
+  auto set = MustParse("");
+  EXPECT_TRUE(set->annotations.empty());
+  EXPECT_EQ(set->ahash, 0u);
+}
+
+TEST(AnnotationParser, PreCheckWriteWithSize) {
+  auto set = MustParse("pre(check(write, a, 8))");
+  ASSERT_EQ(set->annotations.size(), 1u);
+  const Annotation& ann = set->annotations[0];
+  EXPECT_EQ(ann.kind, Annotation::Kind::kPre);
+  ASSERT_NE(ann.action, nullptr);
+  EXPECT_EQ(ann.action->op, Action::Op::kCheck);
+  EXPECT_FALSE(ann.action->caps.is_iterator);
+  EXPECT_EQ(ann.action->caps.kind, CapKind::kWrite);
+  ASSERT_NE(ann.action->caps.size, nullptr);
+}
+
+TEST(AnnotationParser, WriteSizeDefaultsWhenOmitted) {
+  auto set = MustParse("pre(check(write, a))");
+  EXPECT_EQ(set->annotations[0].action->caps.size, nullptr);
+}
+
+TEST(AnnotationParser, RefTypeWithAndWithoutStructKeyword) {
+  auto set1 = MustParse("pre(check(ref(struct pci_dev), a))");
+  auto set2 = MustParse("pre(check(ref(pci_dev), a))");
+  EXPECT_EQ(set1->annotations[0].action->caps.ref_type_name, "pci_dev");
+  EXPECT_EQ(set2->annotations[0].action->caps.ref_type_name, "pci_dev");
+}
+
+TEST(AnnotationParser, CallCapability) {
+  auto set = MustParse("pre(check(call, b))");
+  EXPECT_EQ(set->annotations[0].action->caps.kind, CapKind::kCall);
+}
+
+TEST(AnnotationParser, IteratorCapList) {
+  auto set = MustParse("pre(transfer(skb_caps(a)))");
+  const auto& caps = set->annotations[0].action->caps;
+  EXPECT_TRUE(caps.is_iterator);
+  EXPECT_EQ(caps.iterator_name, "skb_caps");
+  ASSERT_NE(caps.iterator_arg, nullptr);
+}
+
+TEST(AnnotationParser, PostIfWithReturnComparison) {
+  auto set = MustParse("post(if (return < 0) transfer(ref(struct pci_dev), a))");
+  const Annotation& ann = set->annotations[0];
+  EXPECT_EQ(ann.kind, Annotation::Kind::kPost);
+  EXPECT_EQ(ann.action->op, Action::Op::kIf);
+  ASSERT_NE(ann.action->cond, nullptr);
+  ASSERT_NE(ann.action->then, nullptr);
+  EXPECT_EQ(ann.action->then->op, Action::Op::kTransfer);
+}
+
+TEST(AnnotationParser, NestedIf) {
+  auto set = MustParse("post(if (return != 0) if (a > 0) copy(write, a, b))");
+  const Action* act = set->annotations[0].action.get();
+  EXPECT_EQ(act->op, Action::Op::kIf);
+  EXPECT_EQ(act->then->op, Action::Op::kIf);
+  EXPECT_EQ(act->then->then->op, Action::Op::kCopy);
+}
+
+TEST(AnnotationParser, PrincipalByParameter) {
+  auto set = MustParse("principal(b)");
+  const Annotation& ann = set->annotations[0];
+  EXPECT_EQ(ann.kind, Annotation::Kind::kPrincipal);
+  EXPECT_EQ(ann.principal_target, Annotation::PrincipalTarget::kExpr);
+  ASSERT_NE(ann.principal_expr, nullptr);
+  EXPECT_EQ(ann.principal_expr->kind, lxfi::Expr::Kind::kArg);
+  EXPECT_EQ(ann.principal_expr->arg_index, 1);
+}
+
+TEST(AnnotationParser, PrincipalGlobalAndShared) {
+  auto g = MustParse("principal(global)");
+  auto s = MustParse("principal(shared)");
+  EXPECT_EQ(g->annotations[0].principal_target, Annotation::PrincipalTarget::kGlobal);
+  EXPECT_EQ(s->annotations[0].principal_target, Annotation::PrincipalTarget::kShared);
+}
+
+TEST(AnnotationParser, MultipleAnnotationsInOneString) {
+  auto set = MustParse(
+      "principal(a) pre(copy(ref(struct pci_dev), a)) "
+      "post(if (return < 0) transfer(ref(struct pci_dev), a))");
+  EXPECT_EQ(set->annotations.size(), 3u);
+  EXPECT_TRUE(set->HasPrincipal());
+}
+
+TEST(AnnotationParser, ArgNForm) {
+  auto set = MustParse("pre(check(write, arg2, arg0))", {"x"});
+  const auto& caps = set->annotations[0].action->caps;
+  EXPECT_EQ(caps.ptr->arg_index, 2);
+  EXPECT_EQ(caps.size->arg_index, 0);
+}
+
+TEST(AnnotationParser, ArithmeticAndComparisons) {
+  auto set = MustParse("post(if (return == a + 2 - 1) copy(write, a, 8))");
+  EXPECT_EQ(set->annotations[0].action->op, Action::Op::kIf);
+}
+
+TEST(AnnotationParser, NegativeLiterals) {
+  auto set = MustParse("post(if (return == -16) transfer(write, a, 8))");
+  EXPECT_EQ(set->annotations[0].action->op, Action::Op::kIf);
+}
+
+TEST(AnnotationParser, HexLiterals) {
+  auto set = MustParse("post(if (return != 0x10) copy(write, a, 0x40))");
+  EXPECT_NE(set, nullptr);
+}
+
+// --- rejections --------------------------------------------------------------
+
+TEST(AnnotationParser, RejectsReturnInPre) { MustFail("pre(if (return < 0) check(write, a, 8))"); }
+
+TEST(AnnotationParser, RejectsUnknownIdentifier) { MustFail("pre(check(write, nosuch, 8))"); }
+
+TEST(AnnotationParser, RejectsUnknownAnnotationKeyword) { MustFail("before(check(write, a, 8))"); }
+
+TEST(AnnotationParser, RejectsUnknownAction) { MustFail("pre(verify(write, a, 8))"); }
+
+TEST(AnnotationParser, RejectsMissingParens) {
+  MustFail("pre check(write, a, 8)");
+  MustFail("pre(check(write, a, 8)");
+}
+
+TEST(AnnotationParser, RejectsDanglingTokens) { MustFail("pre(check(write, a, 8)) trailing"); }
+
+// --- hashing -----------------------------------------------------------------
+
+TEST(AnnotationHash, WhitespaceInsensitive) {
+  EXPECT_EQ(lxfi::AnnotationHash("pre(check(write, a, 8))"),
+            lxfi::AnnotationHash("pre( check( write,a,8 ) )"));
+}
+
+TEST(AnnotationHash, DistinguishesDifferentContracts) {
+  EXPECT_NE(lxfi::AnnotationHash("pre(check(write, a, 8))"),
+            lxfi::AnnotationHash("pre(check(write, a, 16))"));
+  EXPECT_NE(lxfi::AnnotationHash("pre(check(write, a, 8))"),
+            lxfi::AnnotationHash("pre(copy(write, a, 8))"));
+}
+
+TEST(AnnotationHash, EmptyIsZero) { EXPECT_EQ(lxfi::AnnotationHash("   "), 0u); }
+
+// --- parameterized sweep over the valid grammar -------------------------------
+
+class ValidAnnotationSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ValidAnnotationSweep, ParsesAndHashesStably) {
+  std::string error;
+  auto set = ParseAnnotations("f", {"skb", "dev", "len"}, GetParam(), &error);
+  ASSERT_NE(set, nullptr) << error;
+  auto set2 = ParseAnnotations("f", {"skb", "dev", "len"}, GetParam(), &error);
+  ASSERT_NE(set2, nullptr);
+  EXPECT_EQ(set->ahash, set2->ahash);
+  EXPECT_EQ(set->annotations.size(), set2->annotations.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, ValidAnnotationSweep,
+    ::testing::Values("pre(check(write, skb, 8))", "pre(check(write, skb, len))",
+                      "pre(check(call, dev))", "pre(check(ref(struct net_device), dev))",
+                      "pre(copy(write, skb, 64))", "pre(transfer(skb_caps(skb)))",
+                      "post(copy(write, skb, len))", "post(transfer(write, skb, len))",
+                      "post(if (return != 0) transfer(write, skb, len))",
+                      "post(if (return == 16) transfer(skb_caps(skb)))",
+                      "post(if (return < 0) transfer(ref(struct pci_dev), dev))",
+                      "principal(dev)", "principal(global)", "principal(shared)",
+                      "principal(dev) pre(transfer(skb_caps(skb))) "
+                      "post(if (return == 16) transfer(skb_caps(skb)))"));
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Unit and property tests for the capability tables (§3.2, §5).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/lxfi/cap_table.h"
+
+namespace {
+
+using lxfi::CapKind;
+using lxfi::CapTable;
+using lxfi::Capability;
+
+constexpr uintptr_t kBase = 0x7f0000000000ull;
+
+TEST(CapTableWrite, GrantThenCheckExactRange) {
+  CapTable table;
+  table.GrantWrite(kBase, 128);
+  EXPECT_TRUE(table.CheckWrite(kBase, 128));
+  EXPECT_TRUE(table.CheckWrite(kBase, 1));
+  EXPECT_TRUE(table.CheckWrite(kBase + 127, 1));
+}
+
+TEST(CapTableWrite, ChecksOutsideRangeFail) {
+  CapTable table;
+  table.GrantWrite(kBase, 128);
+  EXPECT_FALSE(table.CheckWrite(kBase + 128, 1));
+  EXPECT_FALSE(table.CheckWrite(kBase - 1, 1));
+  EXPECT_FALSE(table.CheckWrite(kBase + 64, 128));  // runs past the end
+}
+
+TEST(CapTableWrite, EmptyTableRejectsEverything) {
+  CapTable table;
+  EXPECT_FALSE(table.CheckWrite(kBase, 1));
+  EXPECT_FALSE(table.CheckWrite(0, 8));
+}
+
+TEST(CapTableWrite, ZeroSizeCheckIsVacuouslyTrue) {
+  CapTable table;
+  EXPECT_TRUE(table.CheckWrite(kBase, 0));
+}
+
+TEST(CapTableWrite, RangeSpanningPagesIsFoundFromAnyPage) {
+  CapTable table;
+  // 3 pages starting mid-page.
+  table.GrantWrite(kBase + 100, 3 * 4096);
+  EXPECT_TRUE(table.CheckWrite(kBase + 100, 8));
+  EXPECT_TRUE(table.CheckWrite(kBase + 5000, 8));
+  EXPECT_TRUE(table.CheckWrite(kBase + 100 + 3 * 4096 - 8, 8));
+  EXPECT_FALSE(table.CheckWrite(kBase + 100 + 3 * 4096, 8));
+}
+
+TEST(CapTableWrite, RevokeOverlappingRemovesWholeRange) {
+  CapTable table;
+  table.GrantWrite(kBase, 256);
+  // Revoking any overlapping window kills the whole granted range — the
+  // conservative semantics transfer() needs.
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase + 64, 8));
+  EXPECT_FALSE(table.CheckWrite(kBase, 8));
+  EXPECT_FALSE(table.CheckWrite(kBase + 200, 8));
+}
+
+TEST(CapTableWrite, RevokeOnlyHitsOverlaps) {
+  CapTable table;
+  table.GrantWrite(kBase, 64);
+  table.GrantWrite(kBase + 1024, 64);
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase, 64));
+  EXPECT_FALSE(table.CheckWrite(kBase, 8));
+  EXPECT_TRUE(table.CheckWrite(kBase + 1024, 64));
+}
+
+TEST(CapTableWrite, RevokeMissReturnsFalse) {
+  CapTable table;
+  table.GrantWrite(kBase, 64);
+  EXPECT_FALSE(table.RevokeWriteOverlapping(kBase + 4096, 64));
+  EXPECT_TRUE(table.CheckWrite(kBase, 64));
+}
+
+TEST(CapTableWrite, MultiPageRangeRevokedFromAllBuckets) {
+  CapTable table;
+  table.GrantWrite(kBase, 8 * 4096);
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase + 7 * 4096, 1));
+  for (int page = 0; page < 8; ++page) {
+    EXPECT_FALSE(table.CheckWrite(kBase + static_cast<uintptr_t>(page) * 4096, 8))
+        << "stale entry in bucket " << page;
+  }
+}
+
+TEST(CapTableWrite, DuplicateGrantIsIdempotent) {
+  CapTable table;
+  table.GrantWrite(kBase, 64);
+  table.GrantWrite(kBase, 64);
+  EXPECT_EQ(table.write_count(), 1u);
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase, 64));
+  EXPECT_FALSE(table.CheckWrite(kBase, 8));
+}
+
+TEST(CapTableCall, GrantCheckRevoke) {
+  CapTable table;
+  table.GrantCall(0xffffffff81000100ull);
+  EXPECT_TRUE(table.CheckCall(0xffffffff81000100ull));
+  EXPECT_FALSE(table.CheckCall(0xffffffff81000200ull));
+  EXPECT_TRUE(table.RevokeCall(0xffffffff81000100ull));
+  EXPECT_FALSE(table.CheckCall(0xffffffff81000100ull));
+}
+
+TEST(CapTableRef, TypedOwnership) {
+  CapTable table;
+  lxfi::RefTypeId pci = lxfi::RefType("pci_dev");
+  lxfi::RefTypeId netdev = lxfi::RefType("net_device");
+  table.GrantRef(pci, kBase);
+  EXPECT_TRUE(table.CheckRef(pci, kBase));
+  // Same address, different type: no.
+  EXPECT_FALSE(table.CheckRef(netdev, kBase));
+  // Same type, different address: no.
+  EXPECT_FALSE(table.CheckRef(pci, kBase + 8));
+}
+
+TEST(CapTableGeneric, GrantCheckRevokeDispatchByKind) {
+  CapTable table;
+  Capability w = Capability::Write(kBase, 64);
+  Capability c = Capability::Call(0x1234);
+  Capability r = Capability::Ref(lxfi::RefType("socket"), kBase);
+  table.Grant(w);
+  table.Grant(c);
+  table.Grant(r);
+  EXPECT_TRUE(table.Check(w));
+  EXPECT_TRUE(table.Check(c));
+  EXPECT_TRUE(table.Check(r));
+  EXPECT_TRUE(table.Revoke(w));
+  EXPECT_TRUE(table.Revoke(c));
+  EXPECT_TRUE(table.Revoke(r));
+  EXPECT_FALSE(table.Check(w));
+  EXPECT_FALSE(table.Check(c));
+  EXPECT_FALSE(table.Check(r));
+}
+
+TEST(CapTableGeneric, ClearDropsEverything) {
+  CapTable table;
+  table.GrantWrite(kBase, 64);
+  table.GrantCall(1);
+  table.GrantRef(2, 3);
+  table.Clear();
+  EXPECT_EQ(table.write_count(), 0u);
+  EXPECT_EQ(table.call_count(), 0u);
+  EXPECT_EQ(table.ref_count(), 0u);
+}
+
+// --- property tests: the paged-hash table must agree with a brute-force
+// reference on random workloads --------------------------------------------
+
+struct RefRange {
+  uintptr_t addr;
+  size_t size;
+};
+
+class WriteTableProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WriteTableProperty, MatchesBruteForceReference) {
+  lxfi::Rng rng(GetParam());
+  CapTable table;
+  std::vector<RefRange> reference;
+
+  for (int step = 0; step < 2000; ++step) {
+    int op = static_cast<int>(rng.Below(10));
+    uintptr_t addr = kBase + rng.Below(64) * 512;
+    size_t size = 1 + rng.Below(12000);  // up to ~3 pages
+    if (op < 4) {
+      table.GrantWrite(addr, size);
+      bool present = false;
+      for (const RefRange& r : reference) {
+        present = present || (r.addr == addr && r.size == size);
+      }
+      if (!present) {
+        reference.push_back({addr, size});
+      }
+    } else if (op < 6) {
+      table.RevokeWriteOverlapping(addr, size);
+      for (auto it = reference.begin(); it != reference.end();) {
+        bool overlap = it->addr < addr + size && addr < it->addr + it->size;
+        it = overlap ? reference.erase(it) : it + 1;
+      }
+    } else {
+      uintptr_t qaddr = kBase + rng.Below(64) * 512 + rng.Below(64);
+      size_t qsize = 1 + rng.Below(4096);
+      bool expected = false;
+      for (const RefRange& r : reference) {
+        expected = expected || (r.addr <= qaddr && qaddr + qsize <= r.addr + r.size);
+      }
+      ASSERT_EQ(table.CheckWrite(qaddr, qsize), expected)
+          << "divergence at step " << step << " addr=" << qaddr << " size=" << qsize;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteTableProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace

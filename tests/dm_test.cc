@@ -1,0 +1,204 @@
+// Device-mapper module tests: dm-zero, dm-crypt, dm-snapshot semantics and
+// per-device principal isolation, on stock and isolated kernels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/kernel/block/block.h"
+#include "src/kernel/kernel.h"
+#include "src/modules/dm/dm_modules.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+class DmTest : public ::testing::TestWithParam<bool> {
+ protected:
+  DmTest() : bench_(GetParam()) {
+    block_ = kern::GetBlockLayer(bench_.kernel.get());
+    origin_ = block_->CreateRamDisk("disk0", 64);
+    cow_ = block_->CreateRamDisk("cowdev0", 64);
+  }
+
+  int Io(kern::BlockDevice* dev, uint64_t sector, uint8_t* buf, uint32_t size, bool write) {
+    kern::Bio bio;
+    bio.sector = sector;
+    bio.size = size;
+    bio.data = buf;
+    bio.write = write;
+    return block_->SubmitBio(dev, &bio);
+  }
+
+  Bench bench_;
+  kern::BlockLayer* block_ = nullptr;
+  kern::BlockDevice* origin_ = nullptr;
+  kern::BlockDevice* cow_ = nullptr;
+};
+
+TEST_P(DmTest, RamDiskReadWrite) {
+  uint8_t out[512];
+  std::memset(out, 0x42, sizeof(out));
+  EXPECT_EQ(Io(origin_, 3, out, sizeof(out), true), 0);
+  uint8_t in[512] = {};
+  EXPECT_EQ(Io(origin_, 3, in, sizeof(in), false), 0);
+  EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST_P(DmTest, RamDiskRejectsOutOfRange) {
+  uint8_t buf[512];
+  EXPECT_NE(Io(origin_, 64, buf, sizeof(buf), true), 0);
+}
+
+TEST_P(DmTest, DmZeroReadsZerosAndSwallowsWrites) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmZeroModuleDef()), nullptr);
+  kern::BlockDevice* zero = block_->DmCreate("zero0", "zero", origin_, "");
+  ASSERT_NE(zero, nullptr);
+  uint8_t buf[512];
+  std::memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(Io(zero, 0, buf, sizeof(buf), true), 0);  // write discarded
+  std::memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(Io(zero, 0, buf, sizeof(buf), false), 0);
+  for (size_t i = 0; i < sizeof(buf); ++i) {
+    ASSERT_EQ(buf[i], 0) << "byte " << i;
+  }
+  // The origin was never touched.
+  uint8_t origin_data[512];
+  EXPECT_EQ(Io(origin_, 0, origin_data, sizeof(origin_data), false), 0);
+  EXPECT_EQ(origin_data[0], 0);
+}
+
+TEST_P(DmTest, DmCryptRoundtripAndCiphertextOnDisk) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmCryptModuleDef()), nullptr);
+  kern::BlockDevice* crypt = block_->DmCreate("crypt0", "crypt", origin_, "secretkey");
+  ASSERT_NE(crypt, nullptr);
+  uint8_t plain[1024];
+  for (size_t i = 0; i < sizeof(plain); ++i) {
+    plain[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t buf[1024];
+  std::memcpy(buf, plain, sizeof(buf));
+  EXPECT_EQ(Io(crypt, 8, buf, sizeof(buf), true), 0);
+
+  // On-disk bytes must differ from the plaintext (it is "encrypted").
+  uint8_t disk[1024];
+  EXPECT_EQ(Io(origin_, 8, disk, sizeof(disk), false), 0);
+  EXPECT_NE(std::memcmp(disk, plain, sizeof(disk)), 0);
+
+  // Reading back through the crypt device restores the plaintext.
+  uint8_t back[1024] = {};
+  EXPECT_EQ(Io(crypt, 8, back, sizeof(back), false), 0);
+  EXPECT_EQ(std::memcmp(back, plain, sizeof(back)), 0);
+}
+
+TEST_P(DmTest, DmCryptDifferentKeysDifferentCiphertext) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmCryptModuleDef()), nullptr);
+  kern::BlockDevice* disk2 = block_->CreateRamDisk("disk2", 64);
+  kern::BlockDevice* a = block_->DmCreate("ca", "crypt", origin_, "keyA");
+  kern::BlockDevice* b = block_->DmCreate("cb", "crypt", disk2, "keyB");
+  uint8_t data[512] = {1, 2, 3, 4};
+  uint8_t buf[512];
+  std::memcpy(buf, data, sizeof(buf));
+  Io(a, 0, buf, sizeof(buf), true);
+  std::memcpy(buf, data, sizeof(buf));
+  Io(b, 0, buf, sizeof(buf), true);
+  uint8_t da[512], db[512];
+  Io(origin_, 0, da, sizeof(da), false);
+  Io(disk2, 0, db, sizeof(db), false);
+  EXPECT_NE(std::memcmp(da, db, sizeof(da)), 0);
+}
+
+TEST_P(DmTest, DmSnapshotCopiesBeforeWrite) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmSnapshotModuleDef()), nullptr);
+  // Seed the origin.
+  uint8_t seed[512];
+  std::memset(seed, 0xaa, sizeof(seed));
+  Io(origin_, 0, seed, sizeof(seed), true);
+
+  kern::BlockDevice* snap = block_->DmCreate("snap0", "snapshot", origin_, "cowdev0");
+  ASSERT_NE(snap, nullptr);
+
+  // First write to chunk 0 triggers the copy-on-write.
+  uint8_t update[512];
+  std::memset(update, 0xbb, sizeof(update));
+  EXPECT_EQ(Io(snap, 0, update, sizeof(update), true), 0);
+
+  // The COW device preserved the original bytes.
+  uint8_t cow_data[512];
+  EXPECT_EQ(Io(cow_, 0, cow_data, sizeof(cow_data), false), 0);
+  EXPECT_EQ(cow_data[0], 0xaa);
+  // The origin carries the new data (the target remaps writes to it).
+  uint8_t origin_data[512];
+  EXPECT_EQ(Io(origin_, 0, origin_data, sizeof(origin_data), false), 0);
+  EXPECT_EQ(origin_data[0], 0xbb);
+
+  // A second write to the same chunk does not re-copy.
+  kern::DmTarget* target = block_->TargetOf(snap);
+  auto* priv = static_cast<mods::DmSnapshotTarget*>(target->private_data);
+  uint64_t copies = priv->cow_copies;
+  EXPECT_EQ(Io(snap, 0, update, sizeof(update), true), 0);
+  EXPECT_EQ(priv->cow_copies, copies);
+}
+
+TEST_P(DmTest, DmSnapshotUnknownCowDeviceFailsCtr) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmSnapshotModuleDef()), nullptr);
+  EXPECT_EQ(block_->DmCreate("snapX", "snapshot", origin_, "no-such-device"), nullptr);
+}
+
+TEST_P(DmTest, DmRemoveRunsDtr) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::DmCryptModuleDef()), nullptr);
+  kern::BlockDevice* crypt = block_->DmCreate("crypt0", "crypt", origin_, "k");
+  ASSERT_NE(crypt, nullptr);
+  block_->DmRemove(crypt);
+  EXPECT_EQ(block_->FindDevice("crypt0"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, DmTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+// --- per-device principal isolation (the §2.1 scenario) ------------------------
+
+TEST(DmPrincipals, TargetsAreSeparatePrincipalsWithDisjointRefs) {
+  Bench bench(/*isolated=*/true);
+  kern::BlockLayer* block = kern::GetBlockLayer(bench.kernel.get());
+  kern::BlockDevice* sys = block->CreateRamDisk("sda", 64);
+  kern::BlockDevice* usb = block->CreateRamDisk("sdb", 64);
+  kern::Module* m = bench.kernel->LoadModule(mods::DmCryptModuleDef());
+  ASSERT_NE(m, nullptr);
+  kern::BlockDevice* csys = block->DmCreate("crypt-sys", "crypt", sys, "k1");
+  kern::BlockDevice* cusb = block->DmCreate("crypt-usb", "crypt", usb, "k2");
+  ASSERT_NE(csys, nullptr);
+  ASSERT_NE(cusb, nullptr);
+
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  auto principal_of = [&](kern::BlockDevice* dev) {
+    return ctx->Lookup(reinterpret_cast<uintptr_t>(block->TargetOf(dev)));
+  };
+  lxfi::Principal* psys = principal_of(csys);
+  lxfi::Principal* pusb = principal_of(cusb);
+  ASSERT_NE(psys, nullptr);
+  ASSERT_NE(pusb, nullptr);
+  EXPECT_NE(psys, pusb);
+  EXPECT_TRUE(bench.rt->Owns(pusb, lxfi::Capability::Ref("block_device", usb)));
+  EXPECT_FALSE(bench.rt->Owns(pusb, lxfi::Capability::Ref("block_device", sys)))
+      << "the USB mapping must not be able to name the system disk";
+}
+
+TEST(DmPrincipals, SnapshotGetsRefOnlyForItsCow) {
+  Bench bench(/*isolated=*/true);
+  kern::BlockLayer* block = kern::GetBlockLayer(bench.kernel.get());
+  kern::BlockDevice* origin = block->CreateRamDisk("o", 64);
+  kern::BlockDevice* cow1 = block->CreateRamDisk("cow1", 64);
+  kern::BlockDevice* cow2 = block->CreateRamDisk("cow2", 64);
+  kern::Module* m = bench.kernel->LoadModule(mods::DmSnapshotModuleDef());
+  kern::BlockDevice* snap = block->DmCreate("s1", "snapshot", origin, "cow1");
+  ASSERT_NE(snap, nullptr);
+  lxfi::Principal* p = bench.rt->CtxOf(m)->Lookup(
+      reinterpret_cast<uintptr_t>(block->TargetOf(snap)));
+  EXPECT_TRUE(bench.rt->Owns(p, lxfi::Capability::Ref("block_device", cow1)));
+  EXPECT_FALSE(bench.rt->Owns(p, lxfi::Capability::Ref("block_device", cow2)));
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// e1000 driver integration tests: probe, principal aliasing, TX/RX data
+// paths, ring behavior — on both stock and isolated kernels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/nicsim.h"
+#include "src/kernel/net/skbuff.h"
+#include "src/modules/e1000/e1000.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+class E1000Test : public ::testing::TestWithParam<bool> {
+ protected:
+  E1000Test() : bench_(GetParam()) {
+    hw_ = mods::PlugInE1000Device(bench_.kernel.get());
+    module_ = bench_.kernel->LoadModule(mods::E1000ModuleDef());
+    stack_ = kern::GetNetStack(bench_.kernel.get());
+    stack_->SetProtocolHandler(0x0800, [this](kern::SkBuff* skb) {
+      ++delivered_;
+      last_len_ = skb->len;
+      kern::FreeSkb(bench_.kernel.get(), skb);
+    });
+  }
+
+  kern::NetDevice* dev() { return stack_->DevByIndex(1); }
+
+  kern::SkBuff* Packet(uint32_t len) {
+    kern::SkBuff* skb = kern::AllocSkb(bench_.kernel.get(), len);
+    uint8_t* p = kern::SkbPut(skb, len);
+    p[0] = 0x00;
+    p[1] = 0x08;
+    return skb;
+  }
+
+  Bench bench_;
+  kern::NicHw* hw_ = nullptr;
+  kern::Module* module_ = nullptr;
+  kern::NetStack* stack_ = nullptr;
+  int delivered_ = 0;
+  uint32_t last_len_ = 0;
+};
+
+TEST_P(E1000Test, ProbeBoundTheDevice) {
+  ASSERT_NE(module_, nullptr);
+  ASSERT_NE(dev(), nullptr);
+  EXPECT_TRUE(dev()->up);
+  auto st = mods::GetE1000(*module_);
+  ASSERT_NE(st, nullptr);
+  ASSERT_NE(st->priv(), nullptr);
+  EXPECT_TRUE(st->priv()->pdev->enabled);
+}
+
+TEST_P(E1000Test, TransmitReachesTheWire) {
+  int rc = stack_->DevQueueXmit(dev(), Packet(100));
+  EXPECT_EQ(rc, kern::kNetdevTxOk);
+  hw_->ProcessTx();
+  EXPECT_EQ(hw_->frames_tx(), 1u);
+  EXPECT_EQ(dev()->tx_packets, 1u);
+}
+
+TEST_P(E1000Test, TransmitPayloadIntact) {
+  std::vector<uint8_t> wire;
+  hw_->SetTxSink([&](const uint8_t* frame, uint16_t len) { wire.assign(frame, frame + len); });
+  kern::SkBuff* skb = Packet(64);
+  std::memset(skb->data + 2, 0x5c, 62);
+  stack_->DevQueueXmit(dev(), skb);
+  hw_->ProcessTx();
+  ASSERT_EQ(wire.size(), 64u);
+  EXPECT_EQ(wire[10], 0x5c);
+}
+
+TEST_P(E1000Test, RingFullReportsBusy) {
+  // Fill the TX ring without letting the device drain it.
+  int busy = 0;
+  for (uint32_t i = 0; i < mods::kE1000TxRing + 8; ++i) {
+    kern::SkBuff* skb = Packet(60);
+    int rc = stack_->DevQueueXmit(dev(), skb);
+    if (rc == kern::kNetdevTxBusy) {
+      ++busy;
+      kern::FreeSkb(bench_.kernel.get(), skb);
+    }
+  }
+  EXPECT_GT(busy, 0);
+  // Drain and confirm recovery.
+  hw_->ProcessTx();
+  EXPECT_EQ(stack_->DevQueueXmit(dev(), Packet(60)), kern::kNetdevTxOk);
+}
+
+TEST_P(E1000Test, ReceiveDeliversThroughNapi) {
+  uint8_t frame[80] = {0x00, 0x08};
+  ASSERT_TRUE(hw_->InjectRx(frame, sizeof(frame)));
+  stack_->RunSoftirq();
+  EXPECT_EQ(delivered_, 1);
+  EXPECT_EQ(last_len_, 80u);
+}
+
+TEST_P(E1000Test, ReceiveBatchUnderBudget) {
+  uint8_t frame[64] = {0x00, 0x08};
+  for (int i = 0; i < 32; ++i) {
+    hw_->InjectRx(frame, sizeof(frame), /*coalesce=*/true);
+  }
+  hw_->FlushRxIrq();
+  stack_->RunSoftirq(64);
+  EXPECT_EQ(delivered_, 32);
+}
+
+TEST_P(E1000Test, RxRingWrapsAcrossManyBatches) {
+  uint8_t frame[64] = {0x00, 0x08};
+  // 4x the RX ring size in batches small enough to never overflow it.
+  for (int batch = 0; batch < 16; ++batch) {
+    for (uint32_t i = 0; i < mods::kE1000RxRing / 4; ++i) {
+      hw_->InjectRx(frame, sizeof(frame), /*coalesce=*/true);
+    }
+    hw_->FlushRxIrq();
+    stack_->RunSoftirq(64);
+  }
+  EXPECT_EQ(delivered_, static_cast<int>(16 * (mods::kE1000RxRing / 4)));
+  EXPECT_EQ(hw_->rx_drops(), 0u);
+}
+
+TEST_P(E1000Test, OversizedRxBurstDropsAtTheRing) {
+  uint8_t frame[64] = {0x00, 0x08};
+  for (uint32_t i = 0; i < mods::kE1000RxRing * 2; ++i) {
+    hw_->InjectRx(frame, sizeof(frame), /*coalesce=*/true);
+  }
+  EXPECT_GT(hw_->rx_drops(), 0u);
+  hw_->FlushRxIrq();
+  stack_->RunSoftirq(1 << 20);
+  EXPECT_GT(delivered_, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, E1000Test, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+TEST(E1000Lxfi, PrincipalAliasesCoverPciNetdevAndNapi) {
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  ASSERT_NE(m, nullptr);
+  auto st = mods::GetE1000(*m);
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* via_pci = ctx->Lookup(reinterpret_cast<uintptr_t>(st->priv()->pdev));
+  lxfi::Principal* via_ndev = ctx->Lookup(reinterpret_cast<uintptr_t>(st->priv()->ndev));
+  lxfi::Principal* via_napi = ctx->Lookup(reinterpret_cast<uintptr_t>(st->priv()->napi));
+  ASSERT_NE(via_pci, nullptr);
+  EXPECT_EQ(via_pci, via_ndev) << "pci_dev and net_device must alias one principal";
+  EXPECT_EQ(via_pci, via_napi) << "napi is a third name for the same principal";
+}
+
+TEST(E1000Lxfi, TrafficCausesNoViolations) {
+  Bench bench(/*isolated=*/true);
+  kern::NicHw* hw = mods::PlugInE1000Device(bench.kernel.get());
+  ASSERT_NE(bench.kernel->LoadModule(mods::E1000ModuleDef()), nullptr);
+  kern::NetStack* stack = kern::GetNetStack(bench.kernel.get());
+  stack->SetProtocolHandler(0x0800, [&](kern::SkBuff* skb) {
+    kern::FreeSkb(bench.kernel.get(), skb);
+  });
+  kern::NetDevice* dev = stack->DevByIndex(1);
+  uint8_t frame[64] = {0x00, 0x08};
+  for (int i = 0; i < 200; ++i) {
+    kern::SkBuff* skb = kern::AllocSkb(bench.kernel.get(), 64);
+    uint8_t* p = kern::SkbPut(skb, 64);
+    p[0] = 0x00;
+    p[1] = 0x08;
+    if (stack->DevQueueXmit(dev, skb) == kern::kNetdevTxBusy) {
+      kern::FreeSkb(bench.kernel.get(), skb);
+    }
+    hw->ProcessTx();
+    hw->InjectRx(frame, sizeof(frame));
+    stack->RunSoftirq();
+  }
+  EXPECT_EQ(bench.rt->violation_count(), 0u)
+      << "benign driver traffic must satisfy every interface contract";
+}
+
+TEST(E1000Lxfi, DriverOwnsItsRegistersButNotTheKernel) {
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  auto st = mods::GetE1000(*m);
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* inst = ctx->Lookup(reinterpret_cast<uintptr_t>(st->priv()->ndev));
+  ASSERT_NE(inst, nullptr);
+  EXPECT_TRUE(bench.rt->Owns(inst, lxfi::Capability::Write(st->priv()->regs,
+                                                           sizeof(kern::NicRegs))));
+  // A random kernel allocation stays off-limits.
+  void* kernel_obj = bench.kernel->slab().Alloc(64);
+  EXPECT_FALSE(bench.rt->Owns(inst, lxfi::Capability::Write(kernel_obj, 8)));
+}
+
+}  // namespace

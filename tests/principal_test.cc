@@ -1,0 +1,167 @@
+// ModuleCtx / principal bookkeeping, annotation registry rules, and guard
+// accounting units.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/lxfi/annotation_registry.h"
+#include "src/lxfi/guards.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfi::Capability;
+using lxfitest::Bench;
+
+class PrincipalTest : public ::testing::Test {
+ protected:
+  PrincipalTest() : bench_(/*isolated=*/true) {
+    kern::ModuleDef def;
+    def.name = "pmod";
+    def.imports = {"printk"};
+    def.init = [](kern::Module&) { return 0; };
+    module_ = bench_.kernel->LoadModule(std::move(def));
+  }
+
+  lxfi::ModuleCtx* ctx() { return bench_.rt->CtxOf(module_); }
+
+  Bench bench_;
+  kern::Module* module_ = nullptr;
+};
+
+TEST_F(PrincipalTest, GetOrCreateIsIdempotent) {
+  lxfi::Principal* a = ctx()->GetOrCreate(0x100);
+  lxfi::Principal* b = ctx()->GetOrCreate(0x100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ctx()->instances().size(), 1u);
+  EXPECT_EQ(a->kind(), lxfi::PrincipalKind::kInstance);
+  EXPECT_EQ(a->name(), 0x100u);
+}
+
+TEST_F(PrincipalTest, LookupWithoutCreate) {
+  EXPECT_EQ(ctx()->Lookup(0x200), nullptr);
+  ctx()->GetOrCreate(0x200);
+  EXPECT_NE(ctx()->Lookup(0x200), nullptr);
+}
+
+TEST_F(PrincipalTest, AliasChains) {
+  lxfi::Principal* p = ctx()->GetOrCreate(0x1);
+  ASSERT_TRUE(ctx()->Alias(0x1, 0x2));
+  ASSERT_TRUE(ctx()->Alias(0x2, 0x3));  // alias of an alias
+  EXPECT_EQ(ctx()->Lookup(0x2), p);
+  EXPECT_EQ(ctx()->Lookup(0x3), p);
+  EXPECT_FALSE(ctx()->Alias(0x99, 0x4)) << "unknown source name";
+}
+
+TEST_F(PrincipalTest, DropInstanceRemovesAllNames) {
+  lxfi::Principal* p = ctx()->GetOrCreate(0x1);
+  ctx()->Alias(0x1, 0x2);
+  p->caps().GrantCall(0x1234);
+  ctx()->DropInstance(0x2);  // dropping by any name kills the principal
+  EXPECT_EQ(ctx()->Lookup(0x1), nullptr);
+  EXPECT_EQ(ctx()->Lookup(0x2), nullptr);
+  EXPECT_TRUE(ctx()->instances().empty());
+}
+
+TEST_F(PrincipalTest, DebugNamesAreInformative) {
+  EXPECT_NE(ctx()->shared()->DebugName().find("pmod"), std::string::npos);
+  EXPECT_NE(ctx()->shared()->DebugName().find("shared"), std::string::npos);
+  EXPECT_NE(ctx()->global()->DebugName().find("global"), std::string::npos);
+  lxfi::Principal* p = ctx()->GetOrCreate(0xabc);
+  EXPECT_NE(p->DebugName().find("0xabc"), std::string::npos);
+}
+
+TEST_F(PrincipalTest, RevokeEverywhereCoversAliasesAndInstances) {
+  lxfi::Principal* a = ctx()->GetOrCreate(0x1);
+  lxfi::Principal* b = ctx()->GetOrCreate(0x2);
+  Capability cap = Capability::Call(0x4242);
+  a->caps().Grant(cap);
+  b->caps().Grant(cap);
+  ctx()->shared()->caps().Grant(cap);
+  EXPECT_TRUE(ctx()->RevokeEverywhere(cap));
+  EXPECT_FALSE(a->caps().Check(cap));
+  EXPECT_FALSE(b->caps().Check(cap));
+  EXPECT_FALSE(ctx()->shared()->caps().Check(cap));
+  EXPECT_FALSE(ctx()->RevokeEverywhere(cap)) << "second revoke finds nothing";
+}
+
+TEST_F(PrincipalTest, DumpStateListsEveryPrincipal) {
+  ctx()->GetOrCreate(0xaa);
+  ctx()->GetOrCreate(0xbb);
+  std::string dump = bench_.rt->DumpState();
+  EXPECT_NE(dump.find("pmod"), std::string::npos);
+  EXPECT_NE(dump.find("<shared>"), std::string::npos);
+  EXPECT_NE(dump.find("<global>"), std::string::npos);
+  EXPECT_NE(dump.find("0xaa"), std::string::npos);
+  EXPECT_NE(dump.find("0xbb"), std::string::npos);
+}
+
+TEST(AnnotationRegistry, IdenticalReRegistrationIsFine) {
+  lxfi::AnnotationRegistry reg;
+  ASSERT_TRUE(reg.Register("f", {"x"}, "pre(check(write, x, 8))").ok());
+  EXPECT_TRUE(reg.Register("f", {"x"}, "pre(check(write,x,8))").ok())
+      << "whitespace-insensitive identity";
+}
+
+TEST(AnnotationRegistry, ConflictingRedefinitionRejected) {
+  lxfi::AnnotationRegistry reg;
+  ASSERT_TRUE(reg.Register("f", {"x"}, "pre(check(write, x, 8))").ok());
+  lxfi::Status st = reg.Register("f", {"x"}, "pre(check(write, x, 16))");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), lxfi::StatusCode::kAlreadyExists);
+}
+
+TEST(AnnotationRegistry, ParseErrorSurfaces) {
+  lxfi::AnnotationRegistry reg;
+  lxfi::Status st = reg.Register("g", {"x"}, "pre(bogus(write, x))");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), lxfi::StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Find("g"), nullptr) << "failed registrations leave no residue";
+}
+
+TEST(AnnotationRegistry, AhashOfUnknownIsZero) {
+  lxfi::AnnotationRegistry reg;
+  EXPECT_EQ(reg.AhashOf("nothing"), 0u);
+}
+
+TEST(AnnotationRegistry, UsageNotes) {
+  lxfi::AnnotationRegistry reg;
+  reg.NoteUse("kmalloc", "a");
+  reg.NoteUse("kmalloc", "b");
+  reg.NoteUse("kmalloc", "a");
+  ASSERT_EQ(reg.uses().at("kmalloc").size(), 2u);
+}
+
+TEST(GuardStats, CountsAndTiming) {
+  lxfi::GuardStats stats;
+  stats.Count(lxfi::GuardType::kMemWrite);
+  stats.Count(lxfi::GuardType::kMemWrite);
+  stats.AddTime(lxfi::GuardType::kMemWrite, 100);
+  EXPECT_EQ(stats.count(lxfi::GuardType::kMemWrite), 2u);
+  EXPECT_DOUBLE_EQ(stats.MeanNs(lxfi::GuardType::kMemWrite), 50.0);
+  EXPECT_EQ(stats.TotalTimeNs(), 100u);
+  stats.Reset();
+  EXPECT_EQ(stats.count(lxfi::GuardType::kMemWrite), 0u);
+  EXPECT_FALSE(stats.Report().empty());
+}
+
+TEST(GuardStats, ScopedGuardTimesWhenEnabled) {
+  lxfi::GuardStats stats;
+  stats.timing_enabled = true;
+  {
+    lxfi::ScopedGuard g(&stats, lxfi::GuardType::kFunctionEntry);
+  }
+  EXPECT_EQ(stats.count(lxfi::GuardType::kFunctionEntry), 1u);
+  // Timing may legitimately round to 0ns but must not crash; counts matter.
+}
+
+TEST(CapabilityToString, AllKinds) {
+  EXPECT_NE(Capability::Write(uintptr_t{0x1000}, 64).ToString().find("WRITE"),
+            std::string::npos);
+  EXPECT_NE(Capability::Call(0x2000).ToString().find("CALL"), std::string::npos);
+  EXPECT_NE(Capability::Ref(lxfi::RefType("pci_dev"), 0x3000).ToString().find("REF"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Property-based tests over randomized workloads: the capability algebra,
+// writer-set/indirect-call agreement, and slab invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/kernel/kernel.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+#include "src/lxfi/wrap.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfi::Capability;
+using lxfitest::Bench;
+
+// --- capability algebra --------------------------------------------------------
+//
+// Invariants (§3.2/§3.3):
+//  I1  after Grant(p, c): Owns(p, c)
+//  I2  after RevokeEverywhere(c): no principal owns c directly
+//  I3  shared's caps are visible to every instance
+//  I4  global sees the union of the module's caps
+//  I5  an instance never sees a sibling's caps (absent shared/global)
+
+class CapAlgebraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CapAlgebraProperty, RandomGrantRevokeSequence) {
+  Bench bench(/*isolated=*/true);
+  kern::ModuleDef def;
+  def.name = "prop";
+  def.imports = {"printk"};
+  def.init = [](kern::Module&) { return 0; };
+  kern::Module* m = bench.kernel->LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+  lxfi::Runtime& rt = *bench.rt;
+  lxfi::ModuleCtx* ctx = rt.CtxOf(m);
+
+  lxfi::Rng rng(GetParam());
+  std::vector<lxfi::Principal*> principals = {ctx->shared(), ctx->GetOrCreate(0xa),
+                                              ctx->GetOrCreate(0xb), ctx->GetOrCreate(0xc)};
+  // Track expected direct ownership: principal -> set of cap keys.
+  auto key_of = [](const Capability& c) {
+    return std::make_tuple(static_cast<int>(c.kind), c.addr, c.size, c.ref_type);
+  };
+  std::map<std::tuple<int, uintptr_t, size_t, uint64_t>, std::vector<lxfi::Principal*>> owners;
+
+  auto random_cap = [&]() -> Capability {
+    uintptr_t addr = 0x500000000000ull + rng.Below(32) * 0x1000;
+    switch (rng.Below(3)) {
+      case 0:
+        return Capability::Write(addr, 64 * (1 + rng.Below(4)));
+      case 1:
+        return Capability::Call(0xffffffff81000000ull + rng.Below(16) * 0x100);
+      default:
+        return Capability::Ref(100 + rng.Below(4), addr);
+    }
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    Capability cap = random_cap();
+    lxfi::Principal* p = principals[rng.Below(principals.size())];
+    if (rng.Chance(0.6)) {
+      rt.Grant(p, cap);
+      auto& v = owners[key_of(cap)];
+      bool present = false;
+      for (auto* q : v) {
+        present = present || q == p;
+      }
+      if (!present) {
+        v.push_back(p);
+      }
+      ASSERT_TRUE(rt.Owns(p, cap)) << "I1 violated at step " << step;
+    } else {
+      rt.RevokeEverywhere(cap);
+      // WRITE revocation is overlap-based: drop every overlapping key.
+      for (auto it = owners.begin(); it != owners.end();) {
+        auto [kind, addr, size, ref] = it->first;
+        bool dead = false;
+        if (cap.kind == lxfi::CapKind::kWrite && kind == 0) {
+          dead = addr < cap.addr + cap.size && cap.addr < addr + size;
+        } else {
+          dead = key_of(cap) == it->first;
+        }
+        it = dead ? owners.erase(it) : std::next(it);
+      }
+      for (auto* q : principals) {
+        ASSERT_FALSE(q->caps().Check(cap)) << "I2 violated at step " << step;
+      }
+    }
+    // Cross-check a random sample of expectations.
+    if (step % 16 == 0) {
+      for (const auto& [k, v] : owners) {
+        auto [kind, addr, size, ref] = k;
+        Capability probe;
+        if (kind == 0) {
+          probe = Capability::Write(addr, size);
+        } else if (kind == 2) {
+          probe = Capability::Call(addr);
+        } else {
+          probe = Capability::Ref(ref, addr);
+        }
+        probe.kind = static_cast<lxfi::CapKind>(kind);
+        for (auto* q : v) {
+          ASSERT_TRUE(rt.Owns(q, probe)) << "tracked owner lost cap at step " << step;
+          // I4: global sees it too.
+          ASSERT_TRUE(rt.Owns(ctx->global(), probe)) << "I4 violated at step " << step;
+        }
+        // I3: shared ownership implies everyone.
+        bool shared_owns = false;
+        for (auto* q : v) {
+          shared_owns = shared_owns || q == ctx->shared();
+        }
+        if (shared_owns) {
+          for (auto* q : principals) {
+            ASSERT_TRUE(rt.Owns(q, probe)) << "I3 violated at step " << step;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapAlgebraProperty, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- kmalloc/kfree conservation --------------------------------------------------
+//
+// Invariant: after any interleaving of module allocations and frees, the
+// module owns WRITE for exactly the live allocations.
+
+class AllocProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocProperty, OwnershipMatchesLiveness) {
+  Bench bench(/*isolated=*/true);
+  struct St {
+    std::function<void*(size_t)> kmalloc;
+    std::function<void(void*)> kfree;
+  };
+  auto st = std::make_shared<St>();
+  kern::ModuleDef def;
+  def.name = "allocprop";
+  def.imports = {"kmalloc", "kfree", "printk"};
+  def.init = [st](kern::Module& m) -> int {
+    st->kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+    st->kfree = lxfi::GetImport<void, void*>(m, "kfree");
+    return 0;
+  };
+  kern::Module* m = bench.kernel->LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+  lxfi::Runtime& rt = *bench.rt;
+  lxfi::Principal* shared = rt.CtxOf(m)->shared();
+
+  lxfi::Rng rng(GetParam());
+  std::vector<std::pair<void*, size_t>> live;
+  lxfi::ScopedPrincipal as_module(&rt, shared);
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.Chance(0.6)) {
+      size_t size = 16 + rng.Below(900);
+      void* p = st->kmalloc(size);
+      ASSERT_NE(p, nullptr);
+      live.emplace_back(p, size);
+    } else {
+      size_t idx = rng.Below(live.size());
+      st->kfree(live[idx].first);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    if (step % 20 == 0) {
+      for (const auto& [p, size] : live) {
+        ASSERT_TRUE(rt.Owns(shared, Capability::Write(p, size)))
+            << "live allocation lost its WRITE at step " << step;
+      }
+    }
+  }
+  // Free everything: no residual ownership.
+  std::vector<std::pair<void*, size_t>> drained = live;
+  for (const auto& [p, size] : drained) {
+    st->kfree(p);
+  }
+  for (const auto& [p, size] : drained) {
+    EXPECT_FALSE(shared->caps().CheckWrite(reinterpret_cast<uintptr_t>(p), 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocProperty, ::testing::Values(3, 7, 31, 127));
+
+// --- slab reuse never aliases two live objects -----------------------------------
+
+class SlabProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlabProperty, NoLiveAliasing) {
+  kern::Kernel k;
+  lxfi::Rng rng(GetParam());
+  std::vector<std::pair<char*, size_t>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Chance(0.55)) {
+      size_t size = 1 + rng.Below(3000);
+      auto* p = static_cast<char*>(k.slab().Alloc(size));
+      ASSERT_NE(p, nullptr);
+      for (const auto& [q, qsize] : live) {
+        bool overlap = p < q + qsize && q < p + size;
+        ASSERT_FALSE(overlap) << "slab handed out overlapping live objects";
+      }
+      live.emplace_back(p, size);
+    } else {
+      size_t idx = rng.Below(live.size());
+      k.slab().Free(live[idx].first);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlabProperty, ::testing::Values(101, 202, 303));
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Protocol module tests: econet, rds, can, can-bcm benign operation on both
+// kernel configurations, plus the multi-principal structure of econet.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/net/socket.h"
+#include "src/modules/can/can.h"
+#include "src/modules/can/can_bcm.h"
+#include "src/modules/econet/econet.h"
+#include "src/modules/rds/rds.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+class ProtocolTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ProtocolTest() : bench_(GetParam()) { sl_ = kern::GetSocketLayer(bench_.kernel.get()); }
+
+  uintptr_t WriteUser(uintptr_t uaddr, const void* data, size_t n) {
+    std::memcpy(bench_.kernel->user().UserPtr(uaddr), data, n);
+    return uaddr;
+  }
+
+  Bench bench_;
+  kern::SocketLayer* sl_ = nullptr;
+};
+
+TEST_P(ProtocolTest, EconetSendRecvRoundtrip) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::EconetModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(kern::kAfEconet, 0);
+  ASSERT_NE(sock, nullptr);
+
+  const char msg[] = "hello econet";
+  WriteUser(0x1000, msg, sizeof(msg));
+  kern::MsgHdr send{0x1000, sizeof(msg), /*name=*/1, 0};
+  EXPECT_EQ(sl_->SysSendmsg(sock, &send), static_cast<int>(sizeof(msg)));
+
+  kern::MsgHdr recv{0x2000, sizeof(msg), 0, 0};
+  EXPECT_EQ(sl_->SysRecvmsg(sock, &recv), static_cast<int>(sizeof(msg)));
+  EXPECT_EQ(std::memcmp(bench_.kernel->user().UserPtr(0x2000), msg, sizeof(msg)), 0);
+  EXPECT_EQ(sl_->SysClose(sock), 0);
+}
+
+TEST_P(ProtocolTest, EconetBindAndIoctl) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::EconetModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(kern::kAfEconet, 0);
+  int station = 42;
+  WriteUser(0x1000, &station, sizeof(station));
+  EXPECT_EQ(sl_->SysBind(sock, 0x1000, sizeof(station)), 0);
+  EXPECT_EQ(sl_->SysIoctl(sock, 0, 0x3000), 0);
+  int out = 0;
+  std::memcpy(&out, bench_.kernel->user().UserPtr(0x3000), sizeof(out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST_P(ProtocolTest, EconetSocketListSurvivesManySockets) {
+  kern::Module* m = bench_.kernel->LoadModule(mods::EconetModuleDef());
+  ASSERT_NE(m, nullptr);
+  std::vector<kern::Socket*> socks;
+  for (int i = 0; i < 8; ++i) {
+    kern::Socket* s = sl_->SysSocket(kern::kAfEconet, 0);
+    ASSERT_NE(s, nullptr);
+    socks.push_back(s);
+  }
+  // Close out of order: exercises mid-list unlink under the global
+  // principal.
+  EXPECT_EQ(sl_->SysClose(socks[3]), 0);
+  EXPECT_EQ(sl_->SysClose(socks[0]), 0);
+  EXPECT_EQ(sl_->SysClose(socks[7]), 0);
+  for (int i : {1, 2, 4, 5, 6}) {
+    EXPECT_EQ(sl_->SysClose(socks[static_cast<size_t>(i)]), 0);
+  }
+}
+
+TEST_P(ProtocolTest, RdsLoopback) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::RdsModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(kern::kAfRds, 0);
+  ASSERT_NE(sock, nullptr);
+  const char msg[] = "reliable datagram";
+  WriteUser(0x1000, msg, sizeof(msg));
+  kern::MsgHdr send{0x1000, sizeof(msg), 1, 0};
+  EXPECT_EQ(sl_->SysSendmsg(sock, &send), static_cast<int>(sizeof(msg)));
+  kern::MsgHdr recv{0x2000, sizeof(msg), 0, 0};
+  EXPECT_EQ(sl_->SysRecvmsg(sock, &recv), static_cast<int>(sizeof(msg)));
+  EXPECT_EQ(std::memcmp(bench_.kernel->user().UserPtr(0x2000), msg, sizeof(msg)), 0);
+  EXPECT_EQ(sl_->SysClose(sock), 0);
+}
+
+TEST_P(ProtocolTest, RdsRecvIntoRealUserBufferIsFineUnderLxfi) {
+  // The buggy __copy_to_user path with a *legitimate* user destination must
+  // pass: the module's user-window WRITE capability covers it.
+  ASSERT_NE(bench_.kernel->LoadModule(mods::RdsModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(kern::kAfRds, 0);
+  uint64_t payload = 0x1122334455667788ull;
+  WriteUser(0x1000, &payload, sizeof(payload));
+  kern::MsgHdr send{0x1000, sizeof(payload), 1, 0};
+  ASSERT_GT(sl_->SysSendmsg(sock, &send), 0);
+  kern::MsgHdr recv{0x4000, sizeof(payload), 0, 0};
+  EXPECT_EQ(sl_->SysRecvmsg(sock, &recv), static_cast<int>(sizeof(payload)));
+  uint64_t out = 0;
+  std::memcpy(&out, bench_.kernel->user().UserPtr(0x4000), sizeof(out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST_P(ProtocolTest, CanFrameRoundtrip) {
+  ASSERT_NE(bench_.kernel->LoadModule(mods::CanModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(kern::kAfCan, 0);
+  ASSERT_NE(sock, nullptr);
+  mods::CanFrame frame;
+  frame.can_id = 0x123;
+  frame.can_dlc = 8;
+  std::memset(frame.data, 0x7e, sizeof(frame.data));
+  WriteUser(0x1000, &frame, sizeof(frame));
+  kern::MsgHdr send{0x1000, sizeof(frame), 0, 0};
+  EXPECT_EQ(sl_->SysSendmsg(sock, &send), static_cast<int>(sizeof(frame)));
+  kern::MsgHdr recv{0x2000, sizeof(frame), 0, 0};
+  EXPECT_EQ(sl_->SysRecvmsg(sock, &recv), static_cast<int>(sizeof(frame)));
+  mods::CanFrame out;
+  std::memcpy(&out, bench_.kernel->user().UserPtr(0x2000), sizeof(out));
+  EXPECT_EQ(out.can_id, 0x123u);
+  EXPECT_EQ(out.data[5], 0x7e);
+}
+
+TEST_P(ProtocolTest, CanBcmLegitimateRxSetup) {
+  // A well-formed RX_SETUP (no overflow) must work on both kernels.
+  ASSERT_NE(bench_.kernel->LoadModule(mods::CanBcmModuleDef()), nullptr);
+  kern::Socket* sock = sl_->SysSocket(mods::kAfCanBcm, 0);
+  ASSERT_NE(sock, nullptr);
+  mods::BcmMsgHead head;
+  head.opcode = mods::kBcmRxSetup;
+  head.nframes = 3;
+  mods::CanFrame frames[3] = {};
+  frames[1].can_id = 0x77;
+  WriteUser(0x1000, &head, sizeof(head));
+  WriteUser(0x1000 + sizeof(head), frames, sizeof(frames));
+  kern::MsgHdr msg{0x1000, sizeof(head) + sizeof(frames), 0, 0};
+  EXPECT_EQ(sl_->SysSendmsg(sock, &msg), static_cast<int>(msg.len));
+  EXPECT_EQ(sl_->SysIoctl(sock, 0, 0x3000), 0);
+  uint32_t nframes = 0;
+  std::memcpy(&nframes, bench_.kernel->user().UserPtr(0x3000), sizeof(nframes));
+  EXPECT_EQ(nframes, 3u);
+  EXPECT_EQ(sl_->SysClose(sock), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, ProtocolTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+// --- multi-principal structure (LXFI only) -----------------------------------
+
+TEST(EconetPrincipals, EachSocketIsItsOwnPrincipal) {
+  Bench bench(/*isolated=*/true);
+  kern::Module* m = bench.kernel->LoadModule(mods::EconetModuleDef());
+  ASSERT_NE(m, nullptr);
+  kern::SocketLayer* sl = kern::GetSocketLayer(bench.kernel.get());
+  kern::Socket* a = sl->SysSocket(kern::kAfEconet, 0);
+  kern::Socket* b = sl->SysSocket(kern::kAfEconet, 0);
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* pa = ctx->Lookup(reinterpret_cast<uintptr_t>(a));
+  lxfi::Principal* pb = ctx->Lookup(reinterpret_cast<uintptr_t>(b));
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(pa, pb);
+  // Socket A's principal may write its own per-socket state, not B's.
+  EXPECT_TRUE(bench.rt->Owns(pa, lxfi::Capability::Write(a->sk, sizeof(mods::EconetSock))));
+  EXPECT_FALSE(bench.rt->Owns(pa, lxfi::Capability::Write(b->sk, sizeof(mods::EconetSock))));
+}
+
+TEST(EconetPrincipals, ReleaseRevokesSocketCaps) {
+  Bench bench(/*isolated=*/true);
+  kern::Module* m = bench.kernel->LoadModule(mods::EconetModuleDef());
+  kern::SocketLayer* sl = kern::GetSocketLayer(bench.kernel.get());
+  kern::Socket* sock = sl->SysSocket(kern::kAfEconet, 0);
+  lxfi::ModuleCtx* ctx = bench.rt->CtxOf(m);
+  lxfi::Principal* p = ctx->Lookup(reinterpret_cast<uintptr_t>(sock));
+  ASSERT_TRUE(bench.rt->Owns(p, lxfi::Capability::Write(sock, sizeof(kern::Socket))));
+  sl->SysClose(sock);
+  // post(transfer(sock_caps(sock))) on release revoked the WRITE.
+  EXPECT_FALSE(p->caps().CheckWrite(reinterpret_cast<uintptr_t>(sock), 8));
+}
+
+TEST(RdsRodata, OpsTableImmutableUnderLxfi) {
+  Bench bench(/*isolated=*/true);
+  kern::Module* m = bench.kernel->LoadModule(mods::RdsModuleDef());
+  ASSERT_NE(m, nullptr);
+  // The module's shared principal holds WRITE for .data but NOT .rodata.
+  lxfi::Principal* shared = bench.rt->CtxOf(m)->shared();
+  EXPECT_TRUE(bench.rt->Owns(shared, lxfi::Capability::Write(m->data(), 8)));
+  EXPECT_FALSE(bench.rt->Owns(shared, lxfi::Capability::Write(m->rodata(), 8)));
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Slab allocator tests, including the adjacency and reuse properties the
+// CAN BCM exploit reproduction relies on.
+#include <gtest/gtest.h>
+
+#include "src/base/arena.h"
+#include "src/kernel/kmalloc.h"
+#include "src/kernel/panic.h"
+
+namespace {
+
+class SlabTest : public ::testing::Test {
+ protected:
+  SlabTest() : arena_(8 << 20), slab_(&arena_) {}
+
+  lxfi::Arena arena_;
+  kern::SlabAllocator slab_;
+};
+
+TEST_F(SlabTest, AllocZeroReturnsNull) { EXPECT_EQ(slab_.Alloc(0), nullptr); }
+
+TEST_F(SlabTest, AllocationIsZeroed) {
+  auto* p = static_cast<uint8_t*>(slab_.Alloc(256));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(p[i], 0) << "byte " << i;
+  }
+}
+
+TEST_F(SlabTest, RequestedAndUsableSizes) {
+  void* p = slab_.Alloc(100);
+  EXPECT_EQ(slab_.AllocSize(p), 100u);
+  EXPECT_EQ(slab_.UsableSize(p), 128u);  // class capacity, like ksize()
+  EXPECT_EQ(slab_.AllocSize(reinterpret_cast<void*>(0x1234)), 0u);
+}
+
+TEST_F(SlabTest, ConsecutiveSameClassAllocationsAreAdjacent) {
+  auto* a = static_cast<char*>(slab_.Alloc(24));
+  auto* b = static_cast<char*>(slab_.Alloc(24));
+  EXPECT_EQ(b - a, 32) << "same-class objects must pack contiguously";
+}
+
+TEST_F(SlabTest, FreedSlotIsReusedLifo) {
+  void* a = slab_.Alloc(24);
+  void* b = slab_.Alloc(24);
+  slab_.Free(a);
+  void* c = slab_.Alloc(16);  // same 32-byte class
+  EXPECT_EQ(c, a) << "LIFO freelist: the freed slot fills first";
+  (void)b;
+}
+
+TEST_F(SlabTest, DifferentClassesDoNotInterfere) {
+  void* a = slab_.Alloc(24);
+  slab_.Free(a);
+  void* big = slab_.Alloc(200);  // class 256
+  EXPECT_NE(big, a);
+}
+
+TEST_F(SlabTest, LiveTracking) {
+  void* p = slab_.Alloc(64);
+  EXPECT_TRUE(slab_.IsLive(p));
+  slab_.Free(p);
+  EXPECT_FALSE(slab_.IsLive(p));
+}
+
+TEST_F(SlabTest, DoubleFreePanics) {
+  void* p = slab_.Alloc(64);
+  slab_.Free(p);
+  EXPECT_THROW(slab_.Free(p), kern::KernelPanic);
+}
+
+TEST_F(SlabTest, FreeUnknownPointerPanics) {
+  int x;
+  EXPECT_THROW(slab_.Free(&x), kern::KernelPanic);
+}
+
+TEST_F(SlabTest, FreeNullIsNoop) { slab_.Free(nullptr); }
+
+TEST_F(SlabTest, LargeAllocationSpansPages) {
+  auto* p = static_cast<uint8_t*>(slab_.Alloc(3 * 4096 + 100));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(slab_.AllocSize(p), 3u * 4096 + 100);
+  EXPECT_EQ(slab_.UsableSize(p), 4u * 4096);
+  p[3 * 4096 + 99] = 0xff;  // touches the last byte without faulting
+  slab_.Free(p);
+}
+
+TEST_F(SlabTest, PageExhaustionReturnsNull) {
+  lxfi::Arena tiny(16 << 10);
+  kern::SlabAllocator slab(&tiny);
+  void* p = nullptr;
+  for (int i = 0; i < 1000; ++i) {
+    void* q = slab.Alloc(2048);
+    if (q == nullptr) {
+      break;
+    }
+    p = q;
+  }
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(slab.Alloc(2048), nullptr) << "arena exhausted";
+}
+
+// Parameterized sweep: every size class behaves uniformly.
+class SlabClassSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SlabClassSweep, FillFreeRefillWholePage) {
+  lxfi::Arena arena(4 << 20);
+  kern::SlabAllocator slab(&arena);
+  size_t size = GetParam();
+  size_t per_page = 4096 / size;
+  std::vector<void*> objs;
+  for (size_t i = 0; i < per_page; ++i) {
+    void* p = slab.Alloc(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(slab.UsableSize(p), size);
+    objs.push_back(p);
+  }
+  // All from one page, ascending.
+  for (size_t i = 1; i < objs.size(); ++i) {
+    EXPECT_EQ(static_cast<char*>(objs[i]) - static_cast<char*>(objs[i - 1]),
+              static_cast<ptrdiff_t>(size));
+  }
+  for (void* p : objs) {
+    slab.Free(p);
+  }
+  // Refill reuses the same page (no new page allocated).
+  size_t pages_before = slab.pages_allocated();
+  for (size_t i = 0; i < per_page; ++i) {
+    ASSERT_NE(slab.Alloc(size), nullptr);
+  }
+  EXPECT_EQ(slab.pages_allocated(), pages_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, SlabClassSweep,
+                         ::testing::Values(32, 64, 128, 256, 512, 1024, 2048, 4096));
+
+}  // namespace

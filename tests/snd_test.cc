@@ -1,0 +1,97 @@
+// Sound module tests: snd-intel8x0 / snd-ens1370 over the PCM core.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/sound/sound.h"
+#include "src/modules/snd/snd.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+struct SndCase {
+  bool isolated;
+  const char* which;  // "intel8x0" or "ens1370"
+};
+
+class SndTest : public ::testing::TestWithParam<SndCase> {
+ protected:
+  SndTest() : bench_(GetParam().isolated) {
+    kern::ModuleDef def = std::string(GetParam().which) == "intel8x0"
+                              ? mods::SndIntel8x0ModuleDef()
+                              : mods::SndEns1370ModuleDef();
+    module_ = bench_.kernel->LoadModule(std::move(def));
+    core_ = kern::GetSoundCore(bench_.kernel.get());
+  }
+
+  Bench bench_;
+  kern::Module* module_ = nullptr;
+  kern::SoundCore* core_ = nullptr;
+};
+
+TEST_P(SndTest, CardRegisters) {
+  ASSERT_NE(module_, nullptr);
+  ASSERT_EQ(core_->cards().size(), 1u);
+  auto st = mods::GetSnd(*module_);
+  EXPECT_EQ(core_->cards()[0], st->card);
+}
+
+TEST_P(SndTest, PlaybackAdvancesPointer) {
+  ASSERT_NE(module_, nullptr);
+  auto st = mods::GetSnd(*module_);
+  EXPECT_EQ(core_->Playback(st->card, 16), 0);
+  EXPECT_EQ(st->priv->periods_played, 16u);
+  // The DMA buffer was allocated at open and released at close.
+  EXPECT_EQ(st->substream->dma_buffer, nullptr);
+}
+
+TEST_P(SndTest, RepeatedPlaybackSessions) {
+  auto st = mods::GetSnd(*module_);
+  for (int session = 0; session < 5; ++session) {
+    EXPECT_EQ(core_->Playback(st->card, 4), 0);
+  }
+  EXPECT_EQ(st->priv->periods_played, 20u);
+}
+
+TEST_P(SndTest, UnloadUnregistersCard) {
+  bench_.kernel->UnloadModule(module_);
+  EXPECT_TRUE(core_->cards().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SndTest,
+    ::testing::Values(SndCase{false, "intel8x0"}, SndCase{true, "intel8x0"},
+                      SndCase{false, "ens1370"}, SndCase{true, "ens1370"}),
+    [](const ::testing::TestParamInfo<SndCase>& info) {
+      return std::string(info.param.which) + (info.param.isolated ? "Lxfi" : "Stock");
+    });
+
+TEST(SndLxfi, BothDriversCoexistWithSeparateContexts) {
+  Bench bench(/*isolated=*/true);
+  kern::Module* a = bench.kernel->LoadModule(mods::SndIntel8x0ModuleDef());
+  kern::Module* b = bench.kernel->LoadModule(mods::SndEns1370ModuleDef());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(bench.rt->CtxOf(a), bench.rt->CtxOf(b));
+  kern::SoundCore* core = kern::GetSoundCore(bench.kernel.get());
+  EXPECT_EQ(core->cards().size(), 2u);
+  // One module's state is not writable by the other.
+  auto sa = mods::GetSnd(*a);
+  auto sb = mods::GetSnd(*b);
+  EXPECT_TRUE(bench.rt->Owns(bench.rt->CtxOf(a)->shared(),
+                             lxfi::Capability::Write(sa->card, sizeof(kern::SoundCard))));
+  EXPECT_FALSE(bench.rt->Owns(bench.rt->CtxOf(a)->shared(),
+                              lxfi::Capability::Write(sb->card, sizeof(kern::SoundCard))));
+}
+
+TEST(SndLxfi, PlaybackCausesNoViolations) {
+  Bench bench(/*isolated=*/true);
+  kern::Module* m = bench.kernel->LoadModule(mods::SndIntel8x0ModuleDef());
+  ASSERT_NE(m, nullptr);
+  auto st = mods::GetSnd(*m);
+  kern::GetSoundCore(bench.kernel.get())->Playback(st->card, 64);
+  EXPECT_EQ(bench.rt->violation_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Shared test fixture pieces: a simulated kernel in stock or LXFI-isolated
+// configuration with the annotated kernel API installed.
+#pragma once
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+
+namespace lxfitest {
+
+struct Bench {
+  explicit Bench(bool isolated, lxfi::RuntimeOptions options = {}) {
+    kernel = std::make_unique<kern::Kernel>();
+    if (isolated) {
+      rt = std::make_unique<lxfi::Runtime>(kernel.get(), options);
+    }
+    lxfi::InstallKernelApi(kernel.get(), rt.get());
+    user_task = kernel->procs().CreateTask(1000);
+    kernel->SetCurrentTask(user_task);
+  }
+
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<lxfi::Runtime> rt;
+  kern::Task* user_task = nullptr;
+};
+
+}  // namespace lxfitest

@@ -1,0 +1,142 @@
+// Kernel timer wheel and the e1000 watchdog: another module-written
+// function-pointer surface guarded by the indirect-call check.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/timer.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/mem.h"
+#include "src/lxfi/runtime.h"
+#include "src/lxfi/wrap.h"
+#include "src/modules/e1000/e1000.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+TEST(TimerWheel, FiresAtExpiry) {
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  int fired = 0;
+  kern::TimerList timer;
+  timer.function = k.funcs().Register<void(void*)>(kern::TextKind::kKernelText, "tick",
+                                                   [&](void*) { ++fired; });
+  EXPECT_EQ(wheel->ModTimer(&timer, 5), 0);
+  EXPECT_EQ(wheel->Advance(4), 0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel->Advance(1), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.pending);
+  // One-shot: no refire.
+  EXPECT_EQ(wheel->Advance(100), 0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, RearmFromHandler) {
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  int fired = 0;
+  kern::TimerList timer;
+  timer.function = k.funcs().Register<void(void*)>(
+      kern::TextKind::kKernelText, "periodic", [&](void* data) {
+        ++fired;
+        if (fired < 3) {
+          wheel->ModTimer(static_cast<kern::TimerList*>(data), wheel->now() + 2);
+        }
+      });
+  timer.data = &timer;
+  wheel->ModTimer(&timer, 2);
+  for (int i = 0; i < 10; ++i) {
+    wheel->Advance(1);
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(TimerWheel, DelTimerCancels) {
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  int fired = 0;
+  kern::TimerList timer;
+  timer.function = k.funcs().Register<void(void*)>(kern::TextKind::kKernelText, "never",
+                                                   [&](void*) { ++fired; });
+  wheel->ModTimer(&timer, 3);
+  EXPECT_EQ(wheel->DelTimer(&timer), 1);
+  EXPECT_EQ(wheel->DelTimer(&timer), 0);
+  wheel->Advance(10);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheel, ModTimerRearmsPending) {
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  int fired = 0;
+  kern::TimerList timer;
+  timer.function = k.funcs().Register<void(void*)>(kern::TextKind::kKernelText, "late",
+                                                   [&](void*) { ++fired; });
+  wheel->ModTimer(&timer, 2);
+  EXPECT_EQ(wheel->ModTimer(&timer, 8), 1) << "rearm of a pending timer returns 1";
+  wheel->Advance(5);
+  EXPECT_EQ(fired, 0) << "the rearm moved the deadline";
+  wheel->Advance(5);
+  EXPECT_EQ(fired, 1);
+}
+
+class WatchdogTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WatchdogTest, E1000WatchdogRunsAndRearms) {
+  Bench bench(GetParam());
+  mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  ASSERT_NE(m, nullptr);
+  auto st = mods::GetE1000(*m);
+  ASSERT_NE(st->priv()->watchdog, nullptr);
+  kern::TimerWheel* wheel = kern::GetTimerWheel(bench.kernel.get());
+  EXPECT_EQ(st->priv()->watchdog_runs, 0u);
+  wheel->Advance(10);
+  EXPECT_EQ(st->priv()->watchdog_runs, 1u);
+  for (int i = 0; i < 3; ++i) {
+    wheel->Advance(10);
+  }
+  EXPECT_GE(st->priv()->watchdog_runs, 3u) << "the watchdog rearms itself";
+  if (GetParam()) {
+    EXPECT_EQ(bench.rt->violation_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, WatchdogTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+TEST(WatchdogSecurity, CorruptedTimerFunctionBlocked) {
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  ASSERT_NE(m, nullptr);
+  auto st = mods::GetE1000(*m);
+  // An exploit overwrites the timer's function pointer with a user-space
+  // payload; the expiry-time indirect call must refuse to jump there.
+  uintptr_t payload = bench.kernel->funcs().Register<void(void*)>(
+      kern::TextKind::kUserText, "timer_payload", [](void*) {});
+  st->priv()->watchdog->function = payload;
+  EXPECT_THROW(kern::GetTimerWheel(bench.kernel.get())->Advance(10), lxfi::LxfiViolation);
+}
+
+TEST(WatchdogSecurity, WrongTypeFunctionInTimerBlocked) {
+  Bench bench(/*isolated=*/true);
+  mods::PlugInE1000Device(bench.kernel.get());
+  kern::Module* m = bench.kernel->LoadModule(mods::E1000ModuleDef());
+  auto st = mods::GetE1000(*m);
+  // Even the module's own code is rejected if its annotations don't match
+  // timer_fn's (here: the xmit function).
+  st->priv()->watchdog->function = m->FuncAddr("e1000_xmit");
+  try {
+    kern::GetTimerWheel(bench.kernel.get())->Advance(10);
+    FAIL() << "expected a violation";
+  } catch (const lxfi::LxfiViolation& v) {
+    EXPECT_EQ(v.kind(), lxfi::ViolationKind::kAnnotationMismatch);
+  }
+}
+
+}  // namespace

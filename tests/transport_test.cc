@@ -1,0 +1,150 @@
+// Transport engine tests: UDP datagram semantics and the TCP invariant the
+// DESIGN.md property list calls out — in-order, complete delivery under
+// random loss.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/kernel/net/transport.h"
+
+namespace {
+
+using kern::LossyLink;
+using kern::TcpEndpoint;
+using kern::UdpEndpoint;
+
+std::vector<uint8_t> TestBytes(size_t n, uint64_t seed) {
+  lxfi::Rng rng(seed);
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(Udp, LosslessDelivery) {
+  UdpEndpoint a, b;
+  LossyLink link;
+  link.Connect(&a, &b, nullptr, nullptr);
+  auto msg = TestBytes(100, 1);
+  a.Send(msg.data(), msg.size());
+  a.Send(msg.data(), 50);
+  ASSERT_EQ(b.inbox().size(), 2u);
+  EXPECT_EQ(b.inbox()[0], msg);
+  EXPECT_EQ(b.inbox()[1].size(), 50u);
+}
+
+TEST(Udp, LossDropsDatagramsSilently) {
+  UdpEndpoint a, b;
+  LossyLink link;
+  int n = 0;
+  link.Connect(&a, &b, [&] { return (++n % 2) == 0; }, nullptr);
+  auto msg = TestBytes(32, 2);
+  for (int i = 0; i < 10; ++i) {
+    a.Send(msg.data(), msg.size());
+  }
+  EXPECT_EQ(a.sent(), 10u);
+  EXPECT_EQ(b.received(), 5u);
+  EXPECT_EQ(link.dropped(), 5u);
+}
+
+TEST(Tcp, LosslessStream) {
+  TcpEndpoint a, b;
+  LossyLink link;
+  link.Connect(&a, &b, nullptr, nullptr);
+  auto data = TestBytes(10000, 3);
+  a.Send(data.data(), data.size());
+  EXPECT_EQ(b.received_stream(), data);
+  EXPECT_TRUE(a.AllAcked());
+  EXPECT_EQ(a.retransmits, 0u);
+}
+
+TEST(Tcp, WindowLimitsInFlight) {
+  TcpEndpoint a(/*window=*/4);
+  // No peer wired: count emitted segments.
+  size_t frames = 0;
+  a.SetTx([&](const uint8_t*, size_t) { ++frames; });
+  auto data = TestBytes(100 * kern::kTransportMss, 4);
+  a.Send(data.data(), data.size());
+  EXPECT_EQ(frames, 4u) << "only a window's worth may be in flight unacked";
+}
+
+TEST(Tcp, RetransmitRecoversFromTotalBlackout) {
+  TcpEndpoint a, b;
+  LossyLink link;
+  bool blackout = true;
+  link.Connect(&a, &b, [&] { return blackout; }, nullptr);
+  auto data = TestBytes(3 * kern::kTransportMss, 5);
+  a.Send(data.data(), data.size());
+  EXPECT_TRUE(b.received_stream().empty());
+  blackout = false;
+  for (int tick = 0; tick < 32 && !a.AllAcked(); ++tick) {
+    a.Tick();
+  }
+  EXPECT_EQ(b.received_stream(), data);
+  EXPECT_GE(a.retransmits, 1u);
+}
+
+TEST(Tcp, DuplicateSegmentsIgnored) {
+  TcpEndpoint a, b;
+  // Duplicate every frame a->b.
+  a.SetTx([&](const uint8_t* f, size_t n) {
+    b.OnFrame(f, n);
+    b.OnFrame(f, n);
+  });
+  b.SetTx([&](const uint8_t* f, size_t n) { a.OnFrame(f, n); });
+  auto data = TestBytes(5 * kern::kTransportMss, 6);
+  a.Send(data.data(), data.size());
+  EXPECT_EQ(b.received_stream(), data) << "duplicates must not corrupt the stream";
+}
+
+struct LossCase {
+  double loss;
+  uint64_t seed;
+  size_t bytes;
+};
+
+class TcpLossProperty : public ::testing::TestWithParam<LossCase> {};
+
+// The DESIGN.md property: under random bidirectional loss, the receiver
+// eventually observes exactly the sent byte stream, in order.
+TEST_P(TcpLossProperty, InOrderCompleteDeliveryUnderLoss) {
+  const LossCase& c = GetParam();
+  auto rng = std::make_shared<lxfi::Rng>(c.seed);
+  TcpEndpoint a(/*window=*/8, /*rto_ticks=*/2);
+  TcpEndpoint b;
+  LossyLink link;
+  link.Connect(
+      &a, &b, [rng, p = c.loss] { return rng->Chance(p); },
+      [rng, p = c.loss] { return rng->Chance(p); });
+
+  auto data = TestBytes(c.bytes, c.seed * 7 + 1);
+  // Feed in random-sized application writes.
+  lxfi::Rng wr(c.seed + 99);
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t n = std::min<size_t>(1 + wr.Below(3000), data.size() - off);
+    a.Send(data.data() + off, n);
+    off += n;
+    a.Tick();
+  }
+  for (int tick = 0; tick < 10000 && !a.AllAcked(); ++tick) {
+    a.Tick();
+  }
+  ASSERT_TRUE(a.AllAcked()) << "sender failed to drain under loss " << c.loss;
+  EXPECT_EQ(b.received_stream().size(), data.size());
+  EXPECT_EQ(b.received_stream(), data);
+  if (c.loss > 0) {
+    EXPECT_GT(link.dropped(), 0u) << "the link was supposed to be lossy";
+    EXPECT_GE(a.retransmits, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, TcpLossProperty,
+    ::testing::Values(LossCase{0.0, 10, 20000}, LossCase{0.05, 11, 20000},
+                      LossCase{0.1, 12, 20000}, LossCase{0.3, 13, 8000},
+                      LossCase{0.1, 14, 40000}, LossCase{0.2, 15, 16000}));
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Writer-set tracking unit tests (§4.1, §5).
+#include <gtest/gtest.h>
+
+#include "src/lxfi/writer_set.h"
+
+namespace {
+
+using lxfi::WriterSet;
+
+// Principals are only compared by pointer here.
+lxfi::Principal* P(int i) { return reinterpret_cast<lxfi::Principal*>(0x1000 + i * 8); }
+
+constexpr uintptr_t kBase = 0x7f0000000000ull;
+
+TEST(WriterSet, EmptyByDefault) {
+  WriterSet ws;
+  EXPECT_TRUE(ws.Empty(kBase));
+  EXPECT_TRUE(ws.WritersFor(kBase).empty());
+}
+
+TEST(WriterSet, AddRangeMarksAllCoveredPages) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase + 100, 2 * 4096);
+  EXPECT_FALSE(ws.Empty(kBase + 100));
+  EXPECT_FALSE(ws.Empty(kBase + 4096));
+  EXPECT_FALSE(ws.Empty(kBase + 8191));
+  // Same page as the range start counts (page granularity).
+  EXPECT_FALSE(ws.Empty(kBase));
+  // Past the last covered page: empty.
+  EXPECT_TRUE(ws.Empty(kBase + 3 * 4096));
+}
+
+TEST(WriterSet, MultipleWritersAccumulate) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 64);
+  ws.AddRange(P(2), kBase + 8, 64);
+  const auto& writers = ws.WritersFor(kBase);
+  EXPECT_EQ(writers.size(), 2u);
+}
+
+TEST(WriterSet, DuplicateAddIsIdempotent) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 64);
+  ws.AddRange(P(1), kBase, 128);
+  EXPECT_EQ(ws.WritersFor(kBase).size(), 1u);
+}
+
+TEST(WriterSet, ClearRangeOnlyDropsFullyContainedPages) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 3 * 4096);
+  // Clearing the middle page only.
+  ws.ClearRange(kBase + 4096, 4096);
+  EXPECT_FALSE(ws.Empty(kBase));
+  EXPECT_TRUE(ws.Empty(kBase + 4096));
+  EXPECT_FALSE(ws.Empty(kBase + 2 * 4096));
+}
+
+TEST(WriterSet, PartialPageClearIsConservative) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 4096);
+  // A sub-page zeroing must NOT clear the page: other written locations may
+  // still hold module data (false positives are benign, §5).
+  ws.ClearRange(kBase + 128, 256);
+  EXPECT_FALSE(ws.Empty(kBase));
+}
+
+TEST(WriterSet, RemoveWriterScrubsEverywhere) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 4096);
+  ws.AddRange(P(1), kBase + 64 * 4096, 4096);
+  ws.AddRange(P(2), kBase, 64);
+  ws.RemoveWriter(P(1));
+  EXPECT_TRUE(ws.Empty(kBase + 64 * 4096));
+  ASSERT_EQ(ws.WritersFor(kBase).size(), 1u);
+  EXPECT_EQ(ws.WritersFor(kBase)[0], P(2));
+}
+
+TEST(WriterSet, TrackedPagesCount) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 4 * 4096);
+  EXPECT_EQ(ws.TrackedPages(), 4u);
+  ws.ClearRange(kBase, 4 * 4096);
+  EXPECT_EQ(ws.TrackedPages(), 0u);
+}
+
+TEST(WriterSet, ZeroSizeOpsAreNoops) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 0);
+  EXPECT_TRUE(ws.Empty(kBase));
+  ws.ClearRange(kBase, 0);
+}
+
+}  // namespace
