@@ -1,12 +1,131 @@
 // Figure 11: SFI microbenchmarks (hotlist, lld, MD5) — code-size delta and
 // slowdown under LXFI instrumentation. Paper: 1.14x/0%, 1.12x/11%, 1.15x/2%.
+//
+// Plus the store-guard ablation: the per-check cost of the WRITE-capability
+// probe on a netperf-style working set (skb headers, payload buffers, device
+// state), comparing the node-based std::unordered_map layout the seed
+// shipped, the flat open-addressing CapTable, and the flat table fronted by
+// the EnforcementContext 1-entry memo — the exact configuration the runtime
+// store guard runs (src/lxfi/runtime.cc CheckWriteBody).
 #include <cstdio>
+#include <vector>
 
+#include "bench/std_baseline.h"
+#include "src/base/clock.h"
 #include "src/base/log.h"
+#include "src/base/rng.h"
 #include "src/eval/sfi_micro.h"
+#include "src/lxfi/enforcement_context.h"
+
+namespace {
+
+void RunStoreGuardAblation() {
+  // Netperf-style working set: a ring of sk_buff-like objects — a small
+  // header and a ~2 KiB payload each — plus device/socket state. Guard
+  // traffic has strong temporal locality: each packet's header and payload
+  // are checked several times (field stores, then the copy loop).
+  constexpr int kRing = 64;
+  constexpr uintptr_t kBase = 0x7f4200000000ull;
+  constexpr size_t kHeader = 256;
+  constexpr size_t kPayload = 2048;
+  constexpr uint64_t kChecks = 4u << 20;
+
+  lxfi::CapTable flat;
+  bench::StdCapTable node;
+  auto header_addr = [&](int i) { return kBase + static_cast<uintptr_t>(i) * 8192; };
+  auto payload_addr = [&](int i) { return header_addr(i) + 4096; };
+  for (int i = 0; i < kRing; ++i) {
+    flat.GrantWrite(header_addr(i), kHeader);
+    flat.GrantWrite(payload_addr(i), kPayload);
+    node.GrantWrite(header_addr(i), kHeader);
+    node.GrantWrite(payload_addr(i), kPayload);
+  }
+
+  // The shared principal holds the skb grants; the instance principal holds
+  // its own (private device state) ranges, so every non-memoized skb check
+  // walks the instance → shared fallback chain with a real miss probe first,
+  // exactly like ModuleCtx::OwnsWrite on the real store-guard path.
+  lxfi::CapTable flat_instance;
+  bench::StdCapTable node_instance;
+  constexpr uintptr_t kPrivBase = 0x7f4300000000ull;
+  for (int i = 0; i < kRing; ++i) {
+    uintptr_t priv = kPrivBase + static_cast<uintptr_t>(i) * 4096;
+    flat_instance.GrantWrite(priv, 512);
+    node_instance.GrantWrite(priv, 512);
+  }
+
+  // Per-packet guard stream (Figure 13 counts the guards per packet): two
+  // header field stores, then the payload copy loop checking 256-byte
+  // chunks — the same-object re-check pattern the 1-entry memo targets.
+  struct Query {
+    uintptr_t addr;
+    size_t size;
+  };
+  std::vector<Query> stream;
+  stream.reserve(1 << 16);
+  lxfi::Rng rng(42);
+  while (stream.size() + 10 <= (1 << 16)) {
+    int i = static_cast<int>(rng.Below(kRing));
+    stream.push_back({header_addr(i) + 16, 8});
+    stream.push_back({header_addr(i) + 64, 8});
+    for (size_t off = 0; off + 256 <= kPayload; off += 256) {
+      stream.push_back({payload_addr(i) + off, 256});
+    }
+  }
+  size_t n = stream.size();
+
+  uint64_t sink = 0;
+  auto time_ns = [&](auto&& check) {
+    uint64_t t0 = lxfi::MonotonicNowNs();
+    size_t q = 0;
+    for (uint64_t c = 0; c < kChecks; ++c) {
+      sink += check(stream[q]);
+      q = q + 1 == n ? 0 : q + 1;
+    }
+    return static_cast<double>(lxfi::MonotonicNowNs() - t0) / kChecks;
+  };
+
+  auto std_check = [&](const Query& q) {
+    return node_instance.CheckWrite(q.addr, q.size) || node.CheckWrite(q.addr, q.size);
+  };
+  auto flat_check = [&](const Query& q) {
+    return flat_instance.CheckWrite(q.addr, q.size) || flat.CheckWrite(q.addr, q.size);
+  };
+  lxfi::EnforcementContext ec;
+  auto memo_check = [&](const Query& q) {
+    if (ec.WriteMemoHit(q.addr, q.size)) {
+      return true;
+    }
+    uintptr_t lo, hi;
+    if (!flat_instance.FindWriteRange(q.addr, q.size, &lo, &hi) &&
+        !flat.FindWriteRange(q.addr, q.size, &lo, &hi)) {
+      return false;
+    }
+    ec.FillWriteMemo(lo, hi);
+    return true;
+  };
+
+  // Warm, then measure.
+  time_ns(std_check);
+  double t_std = time_ns(std_check);
+  time_ns(flat_check);
+  double t_flat = time_ns(flat_check);
+  time_ns(memo_check);
+  double t_memo = time_ns(memo_check);
+
+  std::printf("=== Store-guard ablation (netperf-style WRITE checks) ===\n");
+  std::printf("%-34s %12s %10s\n", "configuration", "ns/check", "speedup");
+  std::printf("%-34s %12.2f %9.2fx\n", "std::unordered_map buckets", t_std, 1.0);
+  std::printf("%-34s %12.2f %9.2fx\n", "flat table (open-addressing)", t_flat, t_std / t_flat);
+  std::printf("%-34s %12.2f %9.2fx\n", "flat + EnforcementContext memo", t_memo, t_std / t_memo);
+  std::printf("(sink %llu)\n\n", static_cast<unsigned long long>(sink % 7));
+}
+
+}  // namespace
 
 int main() {
   lxfi::SetLogLevel(lxfi::LogLevel::kError);
+  RunStoreGuardAblation();
   std::printf("=== Figure 11: SFI microbenchmarks ===\n");
   std::printf("%-10s %14s %10s %14s\n", "benchmark", "d-code-size", "slowdown", "paper");
 

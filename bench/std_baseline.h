@@ -1,0 +1,146 @@
+// Node-based baselines for the flat-vs-std ablations.
+//
+// These are the seed's std::unordered_map/std::unordered_set enforcement
+// structures, preserved verbatim as comparators after the hot path moved to
+// open-addressing flat tables (src/base/flat_table.h). bench_captable,
+// bench_writerset, and bench_sfi_micro print both implementations side by
+// side; keeping the old layout here keeps the ablation honest — same
+// semantics, same bucket scheme, only the container layout differs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bench {
+
+// The seed's CapTable WRITE path: 4 KiB-masked buckets in an unordered_map,
+// one heap-allocated std::vector of ranges per bucket node.
+class StdCapTable {
+ public:
+  static constexpr uintptr_t kBucketShift = 12;
+
+  void GrantWrite(uintptr_t addr, size_t size) {
+    if (size == 0) {
+      return;
+    }
+    WriteRange range{addr, size};
+    uintptr_t first = addr >> kBucketShift;
+    uintptr_t last = (addr + size - 1) >> kBucketShift;
+    for (uintptr_t b = first; b <= last; ++b) {
+      auto& vec = write_buckets_[b];
+      if (std::find(vec.begin(), vec.end(), range) == vec.end()) {
+        vec.push_back(range);
+      }
+    }
+  }
+
+  bool RevokeWriteOverlapping(uintptr_t addr, size_t size) {
+    if (size == 0) {
+      return false;
+    }
+    std::vector<WriteRange> victims;
+    uintptr_t first = addr >> kBucketShift;
+    uintptr_t last = (addr + size - 1) >> kBucketShift;
+    for (uintptr_t b = first; b <= last; ++b) {
+      auto it = write_buckets_.find(b);
+      if (it == write_buckets_.end()) {
+        continue;
+      }
+      for (const WriteRange& r : it->second) {
+        if (r.addr < addr + size && addr < r.addr + r.size &&
+            std::find(victims.begin(), victims.end(), r) == victims.end()) {
+          victims.push_back(r);
+        }
+      }
+    }
+    for (const WriteRange& r : victims) {
+      uintptr_t rf = r.addr >> kBucketShift;
+      uintptr_t rl = (r.addr + r.size - 1) >> kBucketShift;
+      for (uintptr_t b = rf; b <= rl; ++b) {
+        auto it = write_buckets_.find(b);
+        if (it == write_buckets_.end()) {
+          continue;
+        }
+        auto& vec = it->second;
+        vec.erase(std::remove(vec.begin(), vec.end(), r), vec.end());
+        if (vec.empty()) {
+          write_buckets_.erase(it);
+        }
+      }
+    }
+    return !victims.empty();
+  }
+
+  bool CheckWrite(uintptr_t addr, size_t size) const {
+    if (size == 0) {
+      return true;
+    }
+    auto it = write_buckets_.find(addr >> kBucketShift);
+    if (it == write_buckets_.end()) {
+      return false;
+    }
+    for (const WriteRange& r : it->second) {
+      if (r.addr <= addr && addr + size <= r.addr + r.size) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void GrantCall(uintptr_t target) { call_.insert(target); }
+  bool CheckCall(uintptr_t target) const { return call_.count(target) != 0; }
+
+ private:
+  struct WriteRange {
+    uintptr_t addr;
+    size_t size;
+    bool operator==(const WriteRange& o) const { return addr == o.addr && size == o.size; }
+  };
+
+  std::unordered_map<uintptr_t, std::vector<WriteRange>> write_buckets_;
+  std::unordered_set<uintptr_t> call_;
+};
+
+// The seed's WriterSet page map: page -> heap-allocated writer vector.
+class StdWriterSet {
+ public:
+  static constexpr uintptr_t kPageShift = 12;
+
+  void AddRange(void* writer, uintptr_t addr, size_t size) {
+    if (size == 0) {
+      return;
+    }
+    uintptr_t first = addr >> kPageShift;
+    uintptr_t last = (addr + size - 1) >> kPageShift;
+    for (uintptr_t page = first; page <= last; ++page) {
+      auto& writers = pages_[page];
+      if (std::find(writers.begin(), writers.end(), writer) == writers.end()) {
+        writers.push_back(writer);
+      }
+    }
+  }
+
+  void ClearRange(uintptr_t addr, size_t size) {
+    if (size == 0) {
+      return;
+    }
+    uintptr_t first_full = (addr + (uintptr_t{1} << kPageShift) - 1) >> kPageShift;
+    uintptr_t last_full = (addr + size) >> kPageShift;
+    for (uintptr_t page = first_full; page < last_full; ++page) {
+      pages_.erase(page);
+    }
+  }
+
+  bool Empty(uintptr_t addr) const {
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() || it->second.empty();
+  }
+
+ private:
+  std::unordered_map<uintptr_t, std::vector<void*>> pages_;
+};
+
+}  // namespace bench

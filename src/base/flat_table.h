@@ -1,0 +1,635 @@
+// Open-addressing hash containers for the enforcement hot path.
+//
+// FlatTable maps uint64_t keys to values; FlatSet is the value-less variant.
+// Layout and policy are chosen for the reference monitor's access pattern —
+// a successful lookup on every module store and kernel indirect call:
+//
+//   * the key array doubles as the occupancy map (0 = empty; the rare
+//     genuine zero key lives in a dedicated side slot), so probing touches
+//     one contiguous array — not a control-byte load plus a key load from
+//     two arrays, and not std::unordered_map's bucket-pointer plus
+//     heap-node chase;
+//   * Fibonacci (multiplicative) hashing: index = (key * φ⁻¹·2⁶⁴) >> shift.
+//     One multiply, no division (libstdc++ buckets pay a hardware div per
+//     lookup for their prime modulo), and sequential keys — page numbers of
+//     a module's working set — scatter instead of clustering;
+//   * branchless 4-slot probe windows: each round issues four independent
+//     key loads and OR-combines the compares, so the loop branch depends
+//     only on hit vs miss — which is stable on enforcement paths (legal
+//     stores hit, probes for absent keys miss) — never on the per-key
+//     probe length, which is what makes a naive one-slot-at-a-time probe
+//     loop mispredict its way to unordered_map speeds. A 3-slot mirrored
+//     tail (slots 0..2 replicated past the end) lets windows read through
+//     the wraparound without masking each lane;
+//   * linear probing at ≤0.5 load, erased by backward shift (no
+//     tombstones): deletion-heavy churn (grant/revoke cycles, module
+//     unload) re-packs probe windows in place and never degrades them the
+//     way tombstone schemes do. Backward shift also keeps the window scan
+//     sound: a live key can never sit on the far side of an empty slot
+//     from its home, so "any lane matches" is exactly "present";
+//   * values sit in their own array and are only touched after a key hit,
+//     keeping the probe loop's cache footprint at one word per slot.
+//
+// Keys are restricted to uint64_t because every enforcement key already is
+// one (bucket index, page number, text address, interned REF hash).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/compiler.h"
+
+namespace lxfi {
+
+namespace flat_internal {
+
+inline constexpr size_t kMinCapacity = 8;
+inline constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;  // 2^64 / φ
+// Probe window: 4 slots compared per round, branchlessly. The key array
+// carries kWindow-1 mirror slots past the end so a window never needs
+// per-lane wraparound masking.
+inline constexpr size_t kWindow = 4;
+
+// Grow at 1/2 load: with power-of-two growth the live load factor stays in
+// (0.25, 0.5], keeping linear-probe chains well inside one or two windows.
+inline constexpr bool NeedsGrow(size_t size_after_insert, size_t capacity) {
+  return size_after_insert * 2 > capacity;
+}
+
+}  // namespace flat_internal
+
+template <typename V>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return cap_; }
+
+  void Clear() {
+    keys_.clear();
+    vals_.clear();
+    cap_ = 0;
+    size_ = 0;
+    mask_ = 0;
+    shift_ = 64;
+    has_zero_ = false;
+    zero_val_ = V{};
+  }
+
+  V* Find(uint64_t key) {
+    if (LXFI_UNLIKELY(key == 0)) {
+      return has_zero_ ? &zero_val_ : nullptr;
+    }
+    if (size_ == 0) {
+      return nullptr;
+    }
+    const uint64_t* keys = keys_.data();
+    size_t i = IndexOf(key);
+    while (true) {
+      const uint64_t* w = keys + i;
+      uint64_t c0 = w[0], c1 = w[1], c2 = w[2], c3 = w[3];
+      if (LXFI_LIKELY((c0 == key) | (c1 == key) | (c2 == key) | (c3 == key))) {
+        // Arithmetic lane select: which lane matched is random per query, so
+        // this must not become a branch tree (it would mispredict per hit).
+        size_t n0 = c0 != key, n01 = n0 & (c1 != key), n012 = n01 & (c2 != key);
+        return &vals_[(i + n0 + n01 + n012) & mask_];
+      }
+      if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
+        return nullptr;
+      }
+      i = (i + flat_internal::kWindow) & mask_;
+    }
+  }
+
+  const V* Find(uint64_t key) const { return const_cast<FlatTable*>(this)->Find(key); }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  // Returns the value for `key`, inserting a default-constructed one first
+  // if absent.
+  V& GetOrInsert(uint64_t key) {
+    if (key == 0) {
+      has_zero_ = true;
+      return zero_val_;
+    }
+    // Probe for an existing entry before considering growth, so a duplicate
+    // insert at the load threshold stays a pure lookup.
+    if (cap_ != 0) {
+      size_t i = IndexOf(key);
+      while (keys_[i] != 0) {
+        if (keys_[i] == key) {
+          return vals_[i];
+        }
+        i = (i + 1) & mask_;
+      }
+    }
+    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
+      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    }
+    size_t i = IndexOf(key);
+    while (keys_[i] != 0) {
+      i = (i + 1) & mask_;
+    }
+    StoreKey(i, key);
+    ++size_;
+    return vals_[i];
+  }
+
+  // Inserts or overwrites; returns true if the key was newly inserted.
+  bool Insert(uint64_t key, V value) {
+    size_t before = size();
+    GetOrInsert(key) = std::move(value);
+    return size() != before;
+  }
+
+  // Backward-shift erase: removes `key` and re-packs the probe window so no
+  // tombstone is left behind. Returns true if the key was present.
+  bool Erase(uint64_t key) {
+    if (key == 0) {
+      if (!has_zero_) {
+        return false;
+      }
+      has_zero_ = false;
+      zero_val_ = V{};
+      return true;
+    }
+    if (size_ == 0) {
+      return false;
+    }
+    size_t i = IndexOf(key);
+    while (true) {
+      if (keys_[i] == key) {
+        break;
+      }
+      if (keys_[i] == 0) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    while (true) {
+      i = (i + 1) & mask_;
+      if (keys_[i] == 0) {
+        break;
+      }
+      // The entry at i may move into the hole iff doing so does not place it
+      // before its ideal slot in probe order.
+      size_t ideal = IndexOf(keys_[i]);
+      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
+        StoreKey(hole, keys_[i]);
+        vals_[hole] = std::move(vals_[i]);
+        hole = i;
+      }
+    }
+    StoreKey(hole, 0);
+    vals_[hole] = V{};
+    --size_;
+    return true;
+  }
+
+  // Visits every (key, value); order is unspecified. `fn` must not mutate
+  // the table.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) {
+      fn(uint64_t{0}, zero_val_);
+    }
+    for (size_t i = 0; i < cap_; ++i) {
+      if (keys_[i] != 0) {
+        fn(keys_[i], vals_[i]);
+      }
+    }
+  }
+
+  // Visits every (key, value&); `fn` may mutate values but not insert/erase.
+  template <typename Fn>
+  void ForEachMut(Fn&& fn) {
+    if (has_zero_) {
+      fn(uint64_t{0}, zero_val_);
+    }
+    for (size_t i = 0; i < cap_; ++i) {
+      if (keys_[i] != 0) {
+        fn(keys_[i], vals_[i]);
+      }
+    }
+  }
+
+  // Erases every entry for which `pred(key, value)` is true; returns the
+  // number erased. (Collect-then-erase so backward shifts cannot skip or
+  // revisit live entries mid-scan.)
+  template <typename Pred>
+  size_t EraseIf(Pred&& pred) {
+    std::vector<uint64_t> victims;
+    ForEach([&](uint64_t key, const V& value) {
+      if (pred(key, value)) {
+        victims.push_back(key);
+      }
+    });
+    for (uint64_t key : victims) {
+      Erase(key);
+    }
+    return victims.size();
+  }
+
+ private:
+  size_t IndexOf(uint64_t key) const {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  }
+
+  // All key writes go through here to keep the mirrored tail coherent.
+  void StoreKey(size_t i, uint64_t v) {
+    keys_[i] = v;
+    if (i < flat_internal::kWindow - 1) {
+      keys_[cap_ + i] = v;
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    size_t old_cap = cap_;
+    keys_.assign(new_cap + flat_internal::kWindow - 1, 0);
+    vals_.clear();
+    vals_.resize(new_cap);
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    shift_ = 64 - __builtin_ctzll(new_cap);
+    size_ = 0;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_keys[i] != 0) {
+        size_t j = IndexOf(old_keys[i]);
+        while (keys_[j] != 0) {
+          j = (j + 1) & mask_;
+        }
+        StoreKey(j, old_keys[i]);
+        vals_[j] = std::move(old_vals[i]);
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;  // cap_ slots + kWindow-1 mirror slots; 0 = empty
+  std::vector<V> vals_;         // cap_ slots
+  size_t cap_ = 0;
+  size_t size_ = 0;  // non-zero-key entries
+  size_t mask_ = 0;
+  unsigned shift_ = 64;  // 64 - log2(capacity)
+  bool has_zero_ = false;
+  V zero_val_{};
+};
+
+// Interleaved open-addressing multimap from a key to address ranges
+// [lo, hi), specialized for the WRITE-capability hot path: the key and the
+// range live in the same 32-byte slot, so a containment check needs no
+// second dependent load into a separate value array — the load that
+// resolves the key also delivers the range (the property that makes
+// std::unordered_map's key-adjacent nodes fast, without the heap chase).
+//
+// Duplicate keys are allowed: a bucket covered by several granted ranges
+// simply owns several slots along one probe chain. Lookup tests containment
+// on every key match and stops only at an empty slot; with backward-shift
+// erase the "stop at empty" rule stays exact. Probing scans 2-slot windows
+// branchlessly, with one mirror slot past the end for wraparound.
+//
+// Keys must be non-zero (0 marks an empty slot); CapTable passes
+// bucket_index + 1.
+class FlatRangeMap {
+ public:
+  FlatRangeMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  void Clear() {
+    slots_.clear();
+    cap_ = 0;
+    size_ = 0;
+    mask_ = 0;
+    shift_ = 64;
+  }
+
+  // True iff some range stored under `key` fully contains [addr, addr+size);
+  // reports that range via *lo/*hi.
+  bool FindContaining(uint64_t key, uintptr_t addr, uintptr_t end, uintptr_t* lo,
+                      uintptr_t* hi) const {
+    if (size_ == 0) {
+      return false;
+    }
+    const Slot* s = slots_.data();
+    size_t i = IndexOf(key);
+    while (true) {
+      const Slot& s0 = s[i];
+      const Slot& s1 = s[i + 1];
+      // Match lanes first: a slot at its home position may legitimately sit
+      // one past an empty slot within the window. A key match without
+      // containment is not a hit — another range for the same bucket may
+      // follow on the probe chain.
+      if (LXFI_LIKELY((s0.key == key) & (s0.lo <= addr) & (end <= s0.hi))) {
+        *lo = s0.lo;
+        *hi = s0.hi;
+        return true;
+      }
+      if ((s1.key == key) & (s1.lo <= addr) & (end <= s1.hi)) {
+        *lo = s1.lo;
+        *hi = s1.hi;
+        return true;
+      }
+      if ((s0.key == 0) | (s1.key == 0)) {
+        return false;
+      }
+      i = (i + 2) & mask_;
+    }
+  }
+
+  // Inserts (key, [lo, hi)); exact duplicates are ignored. Returns true if
+  // a slot was added.
+  bool Insert(uint64_t key, uintptr_t lo, uintptr_t hi) {
+    // Probe for an exact duplicate before considering growth, so a repeat
+    // grant at the load threshold stays a pure lookup.
+    if (cap_ != 0) {
+      size_t i = IndexOf(key);
+      while (slots_[i].key != 0) {
+        if (slots_[i].key == key && slots_[i].lo == lo && slots_[i].hi == hi) {
+          return false;
+        }
+        i = (i + 1) & mask_;
+      }
+    }
+    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
+      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    }
+    size_t i = IndexOf(key);
+    while (slots_[i].key != 0) {
+      i = (i + 1) & mask_;
+    }
+    StoreSlot(i, Slot{key, lo, hi});
+    ++size_;
+    return true;
+  }
+
+  // Removes the exact (key, [lo, hi)) slot; backward-shift re-pack.
+  bool EraseExact(uint64_t key, uintptr_t lo, uintptr_t hi) {
+    if (size_ == 0) {
+      return false;
+    }
+    size_t i = IndexOf(key);
+    while (true) {
+      if (slots_[i].key == 0) {
+        return false;
+      }
+      if (slots_[i].key == key && slots_[i].lo == lo && slots_[i].hi == hi) {
+        break;
+      }
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    while (true) {
+      i = (i + 1) & mask_;
+      if (slots_[i].key == 0) {
+        break;
+      }
+      size_t ideal = IndexOf(slots_[i].key);
+      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
+        StoreSlot(hole, slots_[i]);
+        hole = i;
+      }
+    }
+    StoreSlot(hole, Slot{0, 0, 0});
+    --size_;
+    return true;
+  }
+
+  // Visits every range stored under `key` (duplicate-key chain walk).
+  template <typename Fn>
+  void ForEachWithKey(uint64_t key, Fn&& fn) const {
+    if (size_ == 0) {
+      return;
+    }
+    size_t i = IndexOf(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) {
+        fn(slots_[i].lo, slots_[i].hi);
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Visits every (key, lo, hi) slot; order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < cap_; ++i) {
+      if (slots_[i].key != 0) {
+        fn(slots_[i].key, slots_[i].lo, slots_[i].hi);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key;  // 0 = empty
+    uintptr_t lo;
+    uintptr_t hi;
+  };
+
+  size_t IndexOf(uint64_t key) const {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  }
+
+  void StoreSlot(size_t i, Slot s) {
+    slots_[i] = s;
+    if (i == 0) {
+      slots_[cap_] = s;  // mirror for the 2-slot window wraparound
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    size_t old_cap = cap_;
+    slots_.assign(new_cap + 1, Slot{0, 0, 0});
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    shift_ = 64 - __builtin_ctzll(new_cap);
+    size_ = 0;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old[i].key != 0) {
+        size_t j = IndexOf(old[i].key);
+        while (slots_[j].key != 0) {
+          j = (j + 1) & mask_;
+        }
+        StoreSlot(j, old[i]);
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;  // cap_ slots + kWindow-1 mirror slots
+  size_t cap_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  unsigned shift_ = 64;
+};
+
+// Value-less FlatTable: the CALL and REF capability sets.
+class FlatSet {
+ public:
+  FlatSet() = default;
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return cap_; }
+
+  void Clear() {
+    keys_.clear();
+    cap_ = 0;
+    size_ = 0;
+    mask_ = 0;
+    shift_ = 64;
+    has_zero_ = false;
+  }
+
+  bool Contains(uint64_t key) const {
+    if (LXFI_UNLIKELY(key == 0)) {
+      return has_zero_;
+    }
+    if (size_ == 0) {
+      return false;
+    }
+    const uint64_t* keys = keys_.data();
+    size_t i = IndexOf(key);
+    while (true) {
+      const uint64_t* w = keys + i;
+      uint64_t c0 = w[0], c1 = w[1], c2 = w[2], c3 = w[3];
+      if (LXFI_LIKELY((c0 == key) | (c1 == key) | (c2 == key) | (c3 == key))) {
+        return true;
+      }
+      if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
+        return false;
+      }
+      i = (i + flat_internal::kWindow) & mask_;
+    }
+  }
+
+  // Returns true if the key was newly inserted.
+  bool Insert(uint64_t key) {
+    if (key == 0) {
+      bool added = !has_zero_;
+      has_zero_ = true;
+      return added;
+    }
+    // Probe for an existing key before considering growth, so a duplicate
+    // insert at the load threshold stays a pure lookup.
+    if (cap_ != 0) {
+      size_t i = IndexOf(key);
+      while (keys_[i] != 0) {
+        if (keys_[i] == key) {
+          return false;
+        }
+        i = (i + 1) & mask_;
+      }
+    }
+    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
+      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    }
+    size_t i = IndexOf(key);
+    while (keys_[i] != 0) {
+      i = (i + 1) & mask_;
+    }
+    StoreKey(i, key);
+    ++size_;
+    return true;
+  }
+
+  bool Erase(uint64_t key) {
+    if (key == 0) {
+      bool had = has_zero_;
+      has_zero_ = false;
+      return had;
+    }
+    if (size_ == 0) {
+      return false;
+    }
+    size_t i = IndexOf(key);
+    while (true) {
+      if (keys_[i] == key) {
+        break;
+      }
+      if (keys_[i] == 0) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    while (true) {
+      i = (i + 1) & mask_;
+      if (keys_[i] == 0) {
+        break;
+      }
+      size_t ideal = IndexOf(keys_[i]);
+      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
+        StoreKey(hole, keys_[i]);
+        hole = i;
+      }
+    }
+    StoreKey(hole, 0);
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) {
+      fn(uint64_t{0});
+    }
+    for (size_t i = 0; i < cap_; ++i) {
+      if (keys_[i] != 0) {
+        fn(keys_[i]);
+      }
+    }
+  }
+
+ private:
+  size_t IndexOf(uint64_t key) const {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  }
+
+  void StoreKey(size_t i, uint64_t v) {
+    keys_[i] = v;
+    if (i < flat_internal::kWindow - 1) {
+      keys_[cap_ + i] = v;
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    size_t old_cap = cap_;
+    keys_.assign(new_cap + flat_internal::kWindow - 1, 0);
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    shift_ = 64 - __builtin_ctzll(new_cap);
+    size_ = 0;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_keys[i] != 0) {
+        size_t j = IndexOf(old_keys[i]);
+        while (keys_[j] != 0) {
+          j = (j + 1) & mask_;
+        }
+        StoreKey(j, old_keys[i]);
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;  // cap_ slots + kWindow-1 mirror slots; 0 = empty
+  size_t cap_ = 0;
+  size_t size_ = 0;  // non-zero-key entries
+  size_t mask_ = 0;
+  unsigned shift_ = 64;
+  bool has_zero_ = false;
+};
+
+}  // namespace lxfi

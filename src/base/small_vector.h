@@ -1,0 +1,162 @@
+// SmallVector: a vector with inline storage for the first N elements.
+//
+// The enforcement hot path keeps tiny per-bucket collections — the WRITE
+// ranges intersecting one 4 KiB bucket, the principals that wrote one page —
+// that almost never exceed a handful of entries. Storing them inline keeps a
+// capability probe or writer-set scan inside the cache line(s) the flat table
+// already touched, instead of chasing a heap pointer per bucket.
+//
+// Restricted to trivially copyable T so growth and erase are memcpy/memmove
+// and destruction is trivial; that covers every hot-path payload (address
+// ranges, raw pointers) and keeps the container movable inside FlatTable
+// slots without element-wise move machinery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace lxfi {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable element types");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVector() : data_(inline_data()), size_(0), cap_(N) {}
+
+  SmallVector(const SmallVector& o) : SmallVector() { Assign(o); }
+
+  SmallVector(SmallVector&& o) noexcept : SmallVector() { StealFrom(o); }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      Assign(o);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      clear_storage();
+      StealFrom(o);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+  bool is_inline() const { return data_ == inline_data(); }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) {
+      Grow(cap_ * 2);
+    }
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  // Removes the element at index i, preserving order (memmove of the tail).
+  void erase_at(size_t i) {
+    std::memmove(data_ + i, data_ + i + 1, (size_ - i - 1) * sizeof(T));
+    --size_;
+  }
+
+  // Removes every element equal to v; returns the number removed.
+  size_t erase_value(const T& v) {
+    size_t out = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == v)) {
+        data_[out++] = data_[i];
+      }
+    }
+    size_t removed = size_ - out;
+    size_ = out;
+    return removed;
+  }
+
+  bool contains(const T& v) const {
+    for (size_t i = 0; i < size_; ++i) {
+      if (data_[i] == v) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const { return reinterpret_cast<const T*>(inline_); }
+
+  void clear_storage() {
+    if (!is_inline()) {
+      delete[] reinterpret_cast<unsigned char*>(data_);
+    }
+    data_ = inline_data();
+    size_ = 0;
+    cap_ = N;
+  }
+
+  void Assign(const SmallVector& o) {
+    if (o.size_ > cap_) {
+      clear_storage();
+      Grow(o.size_);
+    }
+    std::memcpy(data_, o.data_, o.size_ * sizeof(T));
+    size_ = o.size_;
+  }
+
+  void StealFrom(SmallVector& o) {
+    if (o.is_inline()) {
+      std::memcpy(data_, o.data_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    } else {
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_data();
+      o.size_ = 0;
+      o.cap_ = N;
+    }
+  }
+
+  void Grow(size_t new_cap) {
+    if (new_cap < size_) {
+      new_cap = size_;
+    }
+    T* heap = reinterpret_cast<T*>(new unsigned char[new_cap * sizeof(T)]);
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!is_inline()) {
+      delete[] reinterpret_cast<unsigned char*>(data_);
+    }
+    data_ = heap;
+    cap_ = new_cap;
+  }
+
+  T* data_;
+  size_t size_;
+  size_t cap_;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace lxfi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/small_vector.h"
 #include "src/base/string_util.h"
 
 namespace lxfi {
@@ -33,84 +34,65 @@ std::string Capability::ToString() const {
 
 void CapTable::GrantWrite(uintptr_t addr, size_t size) {
   if (size == 0) {
-    return;
+    return;  // an empty range authorizes nothing; don't create empty buckets
   }
-  WriteRange range{addr, size};
+  uintptr_t end = RangeEnd(addr, size);
   uintptr_t first = BucketOf(addr);
-  uintptr_t last = BucketOf(addr + size - 1);
+  uintptr_t last = BucketOf(end - 1);
   for (uintptr_t b = first; b <= last; ++b) {
-    auto& vec = write_buckets_[b];
-    if (std::find(vec.begin(), vec.end(), range) == vec.end()) {
-      vec.push_back(range);
-    }
+    write_buckets_.Insert(BucketKey(b), addr, end);  // exact dups ignored
   }
 }
 
 bool CapTable::RevokeWriteOverlapping(uintptr_t addr, size_t size) {
-  if (size == 0) {
+  if (size == 0 || write_buckets_.empty()) {
     return false;
   }
   // Collect overlapping ranges from the buckets the query range touches,
-  // then remove each from every bucket *it* touches.
-  std::vector<WriteRange> victims;
+  // then remove each from every bucket *it* touches — a range straddling a
+  // 4 KiB boundary has copies in buckets the query may not cover.
+  uintptr_t qend = RangeEnd(addr, size);
+  struct Range {
+    uintptr_t lo;
+    uintptr_t hi;
+    bool operator==(const Range& o) const { return lo == o.lo && hi == o.hi; }
+  };
+  SmallVector<Range, 8> victims;
   uintptr_t first = BucketOf(addr);
-  uintptr_t last = BucketOf(addr + size - 1);
+  uintptr_t last = BucketOf(qend - 1);
   for (uintptr_t b = first; b <= last; ++b) {
-    auto it = write_buckets_.find(b);
-    if (it == write_buckets_.end()) {
-      continue;
-    }
-    for (const WriteRange& r : it->second) {
-      if (r.addr < addr + size && addr < r.addr + r.size &&
-          std::find(victims.begin(), victims.end(), r) == victims.end()) {
+    write_buckets_.ForEachWithKey(BucketKey(b), [&](uintptr_t lo, uintptr_t hi) {
+      Range r{lo, hi};
+      if (lo < qend && addr < hi && !victims.contains(r)) {
         victims.push_back(r);
       }
-    }
+    });
   }
-  for (const WriteRange& r : victims) {
-    uintptr_t rf = BucketOf(r.addr);
-    uintptr_t rl = BucketOf(r.addr + r.size - 1);
+  for (const Range& r : victims) {
+    uintptr_t rf = BucketOf(r.lo);
+    uintptr_t rl = BucketOf(r.hi - 1);
     for (uintptr_t b = rf; b <= rl; ++b) {
-      auto it = write_buckets_.find(b);
-      if (it == write_buckets_.end()) {
-        continue;
-      }
-      auto& vec = it->second;
-      vec.erase(std::remove(vec.begin(), vec.end(), r), vec.end());
-      if (vec.empty()) {
-        write_buckets_.erase(it);
-      }
+      write_buckets_.EraseExact(BucketKey(b), r.lo, r.hi);
     }
   }
-  return !victims.empty();
-}
-
-bool CapTable::CheckWrite(uintptr_t addr, size_t size) const {
-  if (size == 0) {
-    return true;
-  }
-  auto it = write_buckets_.find(BucketOf(addr));
-  if (it == write_buckets_.end()) {
+  if (victims.empty()) {
     return false;
   }
-  for (const WriteRange& r : it->second) {
-    if (r.addr <= addr && addr + size <= r.addr + r.size) {
-      return true;
-    }
-  }
-  return false;
+  RevocationEpoch::Bump();
+  return true;
 }
 
 std::vector<Capability> CapTable::WriteRanges() const {
   std::vector<Capability> out;
-  for (const auto& [bucket, vec] : write_buckets_) {
-    for (const WriteRange& r : vec) {
-      // Report a range only from its first bucket to avoid duplicates.
-      if (BucketOf(r.addr) == bucket) {
-        out.push_back(Capability::Write(r.addr, r.size));
-      }
+  write_buckets_.ForEach([&out](uint64_t key, uintptr_t lo, uintptr_t hi) {
+    // Report a range only from its first bucket to avoid duplicates.
+    if (BucketKey(BucketOf(lo)) == key) {
+      out.push_back(Capability::Write(lo, static_cast<size_t>(hi - lo)));
     }
-  }
+  });
+  std::sort(out.begin(), out.end(), [](const Capability& a, const Capability& b) {
+    return a.addr != b.addr ? a.addr < b.addr : a.size < b.size;
+  });
   return out;
 }
 
@@ -153,9 +135,12 @@ bool CapTable::Revoke(const Capability& cap) {
 }
 
 void CapTable::Clear() {
-  write_buckets_.clear();
-  call_.clear();
-  ref_.clear();
+  if (!write_buckets_.empty() || !call_.empty()) {
+    RevocationEpoch::Bump();
+  }
+  write_buckets_.Clear();
+  call_.Clear();
+  ref_.Clear();
 }
 
 size_t CapTable::write_count() const { return WriteRanges().size(); }

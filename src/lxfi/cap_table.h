@@ -6,22 +6,56 @@
 // bits of the address when computing hash keys), so a containment query
 // probes exactly one bucket. The paper found this beats a balanced tree for
 // the ≤page-sized objects kernel modules manipulate; bench_captable measures
-// that claim against an ordered interval map.
+// that claim against an ordered interval map and against the node-based
+// std::unordered_map layout this table replaced.
+//
+// All three structures are open-addressing flat tables (src/base/flat_table.h):
+// WRITE ranges live in an interleaved FlatRangeMap (bucket key and range in
+// one 32-byte slot; a bucket covered by several ranges owns several slots on
+// one probe chain), CALL and REF in FlatSets, so the common probe touches
+// one short run of contiguous memory.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/base/flat_table.h"
 #include "src/base/hash.h"
 #include "src/lxfi/cap.h"
 
 namespace lxfi {
 
+// Process-wide generation counter bumped on every capability removal (revoke
+// or table clear) anywhere. EnforcementContext memos (last-hit WRITE range,
+// last-checked CALL target) record the generation at fill time; a bump
+// anywhere invalidates every memo, which is the conservative direction — a
+// stale *positive* memo could otherwise outlive the grant that justified it.
+// Grants never bump it: adding capabilities cannot turn a cached "allowed"
+// into "denied". Revocation is rare (transfer() actions, module unload), so
+// the cost is an extra full lookup right after one, never a missed check.
+class RevocationEpoch {
+ public:
+  static uint64_t Current() { return counter_.load(std::memory_order_relaxed); }
+  static void Bump() { counter_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  static inline std::atomic<uint64_t> counter_{1};
+};
+
 class CapTable {
  public:
   static constexpr uintptr_t kBucketShift = 12;
+
+  CapTable() = default;
+  // Destroying a table that still holds capabilities is a removal event for
+  // memo purposes: a global principal's memo may have been satisfied by an
+  // instance table that is being dropped (principal teardown, module unload).
+  ~CapTable() {
+    if (!write_buckets_.empty() || !call_.empty()) {
+      RevocationEpoch::Bump();
+    }
+  }
 
   // --- WRITE --------------------------------------------------------------
   void GrantWrite(uintptr_t addr, size_t size);
@@ -29,21 +63,42 @@ class CapTable {
   // anything was removed.
   bool RevokeWriteOverlapping(uintptr_t addr, size_t size);
   // True iff some granted range fully contains [addr, addr+size).
-  bool CheckWrite(uintptr_t addr, size_t size) const;
-  // Enumerates distinct granted ranges (for writer-set seeding and debug).
+  // Inline: this is the store-guard probe, called on every module write.
+  bool CheckWrite(uintptr_t addr, size_t size) const {
+    uintptr_t lo, hi;
+    return FindWriteRange(addr, size, &lo, &hi);
+  }
+  // Like CheckWrite, but also reports the containing granted range
+  // [*lo, *hi) so callers can memoize it (EnforcementContext fast path).
+  bool FindWriteRange(uintptr_t addr, size_t size, uintptr_t* lo, uintptr_t* hi) const {
+    if (size == 0) {
+      // Vacuously allowed; memoize nothing ([addr, addr) contains no byte).
+      *lo = addr;
+      *hi = addr;
+      return true;
+    }
+    uintptr_t qend = RangeEnd(addr, size);
+    return write_buckets_.FindContaining(BucketKey(BucketOf(addr)), addr, qend, lo, hi);
+  }
+  // Enumerates distinct granted ranges, deduplicated and sorted by
+  // (addr, size) — deterministic for snapshots and writer-set seeding.
   std::vector<Capability> WriteRanges() const;
 
   // --- CALL ---------------------------------------------------------------
-  void GrantCall(uintptr_t target) { call_.insert(target); }
-  bool RevokeCall(uintptr_t target) { return call_.erase(target) != 0; }
-  bool CheckCall(uintptr_t target) const { return call_.count(target) != 0; }
+  void GrantCall(uintptr_t target) { call_.Insert(target); }
+  bool RevokeCall(uintptr_t target) {
+    if (!call_.Erase(target)) {
+      return false;
+    }
+    RevocationEpoch::Bump();
+    return true;
+  }
+  bool CheckCall(uintptr_t target) const { return call_.Contains(target); }
 
   // --- REF ----------------------------------------------------------------
-  void GrantRef(RefTypeId type, uintptr_t addr) { ref_.insert(RefKey(type, addr)); }
-  bool RevokeRef(RefTypeId type, uintptr_t addr) { return ref_.erase(RefKey(type, addr)) != 0; }
-  bool CheckRef(RefTypeId type, uintptr_t addr) const {
-    return ref_.count(RefKey(type, addr)) != 0;
-  }
+  void GrantRef(RefTypeId type, uintptr_t addr) { ref_.Insert(RefKey(type, addr)); }
+  bool RevokeRef(RefTypeId type, uintptr_t addr) { return ref_.Erase(RefKey(type, addr)); }
+  bool CheckRef(RefTypeId type, uintptr_t addr) const { return ref_.Contains(RefKey(type, addr)); }
 
   // --- generic ------------------------------------------------------------
   void Grant(const Capability& cap);
@@ -58,22 +113,28 @@ class CapTable {
   size_t ref_count() const { return ref_.size(); }
 
  private:
-  struct WriteRange {
-    uintptr_t addr;
-    size_t size;
-    bool operator==(const WriteRange& o) const { return addr == o.addr && size == o.size; }
-  };
-
   static uint64_t RefKey(RefTypeId type, uintptr_t addr) {
     return HashCombine(type, static_cast<uint64_t>(addr));
   }
 
   static uintptr_t BucketOf(uintptr_t addr) { return addr >> kBucketShift; }
 
-  // bucket -> ranges that intersect the bucket's 4 KiB span.
-  std::unordered_map<uintptr_t, std::vector<WriteRange>> write_buckets_;
-  std::unordered_set<uintptr_t> call_;
-  std::unordered_set<uint64_t> ref_;
+  // FlatRangeMap keys must be non-zero; bucket 0 (user-space base) is real.
+  static uint64_t BucketKey(uintptr_t bucket) { return bucket + 1; }
+
+  // End of [addr, addr+size), saturated so a range touching the top of the
+  // address space cannot wrap to bucket 0 and strand stale copies.
+  static uintptr_t RangeEnd(uintptr_t addr, size_t size) {
+    uintptr_t end = addr + size;
+    return end < addr ? ~uintptr_t{0} : end;
+  }
+
+  // bucket -> ranges that intersect the bucket's 4 KiB span, stored
+  // interleaved (key and range in one slot) so the store-guard probe is a
+  // single dependent load chain.
+  FlatRangeMap write_buckets_;
+  FlatSet call_;
+  FlatSet ref_;
 };
 
 }  // namespace lxfi

@@ -1,0 +1,74 @@
+// Per-principal enforcement state, fused (§4–§5, Figure 13).
+//
+// The reference monitor's hot path — a store guard on every module write, a
+// CALL check on every boundary crossing — used to touch three separately
+// allocated structures (capability table, writer set, guard stats). This
+// object fuses the per-principal portion into one cache-resident record:
+//
+//   * the principal's capability table (flat, open-addressing);
+//   * a 1-entry last-hit WRITE-range memo: module code overwhelmingly
+//     re-checks the same object it just wrote (memset loops, field-by-field
+//     struct initialization), so remembering the granted range that
+//     satisfied the last check turns the common store guard into three
+//     compares against data on the same cache lines;
+//   * a 1-entry CALL memo for the same reason: a wrapper import calls the
+//     same kernel entry point back-to-back on packet paths;
+//   * per-principal guard counters (checks and memo hits), cheap enough to
+//     keep always-on and the raw material for the Figure 13 breakdown.
+//
+// Memo soundness: memos cache *positive* answers only, and every capability
+// removal anywhere bumps the process-wide RevocationEpoch, which invalidates
+// all memos at once (see cap_table.h). Grants never invalidate — more
+// authority cannot make a cached "allowed" wrong.
+#pragma once
+
+#include <cstdint>
+
+#include "src/lxfi/cap_table.h"
+
+namespace lxfi {
+
+struct EnforcementContext {
+  CapTable caps;
+
+  // Last-hit WRITE memo: the granted range [write_lo, write_hi) that
+  // contained the previous successful check. Invalid when epoch is stale
+  // (or at rest: lo > hi matches nothing).
+  uintptr_t write_lo = 1;
+  uintptr_t write_hi = 0;
+  uint64_t write_epoch = 0;
+
+  // Last-allowed CALL memo.
+  uintptr_t call_target = 0;
+  uint64_t call_epoch = 0;
+
+  // Guard counters (always on; counter-only, no clock reads).
+  uint64_t write_checks = 0;
+  uint64_t write_memo_hits = 0;
+  uint64_t call_checks = 0;
+  uint64_t call_memo_hits = 0;
+
+  bool WriteMemoHit(uintptr_t addr, size_t size) const {
+    return write_epoch == RevocationEpoch::Current() && addr >= write_lo && addr <= write_hi &&
+           size <= write_hi - addr;
+  }
+
+  void FillWriteMemo(uintptr_t lo, uintptr_t hi) {
+    if (lo < hi) {  // never memoize an empty range (zero-size checks)
+      write_lo = lo;
+      write_hi = hi;
+      write_epoch = RevocationEpoch::Current();
+    }
+  }
+
+  bool CallMemoHit(uintptr_t target) const {
+    return call_epoch == RevocationEpoch::Current() && call_target == target;
+  }
+
+  void FillCallMemo(uintptr_t target) {
+    call_target = target;
+    call_epoch = RevocationEpoch::Current();
+  }
+};
+
+}  // namespace lxfi

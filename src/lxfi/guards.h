@@ -63,28 +63,75 @@ class GuardStats {
   std::array<uint64_t, static_cast<size_t>(GuardType::kCount)> time_ns_ = {};
 };
 
-// RAII timing for one guard; counts always, times only when enabled.
-class ScopedGuard {
+// RAII guard accounting, resolved at compile time per instantiation:
+//
+//   GuardScope<false> — counter-only. One increment, empty destructor, no
+//     clock reads and no per-guard branch; this is what every enforcement
+//     hot path instantiates when guard_timing is off.
+//   GuardScope<true>  — counts and accumulates wall time (the two clock
+//     reads Figure 13 needs).
+//
+// Call sites branch once on GuardStats::timing_enabled and run the whole
+// check body under the matching instantiation, instead of paying a
+// timing_enabled test in both the constructor and destructor of every guard
+// (the layout this replaced).
+template <bool kTimed>
+class GuardScope;
+
+template <>
+class GuardScope<false> {
  public:
-  ScopedGuard(GuardStats* stats, GuardType type) : stats_(stats), type_(type) {
+  GuardScope(GuardStats* stats, GuardType type) { stats->Count(type); }
+
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+};
+
+template <>
+class GuardScope<true> {
+ public:
+  GuardScope(GuardStats* stats, GuardType type)
+      : stats_(stats), type_(type), start_(MonotonicNowNs()) {
+    stats_->Count(type_);
+  }
+  ~GuardScope() { stats_->AddTime(type_, MonotonicNowNs() - start_); }
+
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+ private:
+  GuardStats* stats_;
+  GuardType type_;
+  uint64_t start_;
+};
+
+// Runtime-dispatched variant for paths that already do heap or string work
+// per guard (annotation actions), where splitting timed/untimed bodies buys
+// nothing. Counts always; times only when enabled. (Kept under its original
+// name ScopedGuard too, for callers outside the flattened hot paths.)
+class GuardScopeDyn {
+ public:
+  GuardScopeDyn(GuardStats* stats, GuardType type) : stats_(stats), type_(type) {
     stats_->Count(type_);
     if (stats_->timing_enabled) {
       start_ = MonotonicNowNs();
     }
   }
-  ~ScopedGuard() {
-    if (stats_->timing_enabled) {
+  ~GuardScopeDyn() {
+    if (start_ != 0) {
       stats_->AddTime(type_, MonotonicNowNs() - start_);
     }
   }
 
-  ScopedGuard(const ScopedGuard&) = delete;
-  ScopedGuard& operator=(const ScopedGuard&) = delete;
+  GuardScopeDyn(const GuardScopeDyn&) = delete;
+  GuardScopeDyn& operator=(const GuardScopeDyn&) = delete;
 
  private:
   GuardStats* stats_;
   GuardType type_;
   uint64_t start_ = 0;
 };
+
+using ScopedGuard = GuardScopeDyn;
 
 }  // namespace lxfi

@@ -27,19 +27,18 @@ ModuleCtx::ModuleCtx(Runtime* runtime, kern::Module* kmod)
 const std::string& ModuleCtx::name() const { return kmod_->name(); }
 
 Principal* ModuleCtx::GetOrCreate(uintptr_t name) {
-  auto it = by_name_.find(name);
-  if (it != by_name_.end()) {
-    return it->second;
+  if (Principal* const* found = by_name_.Find(name)) {
+    return *found;
   }
   instances_.push_back(std::make_unique<Principal>(this, PrincipalKind::kInstance, name));
   Principal* p = instances_.back().get();
-  by_name_[name] = p;
+  by_name_.Insert(name, p);
   return p;
 }
 
 Principal* ModuleCtx::Lookup(uintptr_t name) const {
-  auto it = by_name_.find(name);
-  return it == by_name_.end() ? nullptr : it->second;
+  Principal* const* found = by_name_.Find(name);
+  return found == nullptr ? nullptr : *found;
 }
 
 bool ModuleCtx::Alias(uintptr_t existing, uintptr_t alias) {
@@ -47,7 +46,7 @@ bool ModuleCtx::Alias(uintptr_t existing, uintptr_t alias) {
   if (p == nullptr) {
     return false;
   }
-  by_name_[alias] = p;
+  by_name_.Insert(alias, p);
   return true;
 }
 
@@ -57,13 +56,7 @@ void ModuleCtx::DropInstance(uintptr_t name) {
     return;
   }
   // Remove all names bound to this principal.
-  for (auto it = by_name_.begin(); it != by_name_.end();) {
-    if (it->second == p) {
-      it = by_name_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  by_name_.EraseIf([p](uint64_t, Principal* const& bound) { return bound == p; });
   for (auto it = instances_.begin(); it != instances_.end(); ++it) {
     if (it->get() == p) {
       instances_.erase(it);
@@ -72,21 +65,40 @@ void ModuleCtx::DropInstance(uintptr_t name) {
   }
 }
 
-bool ModuleCtx::Owns(const Principal* p, const Capability& cap) const {
-  if (p->caps().Check(cap)) {
+// The one copy of the ownership fallback chain (§3.1): the principal itself,
+// then the module's shared principal, then — for the global principal — the
+// union over every instance. `probe` answers "does this table satisfy the
+// query" for one principal.
+template <typename Probe>
+bool ModuleCtx::OwnsChain(const Principal* p, Probe&& probe) const {
+  if (probe(*p)) {
     return true;
   }
-  if (p != &shared_ && shared_.caps().Check(cap)) {
+  if (p != &shared_ && probe(shared_)) {
     return true;
   }
   if (p->kind() == PrincipalKind::kGlobal) {
     for (const auto& inst : instances_) {
-      if (inst->caps().Check(cap)) {
+      if (probe(*inst)) {
         return true;
       }
     }
   }
   return false;
+}
+
+bool ModuleCtx::Owns(const Principal* p, const Capability& cap) const {
+  return OwnsChain(p, [&cap](const Principal& q) { return q.caps().Check(cap); });
+}
+
+bool ModuleCtx::OwnsWrite(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
+                          uintptr_t* hi) const {
+  return OwnsChain(
+      p, [&](const Principal& q) { return q.caps().FindWriteRange(addr, size, lo, hi); });
+}
+
+bool ModuleCtx::OwnsCall(const Principal* p, uintptr_t target) const {
+  return OwnsChain(p, [target](const Principal& q) { return q.caps().CheckCall(target); });
 }
 
 bool ModuleCtx::RevokeEverywhere(const Capability& cap) {

@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_table.h"
 #include "src/lxfi/cap_table.h"
+#include "src/lxfi/enforcement_context.h"
 
 namespace kern {
 class Module;
@@ -44,8 +45,13 @@ class Principal {
   PrincipalKind kind() const { return kind_; }
   uintptr_t name() const { return name_; }
 
-  CapTable& caps() { return caps_; }
-  const CapTable& caps() const { return caps_; }
+  CapTable& caps() { return ctx_.caps; }
+  const CapTable& caps() const { return ctx_.caps; }
+
+  // The fused per-principal enforcement record (capability table + memos +
+  // guard counters) the runtime hot paths operate on.
+  EnforcementContext& ctx() { return ctx_; }
+  const EnforcementContext& ctx() const { return ctx_; }
 
   std::string DebugName() const;
 
@@ -53,7 +59,7 @@ class Principal {
   ModuleCtx* module_;
   PrincipalKind kind_;
   uintptr_t name_;  // primary name (0 for shared/global)
-  CapTable caps_;
+  EnforcementContext ctx_;
 };
 
 // Per-loaded-module LXFI state.
@@ -90,6 +96,22 @@ class ModuleCtx {
   //  - `p` is the global principal and *any* principal of the module owns it.
   bool Owns(const Principal* p, const Capability& cap) const;
 
+  // WRITE ownership with the same fallback chain, reporting the containing
+  // granted range [*lo, *hi) so the caller can fill its write memo.
+  bool OwnsWrite(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
+                 uintptr_t* hi) const;
+
+  // CALL ownership with the same fallback chain (no range to report).
+  bool OwnsCall(const Principal* p, uintptr_t target) const;
+
+ private:
+  // Shared self -> shared -> (global: instances) fallback chain; `probe`
+  // tests one principal's table. Defined in principal.cc.
+  template <typename Probe>
+  bool OwnsChain(const Principal* p, Probe&& probe) const;
+
+ public:
+
   // Revokes `cap` from every principal of this module; returns true if any
   // principal held it.
   bool RevokeEverywhere(const Capability& cap);
@@ -100,7 +122,7 @@ class ModuleCtx {
   Principal shared_;
   Principal global_;
   std::vector<std::unique_ptr<Principal>> instances_;
-  std::unordered_map<uintptr_t, Principal*> by_name_;
+  FlatTable<Principal*> by_name_;
 };
 
 }  // namespace lxfi

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "src/base/compiler.h"
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/kernel/panic.h"
@@ -84,7 +85,17 @@ Runtime::Runtime(kern::Kernel* kernel, RuntimeOptions options)
 }
 
 Runtime::~Runtime() {
+  // Drop the cached shadow-stack pointers so a later Runtime on the same
+  // kernel cannot observe pointers into this one's freed shadow map. Only
+  // safe while we are still the kernel's isolation: once replaced, kthread
+  // lifecycle events stopped reaching us, so keys in shadows_ may name
+  // contexts that were since destroyed.
   if (kernel_->isolation() == this) {
+    for (auto& [ctx, shadow] : shadows_) {
+      if (ctx->lxfi_shadow == shadow.get()) {
+        ctx->lxfi_shadow = nullptr;
+      }
+    }
     kernel_->set_isolation(nullptr);
   }
 }
@@ -217,11 +228,21 @@ ModuleCtx* Runtime::CtxOf(kern::Module* module) {
 
 ShadowStack* Runtime::CurrentShadow() {
   kern::KthreadContext* ctx = kernel_->current();
+  // The kthread context caches its shadow stack; every enforcement check
+  // starts here, so the common case must not pay a map lookup. The owner
+  // tag rejects a stack cached by a different Runtime on the same kernel.
+  if (LXFI_LIKELY(ctx->lxfi_shadow != nullptr)) {
+    auto* shadow = static_cast<ShadowStack*>(ctx->lxfi_shadow);
+    if (LXFI_LIKELY(shadow->owner == this)) {
+      return shadow;
+    }
+  }
   auto it = shadows_.find(ctx);
   if (it == shadows_.end()) {
     it = shadows_.emplace(ctx, std::make_unique<ShadowStack>()).first;
-    ctx->lxfi_shadow = it->second.get();
+    it->second->owner = this;
   }
+  ctx->lxfi_shadow = it->second.get();
   return it->second.get();
 }
 
@@ -230,6 +251,7 @@ Principal* Runtime::CurrentPrincipal() { return CurrentShadow()->current; }
 void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
   if (shadows_.count(ctx) == 0) {
     auto shadow = std::make_unique<ShadowStack>();
+    shadow->owner = this;
     ctx->lxfi_shadow = shadow.get();
     shadows_[ctx] = std::move(shadow);
   }
@@ -292,36 +314,101 @@ void Runtime::CheckWrite(const void* dst, size_t size) {
   if (p == nullptr) {
     return;  // trusted (core kernel) context
   }
-  ScopedGuard guard(&guards_, GuardType::kMemWrite);
-  Capability cap = Capability::Write(dst, size);
-  if (!OwnsForEnforcement(p, cap)) {
-    RaiseViolation(ViolationKind::kWrite,
-                   StrFormat("%s attempted %zu-byte store to %p without WRITE capability",
-                             p->DebugName().c_str(), size, dst));
+  uintptr_t addr = reinterpret_cast<uintptr_t>(dst);
+  if (LXFI_UNLIKELY(guards_.timing_enabled)) {
+    GuardScope<true> guard(&guards_, GuardType::kMemWrite);
+    CheckWriteBody(p, addr, size);
+    return;
   }
+  GuardScope<false> guard(&guards_, GuardType::kMemWrite);
+  CheckWriteBody(p, addr, size);
+}
+
+// The two halves of the write-memo protocol, kept in exactly one place each
+// so the store guard (CheckWriteBody, which wedges the kernel-stack test
+// between them) and OwnsWriteFast (LxfiCheck, no stack grant) cannot drift.
+LXFI_ALWAYS_INLINE bool Runtime::WriteMemoProbe(EnforcementContext& ec, uintptr_t addr,
+                                                size_t size) {
+  ++ec.write_checks;
+  // Fast path: the last granted range that satisfied a check for this
+  // principal (memset / field-by-field store pattern). Three compares
+  // against the context the CurrentPrincipal() load already touched.
+  if (LXFI_LIKELY(options_.enforcement_memo && ec.WriteMemoHit(addr, size))) {
+    ++ec.write_memo_hits;
+    return true;
+  }
+  return false;
+}
+
+LXFI_ALWAYS_INLINE bool Runtime::WriteTableProbe(Principal* p, EnforcementContext& ec,
+                                                 uintptr_t addr, size_t size) {
+  uintptr_t lo, hi;
+  if (!p->module()->OwnsWrite(p, addr, size, &lo, &hi)) {
+    return false;
+  }
+  if (options_.enforcement_memo) {
+    ec.FillWriteMemo(lo, hi);
+  }
+  return true;
+}
+
+void Runtime::CheckWriteBody(Principal* p, uintptr_t addr, size_t size) {
+  EnforcementContext& ec = p->ctx();
+  if (WriteMemoProbe(ec, addr, size)) {
+    return;
+  }
+  // §3.2 initial capability (2): the current kernel stack is always
+  // module-writable. Two compares; no memo (the table path below would
+  // otherwise never warm up for heap objects).
+  if (OnKernelStack(addr, size)) {
+    return;
+  }
+  if (LXFI_LIKELY(WriteTableProbe(p, ec, addr, size))) {
+    return;
+  }
+  RaiseViolation(ViolationKind::kWrite,
+                 StrFormat("%s attempted %zu-byte store to %p without WRITE capability",
+                           p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)));
+}
+
+bool Runtime::OwnsWriteFast(Principal* p, uintptr_t addr, size_t size) {
+  EnforcementContext& ec = p->ctx();
+  return WriteMemoProbe(ec, addr, size) || WriteTableProbe(p, ec, addr, size);
+}
+
+bool Runtime::OwnsCallFast(Principal* p, uintptr_t target) {
+  EnforcementContext& ec = p->ctx();
+  ++ec.call_checks;
+  if (options_.enforcement_memo && ec.CallMemoHit(target)) {
+    ++ec.call_memo_hits;
+    return true;
+  }
+  if (!p->module()->OwnsCall(p, target)) {
+    return false;
+  }
+  if (options_.enforcement_memo) {
+    ec.FillCallMemo(target);
+  }
+  return true;
 }
 
 void Runtime::CheckCall(Principal* p, uintptr_t target, const std::string& name) {
   if (p == nullptr) {
     return;
   }
-  if (!Owns(p, Capability::Call(target))) {
+  if (!OwnsCallFast(p, target)) {
     RaiseViolation(ViolationKind::kCall,
                    StrFormat("%s has no CALL capability for %s (%#llx)", p->DebugName().c_str(),
                              name.c_str(), static_cast<unsigned long long>(target)));
   }
 }
 
-std::vector<Principal*> Runtime::PossibleWriters(uintptr_t slot_addr) {
-  if (options_.writer_set_tracking) {
-    return writer_set_.WritersFor(slot_addr);
-  }
+void Runtime::CollectWritersFromCaps(uintptr_t slot_addr, WriterVec* out) {
   // Ablation mode: recompute from capability tables every time.
-  std::vector<Principal*> writers;
   for (auto& [kmod, mc] : ctxs_) {
     auto consider = [&](Principal* p) {
       if (p->caps().CheckWrite(slot_addr, sizeof(uintptr_t))) {
-        writers.push_back(p);
+        out->push_back(p);
       }
     };
     consider(mc->shared());
@@ -330,28 +417,44 @@ std::vector<Principal*> Runtime::PossibleWriters(uintptr_t slot_addr) {
       consider(inst.get());
     }
   }
-  return writers;
 }
 
 void Runtime::CheckKernelIndirectCall(const void* pptr, const char* fnptr_type,
                                       uintptr_t target) {
-  ScopedGuard guard(&guards_, GuardType::kIndCallAll);
+  if (LXFI_UNLIKELY(guards_.timing_enabled)) {
+    GuardScope<true> guard(&guards_, GuardType::kIndCallAll);
+    IndirectCallBody<true>(pptr, fnptr_type, target);
+    return;
+  }
+  GuardScope<false> guard(&guards_, GuardType::kIndCallAll);
+  IndirectCallBody<false>(pptr, fnptr_type, target);
+}
+
+template <bool kTimed>
+void Runtime::IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr_t target) {
   if (target >= kern::kModuleTextBase) {
     guards_.Count(GuardType::kIndCallModule);
   }
   uintptr_t slot = reinterpret_cast<uintptr_t>(pptr);
-  if (options_.writer_set_tracking && writer_set_.Empty(slot)) {
+  if (LXFI_LIKELY(options_.writer_set_tracking && writer_set_.Empty(slot))) {
     return;  // fast path: no principal could have written this slot
   }
-  ScopedGuard full_guard(&guards_, GuardType::kIndCallFull);
-  std::vector<Principal*> writers = PossibleWriters(slot);
-  if (writers.empty()) {
+  GuardScope<kTimed> full_guard(&guards_, GuardType::kIndCallFull);
+  WriterVec scratch;
+  const WriterVec* writers;
+  if (options_.writer_set_tracking) {
+    writers = &writer_set_.WritersFor(slot);
+  } else {
+    CollectWritersFromCaps(slot, &scratch);
+    writers = &scratch;
+  }
+  if (writers->empty()) {
     return;
   }
   // Every principal that could have written the slot must hold a CALL
   // capability for the stored target (§4.1).
-  for (Principal* writer : writers) {
-    if (!Owns(writer, Capability::Call(target))) {
+  for (Principal* writer : *writers) {
+    if (!OwnsCallFast(writer, target)) {
       RaiseViolation(
           ViolationKind::kIndirectCall,
           StrFormat("kernel indirect call through %p (type %s) to %#llx: writer %s lacks CALL",
@@ -390,7 +493,21 @@ void Runtime::LxfiCheck(const Capability& cap) {
   if (p == nullptr) {
     return;
   }
-  if (!Owns(p, cap)) {
+  // WRITE and CALL route through the EnforcementContext memos; the memo only
+  // ever caches table-backed (not stack) ranges, so semantics match Owns().
+  bool ok;
+  switch (cap.kind) {
+    case CapKind::kWrite:
+      ok = OwnsWriteFast(p, cap.addr, cap.size);
+      break;
+    case CapKind::kCall:
+      ok = OwnsCallFast(p, cap.addr);
+      break;
+    default:
+      ok = Owns(p, cap);
+      break;
+  }
+  if (!ok) {
     RaiseViolation(ViolationKind::kCapCheck, StrFormat("lxfi_check failed: %s does not own %s",
                                                        p->DebugName().c_str(),
                                                        cap.ToString().c_str()));
@@ -469,7 +586,16 @@ std::string Runtime::DumpState() const {
   std::string out;
   out += StrFormat("lxfi runtime: %zu module(s), %zu tracked writer page(s), %zu violation(s)\n",
                    ctxs_.size(), writer_set_.TrackedPages(), violations_.size());
+  // Deterministic order (snapshot-testable): modules sorted by name,
+  // principals as shared, global, then instances sorted by principal name.
+  std::vector<ModuleCtx*> modules;
+  modules.reserve(ctxs_.size());
   for (const auto& [kmod, mc] : ctxs_) {
+    modules.push_back(mc.get());
+  }
+  std::sort(modules.begin(), modules.end(),
+            [](const ModuleCtx* a, const ModuleCtx* b) { return a->name() < b->name(); });
+  for (ModuleCtx* mc : modules) {
     out += StrFormat("module %s: %zu instance principal(s)\n", mc->name().c_str(),
                      mc->instances().size());
     auto describe = [&](const Principal* p) {
@@ -478,8 +604,15 @@ std::string Runtime::DumpState() const {
     };
     describe(mc->shared());
     describe(mc->global());
+    std::vector<const Principal*> insts;
+    insts.reserve(mc->instances().size());
     for (const auto& inst : mc->instances()) {
-      describe(inst.get());
+      insts.push_back(inst.get());
+    }
+    std::sort(insts.begin(), insts.end(),
+              [](const Principal* a, const Principal* b) { return a->name() < b->name(); });
+    for (const Principal* inst : insts) {
+      describe(inst);
     }
   }
   return out;
@@ -596,7 +729,7 @@ void Runtime::ApplyAction(const Action& action, const CallEnv& env, bool post) {
   // kernel toward the module principal.
   bool from_module = env.kernel_to_module == post;
   for (const Capability& cap : caps) {
-    ScopedGuard guard(&guards_, GuardType::kAnnotationAction);
+    GuardScopeDyn guard(&guards_, GuardType::kAnnotationAction);
     switch (action.op) {
       case Action::Op::kCheck:
         if (from_module && !OwnsForEnforcement(env.principal, cap)) {
@@ -676,24 +809,39 @@ Principal* Runtime::SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* m
 // --- wrapper entry/exit --------------------------------------------------------------
 
 uint64_t Runtime::WrapperEnter(Principal* switch_to, const char* what) {
-  ScopedGuard guard(&guards_, GuardType::kFunctionEntry);
-  ShadowStack* shadow = CurrentShadow();
-  uint64_t token = shadow->Push(shadow->current, what);
-  shadow->current = switch_to;
-  return token;
+  auto body = [&] {
+    ShadowStack* shadow = CurrentShadow();
+    uint64_t token = shadow->Push(shadow->current, what);
+    shadow->current = switch_to;
+    return token;
+  };
+  if (LXFI_UNLIKELY(guards_.timing_enabled)) {
+    GuardScope<true> guard(&guards_, GuardType::kFunctionEntry);
+    return body();
+  }
+  GuardScope<false> guard(&guards_, GuardType::kFunctionEntry);
+  return body();
 }
 
 void Runtime::WrapperExit(uint64_t token, const char* what) {
-  ScopedGuard guard(&guards_, GuardType::kFunctionExit);
-  ShadowStack* shadow = CurrentShadow();
-  bool ok = false;
-  Principal* saved = shadow->Pop(token, &ok);
-  if (!ok) {
-    RaiseViolation(ViolationKind::kShadowStack,
-                   StrFormat("return-path corruption detected leaving %s", what));
+  auto body = [&] {
+    ShadowStack* shadow = CurrentShadow();
+    bool ok = false;
+    Principal* saved = shadow->Pop(token, &ok);
+    if (!ok) {
+      RaiseViolation(ViolationKind::kShadowStack,
+                     StrFormat("return-path corruption detected leaving %s", what));
+      return;
+    }
+    shadow->current = saved;
+  };
+  if (LXFI_UNLIKELY(guards_.timing_enabled)) {
+    GuardScope<true> guard(&guards_, GuardType::kFunctionExit);
+    body();
     return;
   }
-  shadow->current = saved;
+  GuardScope<false> guard(&guards_, GuardType::kFunctionExit);
+  body();
 }
 
 void Runtime::WrapperAbort(uint64_t token, const char* what) {

@@ -26,11 +26,16 @@ namespace lxfi {
 struct RuntimeOptions {
   ViolationPolicy policy = ViolationPolicy::kThrow;
   // Collect per-guard wall time (Figure 13). Off by default: timing itself
-  // costs two clock reads per guard.
+  // costs two clock reads per guard. When off, guards compile down to a
+  // counter increment (GuardScope<false>).
   bool guard_timing = false;
   // Writer-set fast path for kernel indirect calls (§4.1). Disabling it is
   // the bench_writerset ablation: every indirect call takes the full check.
   bool writer_set_tracking = true;
+  // Per-principal last-hit memos (EnforcementContext). Disabling is the
+  // bench_sfi_micro ablation: every store guard takes the full flat-table
+  // lookup.
+  bool enforcement_memo = true;
 };
 
 // Bound arguments of one wrapped call, for annotation-expression evaluation.
@@ -103,7 +108,9 @@ class Runtime : public kern::IsolationHooks {
   }
 
   // --- instrumentation entry points ---------------------------------------
-  // Module store guard (inserted before each memory write, §4.2).
+  // Module store guard (inserted before each memory write, §4.2). The fast
+  // path is the per-principal EnforcementContext write memo; the slow path
+  // is one flat-table probe per fallback principal.
   void CheckWrite(const void* dst, size_t size);
   // CALL-capability check for a module's direct (wrapped) call.
   void CheckCall(Principal* p, uintptr_t target, const std::string& name);
@@ -162,7 +169,24 @@ class Runtime : public kern::IsolationHooks {
   std::vector<Capability> ResolveCaps(const CapListSpec& spec, const CallEnv& env, bool post);
   int64_t EvalExpr(const Expr& expr, const CallEnv& env) const;
   void ApplyAction(const Action& action, const CallEnv& env, bool post);
-  std::vector<Principal*> PossibleWriters(uintptr_t slot_addr);
+
+  // --- enforcement fast-path internals ------------------------------------
+  // Store-guard body shared by the timed and counter-only entry paths.
+  void CheckWriteBody(Principal* p, uintptr_t addr, size_t size);
+  // The write-memo protocol, one copy of each half: memo probe (count +
+  // hit test) and table probe (fallback chain + memo fill).
+  bool WriteMemoProbe(EnforcementContext& ec, uintptr_t addr, size_t size);
+  bool WriteTableProbe(Principal* p, EnforcementContext& ec, uintptr_t addr, size_t size);
+  // WRITE/CALL ownership through the principal's EnforcementContext memo
+  // (positive answers are memoized; see enforcement_context.h).
+  bool OwnsWriteFast(Principal* p, uintptr_t addr, size_t size);
+  bool OwnsCallFast(Principal* p, uintptr_t target);
+  // Indirect-call body shared by the timed and counter-only entry paths.
+  template <bool kTimed>
+  void IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr_t target);
+  // Ablation path: recompute a slot's possible writers from the capability
+  // tables instead of the writer set.
+  void CollectWritersFromCaps(uintptr_t slot_addr, WriterVec* out);
 
   kern::Kernel* kernel_;
   RuntimeOptions options_;

@@ -62,6 +62,12 @@ class ShadowStack {
   // The principal the current innermost execution runs as.
   Principal* current = nullptr;
 
+  // The Runtime that created this stack. The kthread context caches a raw
+  // ShadowStack pointer for the enforcement fast path; the owner tag lets a
+  // different Runtime on the same kernel reject the foreign cache instead of
+  // pushing frames onto (or dangling into) another runtime's stack.
+  const void* owner = nullptr;
+
   // Tokens of in-flight interrupt frames (per-thread, like the stack itself).
   std::vector<uint64_t> irq_tokens;
 

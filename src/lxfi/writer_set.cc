@@ -1,10 +1,8 @@
 #include "src/lxfi/writer_set.h"
 
-#include <algorithm>
-
 namespace lxfi {
 
-const std::vector<Principal*> WriterSet::kEmpty;
+const WriterVec WriterSet::kEmpty;
 
 void WriterSet::AddRange(Principal* writer, uintptr_t addr, size_t size) {
   if (size == 0) {
@@ -13,8 +11,8 @@ void WriterSet::AddRange(Principal* writer, uintptr_t addr, size_t size) {
   uintptr_t first = addr >> kPageShift;
   uintptr_t last = (addr + size - 1) >> kPageShift;
   for (uintptr_t page = first; page <= last; ++page) {
-    auto& writers = pages_[page];
-    if (std::find(writers.begin(), writers.end(), writer) == writers.end()) {
+    WriterVec& writers = pages_.GetOrInsert(page);
+    if (!writers.contains(writer)) {
       writers.push_back(writer);
     }
   }
@@ -32,25 +30,23 @@ void WriterSet::ClearRange(uintptr_t addr, size_t size) {
   uintptr_t end = addr + size;
   uintptr_t last_full = end >> kPageShift;  // exclusive
   for (uintptr_t page = first_full; page < last_full; ++page) {
-    pages_.erase(page);
+    pages_.Erase(page);
   }
 }
 
 void WriterSet::RemoveWriter(Principal* writer) {
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    auto& writers = it->second;
-    writers.erase(std::remove(writers.begin(), writers.end(), writer), writers.end());
-    if (writers.empty()) {
-      it = pages_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  pages_.EraseIf([writer](uint64_t page, const WriterVec& writers) {
+    // EraseIf visits values by const ref; removal mutates in place, which is
+    // safe because it never inserts or erases table entries mid-scan.
+    auto& mut = const_cast<WriterVec&>(writers);
+    mut.erase_value(writer);
+    return mut.empty();
+  });
 }
 
-const std::vector<Principal*>& WriterSet::WritersFor(uintptr_t addr) const {
-  auto it = pages_.find(addr >> kPageShift);
-  return it == pages_.end() ? kEmpty : it->second;
+const WriterVec& WriterSet::WritersFor(uintptr_t addr) const {
+  const WriterVec* writers = pages_.Find(addr >> kPageShift);
+  return writers == nullptr ? kEmpty : *writers;
 }
 
 }  // namespace lxfi

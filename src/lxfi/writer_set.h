@@ -11,17 +11,24 @@
 // of "writer set non-empty" bits; the actual writers are recovered by
 // traversing the global principal list. Here the map stores the small writer
 // set directly per page — same observable semantics, same O(1) emptiness
-// probe.
+// probe. The page map is an open-addressing flat table with the writers
+// inline (src/base/flat_table.h), so the Empty() probe on every kernel
+// indirect call walks contiguous memory only.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+
+#include "src/base/flat_table.h"
+#include "src/base/small_vector.h"
 
 namespace lxfi {
 
 class Principal;
+
+// Writers per page: virtually always 1 (the owning instance), occasionally
+// shared+instance; 4 inline slots keep even contended pages heap-free.
+using WriterVec = SmallVector<Principal*, 4>;
 
 class WriterSet {
  public:
@@ -37,18 +44,21 @@ class WriterSet {
   void RemoveWriter(Principal* writer);
 
   bool Empty(uintptr_t addr) const {
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() || it->second.empty();
+    // Present ⟹ non-empty: AddRange never leaves an empty writer vector,
+    // and ClearRange/RemoveWriter erase entries that drain. Emptiness is
+    // therefore a pure key probe — the value array is never touched on the
+    // kernel's indirect-call fast path.
+    return !pages_.Contains(addr >> kPageShift);
   }
 
   // Writers recorded for the page containing `addr`.
-  const std::vector<Principal*>& WritersFor(uintptr_t addr) const;
+  const WriterVec& WritersFor(uintptr_t addr) const;
 
   size_t TrackedPages() const { return pages_.size(); }
 
  private:
-  std::unordered_map<uintptr_t, std::vector<Principal*>> pages_;
-  static const std::vector<Principal*> kEmpty;
+  FlatTable<WriterVec> pages_;
+  static const WriterVec kEmpty;
 };
 
 }  // namespace lxfi

@@ -197,4 +197,123 @@ TEST_P(WriteTableProperty, MatchesBruteForceReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WriteTableProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// --- 4 KiB bucket-boundary straddling (the stale-copy regression class) -----
+//
+// A range intersecting N buckets has a copy in each; every mutation must act
+// on all copies or a later single-bucket probe sees a stale one. These tests
+// pin the exact straddle geometries, asserted against the same brute-force
+// reference the property test uses.
+
+TEST(CapTableStraddle, RevokeViaOneBucketScrubsTheOther) {
+  CapTable table;
+  // [kBase+4000, kBase+4300) straddles the bucket boundary at kBase+4096.
+  table.GrantWrite(kBase + 4000, 300);
+  // Revoke through a window that only touches the *second* bucket.
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase + 4200, 8));
+  EXPECT_FALSE(table.CheckWrite(kBase + 4000, 8));  // first-bucket copy gone
+  EXPECT_FALSE(table.CheckWrite(kBase + 4100, 8));
+  EXPECT_EQ(table.write_count(), 0u);
+}
+
+TEST(CapTableStraddle, AdjacentStraddlersRevokeIndependently) {
+  CapTable table;
+  table.GrantWrite(kBase + 4000, 200);  // straddles page 0/1 boundary
+  table.GrantWrite(kBase + 8100, 200);  // inside page 1's neighbor page... page 1
+  table.GrantWrite(kBase + 8000, 300);  // shares page 1 with the straddler
+  EXPECT_TRUE(table.RevokeWriteOverlapping(kBase + 4096, 4));  // hits only the first
+  EXPECT_FALSE(table.CheckWrite(kBase + 4000, 8));
+  EXPECT_TRUE(table.CheckWrite(kBase + 8100, 8));
+  EXPECT_TRUE(table.CheckWrite(kBase + 8000, 8));
+}
+
+TEST(CapTableStraddle, ExactBoundaryRangeEndsAtBucketEdge) {
+  CapTable table;
+  // Ends exactly at a bucket boundary: must not claim the next bucket.
+  table.GrantWrite(kBase, 4096);
+  EXPECT_TRUE(table.CheckWrite(kBase + 4088, 8));
+  EXPECT_FALSE(table.CheckWrite(kBase + 4096, 1));
+  // Starts exactly at a bucket boundary.
+  table.GrantWrite(kBase + 8192, 64);
+  EXPECT_TRUE(table.CheckWrite(kBase + 8192, 64));
+  EXPECT_FALSE(table.CheckWrite(kBase + 8191, 1));
+}
+
+TEST(CapTableStraddle, ZeroSizeOpsAreInert) {
+  CapTable table;
+  table.GrantWrite(kBase, 0);  // grants nothing
+  EXPECT_FALSE(table.CheckWrite(kBase, 1));
+  EXPECT_EQ(table.write_count(), 0u);
+  table.GrantWrite(kBase, 64);
+  EXPECT_FALSE(table.RevokeWriteOverlapping(kBase, 0));  // revokes nothing
+  EXPECT_TRUE(table.CheckWrite(kBase, 64));
+  EXPECT_TRUE(table.CheckWrite(kBase + 64, 0));  // vacuously true
+}
+
+TEST(CapTableStraddle, WriteRangesDeduplicatesAndSortsDeterministically) {
+  CapTable table;
+  table.GrantWrite(kBase + 4000, 3 * 4096);  // 4 buckets, one logical range
+  table.GrantWrite(kBase, 64);
+  table.GrantWrite(kBase, 32);  // same addr, smaller size: distinct range
+  std::vector<Capability> ranges = table.WriteRanges();
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].addr, kBase);
+  EXPECT_EQ(ranges[0].size, 32u);
+  EXPECT_EQ(ranges[1].addr, kBase);
+  EXPECT_EQ(ranges[1].size, 64u);
+  EXPECT_EQ(ranges[2].addr, kBase + 4000);
+  EXPECT_EQ(ranges[2].size, 3u * 4096u);
+  // Stable across repeated calls (flat-table iteration order must not leak).
+  std::vector<Capability> again = table.WriteRanges();
+  ASSERT_EQ(again.size(), ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_TRUE(again[i] == ranges[i]);
+  }
+}
+
+// Randomized straddle-heavy property: ranges sized near multiples of 4 KiB so
+// nearly every grant straddles, revokes windowed to single buckets.
+class StraddleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StraddleProperty, MatchesBruteForceReference) {
+  lxfi::Rng rng(GetParam());
+  CapTable table;
+  std::vector<RefRange> reference;
+
+  for (int step = 0; step < 4000; ++step) {
+    uintptr_t addr = kBase + rng.Below(16) * 4096 + 4096 - 64 + rng.Below(128);
+    size_t size = 1 + rng.Below(3) * 4096 + rng.Below(200);
+    int op = static_cast<int>(rng.Below(10));
+    if (op < 4) {
+      table.GrantWrite(addr, size);
+      bool present = false;
+      for (const RefRange& r : reference) {
+        present = present || (r.addr == addr && r.size == size);
+      }
+      if (!present) {
+        reference.push_back({addr, size});
+      }
+    } else if (op < 6) {
+      // Window the revoke to one bucket to stress cross-bucket scrubbing.
+      uintptr_t waddr = addr & ~uintptr_t{4095};
+      table.RevokeWriteOverlapping(waddr, 64);
+      for (auto it = reference.begin(); it != reference.end();) {
+        bool overlap = it->addr < waddr + 64 && waddr < it->addr + it->size;
+        it = overlap ? reference.erase(it) : it + 1;
+      }
+    } else {
+      uintptr_t qaddr = kBase + rng.Below(20) * 4096 + rng.Below(4096);
+      size_t qsize = 1 + rng.Below(8192);
+      bool expected = false;
+      for (const RefRange& r : reference) {
+        expected = expected || (r.addr <= qaddr && qaddr + qsize <= r.addr + r.size);
+      }
+      ASSERT_EQ(table.CheckWrite(qaddr, qsize), expected)
+          << "divergence at step " << step << " addr=" << qaddr << " size=" << qsize;
+    }
+    ASSERT_EQ(table.write_count(), reference.size()) << "range-count drift at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StraddleProperty, ::testing::Values(101, 202, 303, 404, 505));
+
 }  // namespace

@@ -97,6 +97,21 @@ TEST_F(PrincipalTest, DumpStateListsEveryPrincipal) {
   EXPECT_NE(dump.find("0xbb"), std::string::npos);
 }
 
+TEST_F(PrincipalTest, DumpStateIsDeterministic) {
+  // Instances created in an order that disagrees with their sorted order:
+  // the dump must come out sorted (snapshot-testable), and byte-identical
+  // across repeated calls regardless of hash-table iteration order.
+  ctx()->GetOrCreate(0xbb);
+  ctx()->GetOrCreate(0xaa);
+  ctx()->GetOrCreate(0xcc);
+  std::string first = bench_.rt->DumpState();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(bench_.rt->DumpState(), first);
+  }
+  EXPECT_LT(first.find("0xaa"), first.find("0xbb"));
+  EXPECT_LT(first.find("0xbb"), first.find("0xcc"));
+}
+
 TEST(AnnotationRegistry, IdenticalReRegistrationIsFine) {
   lxfi::AnnotationRegistry reg;
   ASSERT_TRUE(reg.Register("f", {"x"}, "pre(check(write, x, 8))").ok());

@@ -1,6 +1,10 @@
 // Writer-set tracking unit tests (§4.1, §5).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
+#include "src/base/rng.h"
 #include "src/lxfi/writer_set.h"
 
 namespace {
@@ -88,6 +92,88 @@ TEST(WriterSet, ZeroSizeOpsAreNoops) {
   ws.AddRange(P(1), kBase, 0);
   EXPECT_TRUE(ws.Empty(kBase));
   ws.ClearRange(kBase, 0);
+}
+
+// --- page-boundary straddling, asserted against a naive per-page reference --
+
+TEST(WriterSetStraddle, RangeEndingExactlyOnBoundaryStopsThere) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase + 2048, 2048);  // ends exactly at the page boundary
+  EXPECT_FALSE(ws.Empty(kBase + 2048));
+  EXPECT_TRUE(ws.Empty(kBase + 4096));
+}
+
+TEST(WriterSetStraddle, OneByteStraddleMarksBothPages) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase + 4095, 2);  // last byte of page 0, first of page 1
+  EXPECT_FALSE(ws.Empty(kBase));
+  EXPECT_FALSE(ws.Empty(kBase + 4096));
+  EXPECT_TRUE(ws.Empty(kBase + 2 * 4096));
+}
+
+TEST(WriterSetStraddle, ClearRangeStraddlingBoundaryKeepsPartialPages) {
+  WriterSet ws;
+  ws.AddRange(P(1), kBase, 4 * 4096);
+  // Clear [page0 mid .. page2 mid): only page 1 is fully contained.
+  ws.ClearRange(kBase + 2048, 2 * 4096);
+  EXPECT_FALSE(ws.Empty(kBase));             // partial: conservative keep
+  EXPECT_TRUE(ws.Empty(kBase + 4096));       // fully covered: cleared
+  EXPECT_FALSE(ws.Empty(kBase + 2 * 4096));  // partial: conservative keep
+  EXPECT_FALSE(ws.Empty(kBase + 3 * 4096));  // untouched
+}
+
+// Randomized straddle-heavy differential against a brute-force page map.
+TEST(WriterSetStraddle, MatchesNaiveReferenceUnderChurn) {
+  lxfi::Rng rng(909);
+  WriterSet ws;
+  // Reference: page -> set of writers, maintained with the same page-granular
+  // conservative-clear semantics, via the naive per-page loop.
+  std::map<uintptr_t, std::set<lxfi::Principal*>> ref;
+  constexpr uintptr_t kShift = WriterSet::kPageShift;
+
+  for (int step = 0; step < 20000; ++step) {
+    uintptr_t addr = kBase + rng.Below(12) * 4096 + 4096 - 32 + rng.Below(64);
+    size_t size = 1 + rng.Below(2) * 4096 + rng.Below(100);
+    lxfi::Principal* writer = P(static_cast<int>(rng.Below(3)));
+    switch (rng.Below(4)) {
+      case 0:
+      case 1: {
+        ws.AddRange(writer, addr, size);
+        for (uintptr_t pg = addr >> kShift; pg <= (addr + size - 1) >> kShift; ++pg) {
+          ref[pg].insert(writer);
+        }
+        break;
+      }
+      case 2: {
+        ws.ClearRange(addr, size);
+        uintptr_t first_full = (addr + 4095) >> kShift;
+        uintptr_t last_full = (addr + size) >> kShift;  // exclusive
+        for (uintptr_t pg = first_full; pg < last_full; ++pg) {
+          ref.erase(pg);
+        }
+        break;
+      }
+      default: {
+        uintptr_t q = kBase + rng.Below(16) * 4096 + rng.Below(4096);
+        auto it = ref.find(q >> kShift);
+        bool expect_empty = it == ref.end() || it->second.empty();
+        ASSERT_EQ(ws.Empty(q), expect_empty) << "divergence at step " << step;
+        size_t expect_n = it == ref.end() ? 0 : it->second.size();
+        ASSERT_EQ(ws.WritersFor(q).size(), expect_n);
+        break;
+      }
+    }
+  }
+  // Full sweep, then writer removal must scrub everywhere.
+  ws.RemoveWriter(P(0));
+  for (auto& [pg, writers] : ref) {
+    writers.erase(P(0));
+    const lxfi::WriterVec& got = ws.WritersFor(pg << kShift);
+    ASSERT_EQ(got.size(), writers.size()) << "page " << pg;
+    for (lxfi::Principal* w : got) {
+      ASSERT_TRUE(writers.count(w) != 0);
+    }
+  }
 }
 
 }  // namespace
