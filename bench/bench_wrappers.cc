@@ -3,6 +3,10 @@
 // (annotation-free import), and wrappers whose annotations run capability
 // actions — splitting control-transfer overhead from annotation-action
 // overhead, the two biggest rows of Figure 13.
+//
+// The *Interp rows re-run the action-bearing crossings with compiled guards
+// disabled (per-crossing AST interpretation, the pre-compile-pass layout):
+// the compiled-vs-interpreted wrapper-crossing ablation.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -15,9 +19,9 @@
 namespace {
 
 struct Fixture {
-  Fixture() {
+  explicit Fixture(lxfi::RuntimeOptions options = {}) {
     kernel = std::make_unique<kern::Kernel>();
-    rt = std::make_unique<lxfi::Runtime>(kernel.get());
+    rt = std::make_unique<lxfi::Runtime>(kernel.get(), options);
     lxfi::InstallKernelApi(kernel.get(), rt.get());
     kern::ModuleDef def;
     def.name = "benchmod";
@@ -50,6 +54,15 @@ struct Fixture {
 
 Fixture& F() {
   static Fixture fixture;
+  return fixture;
+}
+
+Fixture& FInterp() {
+  static Fixture fixture([] {
+    lxfi::RuntimeOptions opt;
+    opt.compiled_guards = false;
+    return opt;
+  }());
   return fixture;
 }
 
@@ -95,6 +108,27 @@ void BM_WrapperTransferActions(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WrapperTransferActions);
+
+// Interpreter ablation of the same two action-bearing crossings.
+void BM_WrapperCheckActionInterp(benchmark::State& state) {
+  Fixture& f = FInterp();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  for (auto _ : state) {
+    f.spin_lock(f.lock);
+    f.spin_unlock(f.lock);
+  }
+}
+BENCHMARK(BM_WrapperCheckActionInterp);
+
+void BM_WrapperTransferActionsInterp(benchmark::State& state) {
+  Fixture& f = FInterp();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  for (auto _ : state) {
+    void* p = f.kmalloc(128);
+    f.kfree(p);
+  }
+}
+BENCHMARK(BM_WrapperTransferActionsInterp);
 
 // Baseline for the allocation pair without LXFI accounting.
 void BM_DirectKmallocKfree(benchmark::State& state) {

@@ -9,6 +9,14 @@ namespace kern {
 
 SlabAllocator::SlabAllocator(lxfi::Arena* arena) : arena_(arena) {}
 
+SlabAllocator::~SlabAllocator() {
+  // Page backing memory belongs to the arena; the SlabPage bookkeeping
+  // records are ours.
+  for (auto& [base, slab] : page_of_) {
+    delete slab;
+  }
+}
+
 int SlabAllocator::ClassIndexFor(size_t size) {
   for (size_t i = 0; i < kClassSizes.size(); ++i) {
     if (size <= kClassSizes[i]) {

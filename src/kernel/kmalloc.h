@@ -23,6 +23,7 @@ namespace kern {
 class SlabAllocator {
  public:
   explicit SlabAllocator(lxfi::Arena* arena);
+  ~SlabAllocator();
 
   SlabAllocator(const SlabAllocator&) = delete;
   SlabAllocator& operator=(const SlabAllocator&) = delete;

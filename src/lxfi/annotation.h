@@ -21,6 +21,8 @@
 
 namespace lxfi {
 
+class GuardProgram;
+
 struct Expr {
   enum class Kind {
     kInt,     // integer literal
@@ -73,11 +75,20 @@ struct Annotation {
 // The full annotation set attached to one function symbol or one
 // function-pointer type.
 struct AnnotationSet {
+  AnnotationSet();
+  ~AnnotationSet();
+  AnnotationSet(const AnnotationSet&) = delete;
+  AnnotationSet& operator=(const AnnotationSet&) = delete;
+
   std::string name;                 // symbol or fn-ptr type name
   std::string text;                 // source text as registered
   std::vector<std::string> params;  // parameter names, for expr binding
   std::vector<Annotation> annotations;
   uint64_t ahash = 0;  // hash of normalized text
+
+  // Compiled form, lowered at registration time (guard_program.h). Null when
+  // the set exceeds compiler limits; the runtime then interprets the AST.
+  std::unique_ptr<GuardProgram> program;
 
   bool HasPrincipal() const {
     for (const Annotation& a : annotations) {

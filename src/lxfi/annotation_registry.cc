@@ -1,6 +1,7 @@
 #include "src/lxfi/annotation_registry.h"
 
 #include "src/lxfi/annotation_parser.h"
+#include "src/lxfi/guard_program.h"
 
 namespace lxfi {
 
@@ -22,18 +23,34 @@ lxfi::Status AnnotationRegistry::Register(const std::string& name,
   if (set == nullptr) {
     return InvalidArgument("annotation parse error for '" + name + "': " + error);
   }
+  // The compile pass: lower the AST once, at registration time. A null
+  // program (compiler limits exceeded) leaves the interpreter fallback.
+  set->program = CompileAnnotations(*set, iters_);
+  const AnnotationSet* raw = set.get();
   sets_[name] = std::move(set);
+  // Insert() never overwrites an occupied colliding slot here because we only
+  // reach it for genuinely new names; if the FNV slot is already taken by a
+  // *different* name (a real 64-bit collision), keep the incumbent — Find()
+  // falls back to the ordered map when the slot's name mismatches.
+  uint64_t key = Fnv1a64(name);
+  const AnnotationSet** slot = index_.Find(key);
+  if (slot == nullptr) {
+    index_.Insert(key, raw);
+  }
   return OkStatus();
 }
 
-const AnnotationSet* AnnotationRegistry::Find(const std::string& name) const {
-  auto it = sets_.find(name);
+const AnnotationSet* AnnotationRegistry::Find(std::string_view name) const {
+  const AnnotationSet* const* slot = index_.Find(Fnv1a64(name));
+  if (slot == nullptr) {
+    return nullptr;
+  }
+  if (LXFI_LIKELY((*slot)->name == name)) {
+    return *slot;
+  }
+  // Hash collision: the slow, exact path.
+  auto it = sets_.find(std::string(name));
   return it == sets_.end() ? nullptr : it->second.get();
-}
-
-uint64_t AnnotationRegistry::AhashOf(const std::string& name) const {
-  const AnnotationSet* set = Find(name);
-  return set == nullptr ? 0 : set->ahash;
 }
 
 void AnnotationRegistry::NoteUse(const std::string& name, const std::string& module_name) {

@@ -7,38 +7,52 @@
 // ahash of the invoked function against the ahash of the call site's pointer
 // type. The registry also tracks, for Figure 9, which modules use each
 // annotated name.
+//
+// Registration is the compile step of the annotation pipeline: Register()
+// parses the text into an AST and immediately lowers it into a GuardProgram
+// (guard_program.h), so wrapper crossings never touch the AST. Name lookups
+// (Find/AhashOf — the latter sits on the kernel indirect-call path) probe a
+// FlatTable keyed by FNV-1a of the name instead of walking a std::map of
+// strings; the ordered map is kept for ownership and for deterministic
+// all()/uses() iteration (DumpState, the Figure 9 survey).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/base/flat_table.h"
+#include "src/base/hash.h"
 #include "src/base/status.h"
 #include "src/lxfi/annotation.h"
 #include "src/lxfi/cap.h"
-
-namespace kern {
-class Kernel;
-}
+#include "src/lxfi/cap_iterator.h"
 
 namespace lxfi {
 
 class AnnotationRegistry {
  public:
+  // Binds the iterator registry the compile pass resolves iterator-func
+  // names against (optional; unresolved slots resolve lazily at execution).
+  void BindIterators(const IteratorRegistry* iters) { iters_ = iters; }
+
   // Registers (or re-registers identically) annotations for `name`. Returns
   // an error on parse failure or on a conflicting redefinition, mirroring
   // the rewriter's "annotations must be exactly the same" rule.
   lxfi::Status Register(const std::string& name, const std::vector<std::string>& params,
                         const std::string& text);
 
-  const AnnotationSet* Find(const std::string& name) const;
+  const AnnotationSet* Find(std::string_view name) const;
 
   // ahash of `name`'s annotations; 0 when unannotated.
-  uint64_t AhashOf(const std::string& name) const;
+  uint64_t AhashOf(std::string_view name) const {
+    const AnnotationSet* set = Find(name);
+    return set == nullptr ? 0 : set->ahash;
+  }
 
   // Figure 9 accounting: a module's loader calls this for every annotated
   // name the module touches (imports and function-pointer types).
@@ -48,41 +62,13 @@ class AnnotationRegistry {
   const std::map<std::string, std::unique_ptr<AnnotationSet>>& all() const { return sets_; }
 
  private:
+  const IteratorRegistry* iters_ = nullptr;
+  // Fast path: FNV-1a(name) -> set. On the astronomically unlikely hash
+  // collision the first name keeps the slot and colliding names fall back to
+  // the ordered map (see Register/Find).
+  FlatTable<const AnnotationSet*> index_;
   std::map<std::string, std::unique_ptr<AnnotationSet>> sets_;
   std::map<std::string, std::set<std::string>> uses_;  // name -> modules using it
-};
-
-// Capability iterators (the paper's iterator-func, e.g. skb_caps): a
-// programmer-supplied function enumerating the capabilities that make up a
-// compound object. `arg` is the evaluated annotation expression (usually a
-// pointer).
-class CapIterContext {
- public:
-  explicit CapIterContext(kern::Kernel* kernel) : kernel_(kernel) {}
-
-  kern::Kernel* kernel() const { return kernel_; }
-  void Emit(const Capability& cap) { caps_.push_back(cap); }
-  const std::vector<Capability>& caps() const { return caps_; }
-
- private:
-  kern::Kernel* kernel_;
-  std::vector<Capability> caps_;
-};
-
-using CapIterator = std::function<void(CapIterContext&, uint64_t arg)>;
-
-class IteratorRegistry {
- public:
-  void Register(const std::string& name, CapIterator fn) { iterators_[name] = std::move(fn); }
-  const CapIterator* Find(const std::string& name) const {
-    auto it = iterators_.find(name);
-    return it == iterators_.end() ? nullptr : &it->second;
-  }
-  size_t size() const { return iterators_.size(); }
-  const std::map<std::string, CapIterator>& all() const { return iterators_; }
-
- private:
-  std::map<std::string, CapIterator> iterators_;
 };
 
 }  // namespace lxfi

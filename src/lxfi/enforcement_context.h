@@ -11,8 +11,17 @@
 //     struct initialization), so remembering the granted range that
 //     satisfied the last check turns the common store guard into three
 //     compares against data on the same cache lines;
-//   * a 1-entry CALL memo for the same reason: a wrapper import calls the
-//     same kernel entry point back-to-back on packet paths;
+//   * a 2-entry CALL memo for the same reason: a wrapper import calls the
+//     same kernel entry point back-to-back on packet paths. Two entries
+//     because the dominant crossing patterns come in pairs (spin_lock /
+//     spin_unlock, kmalloc/kfree) whose targets alternate — a 1-entry memo
+//     ping-pongs and never hits;
+//   * a 2-entry guard-program pre-check memo: a compiled pre section that is
+//     pure checks (GuardProgram::pre_memoizable) run with the same argument
+//     values can only repeat the answer it just gave, so the lock-style
+//     crossing pair (spin_lock(&l); ...; spin_unlock(&l)) skips guard
+//     evaluation entirely after the first pass — again two entries, because
+//     the pair alternates two programs;
 //   * per-principal guard counters (checks and memo hits), cheap enough to
 //     keep always-on and the raw material for the Figure 13 breakdown.
 //
@@ -38,15 +47,33 @@ struct EnforcementContext {
   uintptr_t write_hi = 0;
   uint64_t write_epoch = 0;
 
-  // Last-allowed CALL memo.
-  uintptr_t call_target = 0;
-  uint64_t call_epoch = 0;
+  // Last-allowed CALL memo (2 entries, LRU of two).
+  uintptr_t call_target[2] = {0, 0};
+  uint64_t call_epoch[2] = {0, 0};
+  uint8_t call_mru = 0;
 
   // Guard counters (always on; counter-only, no clock reads).
   uint64_t write_checks = 0;
   uint64_t write_memo_hits = 0;
   uint64_t call_checks = 0;
   uint64_t call_memo_hits = 0;
+  uint64_t pre_checks = 0;
+  uint64_t pre_memo_hits = 0;
+
+  // Last clean pure-check pre-section memos: program identity plus the exact
+  // argument values it passed with. Bounded arg count keeps the compare
+  // cheap; calls with more arguments simply skip the memo. Kept after the
+  // counters so the store-guard memo and its counters stay on the leading
+  // cache line.
+  static constexpr size_t kPreMemoArgs = 4;
+  struct PreMemoEntry {
+    const void* program = nullptr;
+    uint64_t args[kPreMemoArgs] = {};
+    uint32_t nargs = 0;
+    uint64_t epoch = 0;
+  };
+  PreMemoEntry pre_memo[2];
+  uint8_t pre_mru = 0;
 
   bool WriteMemoHit(uintptr_t addr, size_t size) const {
     return write_epoch == RevocationEpoch::Current() && addr >= write_lo && addr <= write_hi &&
@@ -61,13 +88,57 @@ struct EnforcementContext {
     }
   }
 
-  bool CallMemoHit(uintptr_t target) const {
-    return call_epoch == RevocationEpoch::Current() && call_target == target;
+  bool CallMemoHit(uintptr_t target) {
+    uint64_t now = RevocationEpoch::Current();
+    for (uint8_t e = 0; e < 2; ++e) {
+      if (call_epoch[e] == now && call_target[e] == target) {
+        call_mru = e;
+        return true;
+      }
+    }
+    return false;
   }
 
   void FillCallMemo(uintptr_t target) {
-    call_target = target;
-    call_epoch = RevocationEpoch::Current();
+    uint8_t victim = call_mru ^ 1;
+    call_target[victim] = target;
+    call_epoch[victim] = RevocationEpoch::Current();
+    call_mru = victim;
+  }
+
+  // Memo soundness mirrors the WRITE/CALL memos: only *clean* passes are
+  // cached (a violation never fills), checks depend solely on the argument
+  // values and the principal's capabilities, grants cannot invalidate a
+  // positive answer, and every revocation bumps the epoch.
+  bool PreMemoHit(const void* program, const uint64_t* args, size_t nargs) {
+    uint64_t now = RevocationEpoch::Current();
+    for (uint8_t e = 0; e < 2; ++e) {
+      const PreMemoEntry& m = pre_memo[e];
+      if (m.epoch != now || m.program != program || m.nargs != nargs) {
+        continue;
+      }
+      bool match = true;
+      for (size_t i = 0; i < nargs; ++i) {
+        match = match && m.args[i] == args[i];
+      }
+      if (match) {
+        pre_mru = e;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void FillPreMemo(const void* program, const uint64_t* args, size_t nargs) {
+    uint8_t victim = pre_mru ^ 1;
+    PreMemoEntry& m = pre_memo[victim];
+    m.program = program;
+    m.nargs = static_cast<uint32_t>(nargs);
+    for (size_t i = 0; i < nargs; ++i) {
+      m.args[i] = args[i];
+    }
+    m.epoch = RevocationEpoch::Current();
+    pre_mru = victim;
   }
 };
 

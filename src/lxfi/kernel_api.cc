@@ -23,6 +23,14 @@ void MustRegister(Runtime* rt, const std::string& name, const std::vector<std::s
   if (!st.ok()) {
     kern::Panic("kernel API annotation registration failed: " + st.ToString());
   }
+  // Registration lowers the set into a GuardProgram (the compile pass);
+  // wrappers bind that program pointer at wrap time. The interpreter
+  // fallback exists for pathological inputs, never for the shipped API
+  // surface — refuse to boot on a set the compiler rejected.
+  const AnnotationSet* set = rt->annotations().Find(name);
+  if (set == nullptr || set->program == nullptr) {
+    kern::Panic("kernel API annotation failed to compile: " + name);
+  }
 }
 
 // --- capability iterators (the programmer-supplied iterator-funcs, §3.3) ---

@@ -8,6 +8,7 @@
 #include "src/base/log.h"
 #include "src/base/string_util.h"
 #include "src/kernel/panic.h"
+#include "src/lxfi/guard_program.h"
 
 namespace lxfi {
 
@@ -69,6 +70,9 @@ std::string GuardStats::Report() const {
 Runtime::Runtime(kern::Kernel* kernel, RuntimeOptions options)
     : kernel_(kernel), options_(options) {
   guards_.timing_enabled = options_.guard_timing;
+  // The registration-time compile pass resolves iterator-func names against
+  // this runtime's iterator registry.
+  annotations_.BindIterators(&iterators_);
   // Locate the current thread's stack: it stands in for the kernel stack the
   // paper grants every module WRITE access to (§3.2).
   pthread_attr_t attr;
@@ -634,6 +638,234 @@ void Runtime::RaiseViolation(ViolationKind kind, const std::string& details) {
 }
 
 // --- annotation-action evaluation ----------------------------------------------------
+//
+// Two execution engines share one action-application core (ApplyOneCap):
+//
+//   * the GuardProgram evaluator (ExecOps) — the production path, a tight
+//     switch-loop over the flat IR compiled at registration time;
+//   * the AST interpreter (InterpretActions/ApplyAction/EvalExpr) — the
+//     fallback for uncompiled sets and the reference implementation the
+//     differential property test pits against the compiled path.
+
+// Applies one copy/transfer/check to one materialized capability. `from_module`
+// says which side is granting: pre of module->kernel and post of
+// kernel->module flow *from* the module; the opposite two flow from the
+// (all-owning) kernel toward the module principal.
+void Runtime::ApplyOneCap(Action::Op op, const Capability& cap, const CallEnv& env,
+                          bool from_module) {
+  GuardScopeDyn guard(&guards_, GuardType::kAnnotationAction);
+  switch (op) {
+    case Action::Op::kCheck:
+      if (from_module && !OwnsForEnforcement(env.principal, cap)) {
+        RaiseViolation(cap.kind == CapKind::kRef ? ViolationKind::kRef : ViolationKind::kCapCheck,
+                       StrFormat("check failed in %s: %s does not own %s", env.what,
+                                 env.principal->DebugName().c_str(), cap.ToString().c_str()));
+      }
+      break;
+    case Action::Op::kCopy:
+      if (from_module) {
+        if (!OwnsForEnforcement(env.principal, cap)) {
+          RaiseViolation(ViolationKind::kCapCheck,
+                         StrFormat("copy source check failed in %s: %s does not own %s", env.what,
+                                   env.principal->DebugName().c_str(), cap.ToString().c_str()));
+        }
+        // Copy toward the kernel: nothing to track, the kernel owns all.
+      } else {
+        Grant(env.principal, cap);
+      }
+      break;
+    case Action::Op::kTransfer:
+      if (from_module) {
+        if (!OwnsForEnforcement(env.principal, cap)) {
+          RaiseViolation(ViolationKind::kCapCheck,
+                         StrFormat("transfer source check failed in %s: %s does not own %s",
+                                   env.what, env.principal->DebugName().c_str(),
+                                   cap.ToString().c_str()));
+        }
+        RevokeEverywhere(cap);
+      } else {
+        RevokeEverywhere(cap);
+        Grant(env.principal, cap);
+      }
+      break;
+    case Action::Op::kIf:
+      break;
+  }
+}
+
+// --- compiled-path evaluator ---------------------------------------------------------
+
+int64_t Runtime::ExecOps(const GuardProgram& prog, uint32_t pc, uint32_t end, const CallEnv& env,
+                         bool post) {
+  int64_t stack[GuardProgram::kMaxStack];
+  size_t sp = 0;
+  const GuardOp* ops = prog.ops().data();
+  const int64_t* consts = prog.consts().data();
+  const bool from_module = env.kernel_to_module == post;
+  while (pc < end) {
+    const GuardOp op = ops[pc];
+    switch (op.op) {
+      case GuardOpcode::kPushConst:
+        stack[sp++] = consts[op.a];
+        break;
+      case GuardOpcode::kPushArg:
+        stack[sp++] = op.a < env.nargs ? static_cast<int64_t>(env.args[op.a]) : 0;
+        break;
+      case GuardOpcode::kPushRet:
+        stack[sp++] = static_cast<int64_t>(env.ret);
+        break;
+      case GuardOpcode::kNeg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case GuardOpcode::kAdd:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] + stack[sp];
+        break;
+      case GuardOpcode::kSub:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] - stack[sp];
+        break;
+      case GuardOpcode::kLt:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] < stack[sp];
+        break;
+      case GuardOpcode::kGt:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] > stack[sp];
+        break;
+      case GuardOpcode::kLe:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] <= stack[sp];
+        break;
+      case GuardOpcode::kGe:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] >= stack[sp];
+        break;
+      case GuardOpcode::kEq:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] == stack[sp];
+        break;
+      case GuardOpcode::kNe:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] != stack[sp];
+        break;
+      case GuardOpcode::kJumpIfZero:
+        if (stack[--sp] == 0) {
+          pc = op.a;
+          continue;
+        }
+        break;
+      case GuardOpcode::kActInline: {
+        auto action = static_cast<Action::Op>(op.flags & GuardProgram::kActionMask);
+        auto kind =
+            static_cast<CapKind>((op.flags >> GuardProgram::kCapShift) & GuardProgram::kCapMask);
+        size_t size = sizeof(uintptr_t);
+        if ((op.flags & GuardProgram::kHasSize) != 0) {
+          size = static_cast<size_t>(stack[--sp]);
+        }
+        auto addr = static_cast<uintptr_t>(stack[--sp]);
+        Capability cap;
+        switch (kind) {
+          case CapKind::kWrite:
+            cap = Capability::Write(addr, size);
+            break;
+          case CapKind::kCall:
+            cap = Capability::Call(addr);
+            break;
+          case CapKind::kRef:
+            cap = Capability::Ref(static_cast<RefTypeId>(consts[op.b]), addr);
+            break;
+        }
+        ApplyOneCap(action, cap, env, from_module);
+        break;
+      }
+      case GuardOpcode::kActIter: {
+        auto action = static_cast<Action::Op>(op.flags & GuardProgram::kActionMask);
+        auto arg = static_cast<uint64_t>(stack[--sp]);
+        const CapIterator* fn = prog.IterFn(op.a, &iterators_);
+        if (fn == nullptr) {
+          RaiseViolation(ViolationKind::kCapCheck, "unknown capability iterator '" +
+                                                       prog.IterName(op.a) + "' in " + env.what);
+          break;
+        }
+        CapIterContext ctx(kernel_);
+        (*fn)(ctx, arg);
+        for (const Capability& cap : ctx.caps()) {
+          ApplyOneCap(action, cap, env, from_module);
+        }
+        break;
+      }
+    }
+    ++pc;
+  }
+  return sp > 0 ? stack[sp - 1] : 0;
+}
+
+void Runtime::ExecGuards(const GuardProgram& prog, CallEnv& env, bool post) {
+  const uint32_t begin = post ? prog.pre_end() : 0;
+  const uint32_t end = post ? prog.post_end() : prog.pre_end();
+  if (begin == end) {
+    return;
+  }
+  // Pure-check pre sections under the (program, args) memo: a clean pass
+  // repeats until a revocation bumps the epoch, so the common back-to-back
+  // crossing costs a handful of compares instead of guard evaluation. Only
+  // the module->kernel direction participates: kernel->module pre checks are
+  // no-ops (from_module is false), and a "clean" no-op pass must not seed
+  // the memo a module->kernel crossing of the same program could then hit.
+  if (!post && !env.kernel_to_module && prog.pre_memoizable() && options_.enforcement_memo &&
+      env.principal != nullptr && env.nargs <= EnforcementContext::kPreMemoArgs) {
+    EnforcementContext& ec = env.principal->ctx();
+    ++ec.pre_checks;
+    if (ec.PreMemoHit(&prog, env.args, env.nargs)) {
+      ++ec.pre_memo_hits;
+      return;
+    }
+    size_t violations_before = violations_.size();
+    ExecOps(prog, begin, end, env, post);
+    // Under the throwing policy a violation already unwound past us; under
+    // the counting policy the count says whether the pass was clean.
+    if (violations_.size() == violations_before) {
+      ec.FillPreMemo(&prog, env.args, env.nargs);
+    }
+    return;
+  }
+  ExecOps(prog, begin, end, env, post);
+}
+
+void Runtime::RunActions(const AnnotationSet* set, CallEnv& env, bool post) {
+  if (set == nullptr) {
+    return;
+  }
+  RunBound(BoundProgram(set), set, env, post);
+}
+
+Principal* Runtime::SelectCalleePrincipal(const GuardProgram* prog, const AnnotationSet* set,
+                                          ModuleCtx* mc, const CallEnv& env) {
+  if (prog != nullptr) {
+    switch (prog->principal_kind()) {
+      case GuardProgram::PrincipalKind::kNone:
+      case GuardProgram::PrincipalKind::kShared:
+        return mc->shared();
+      case GuardProgram::PrincipalKind::kGlobal:
+        return mc->global();
+      case GuardProgram::PrincipalKind::kExpr: {
+        auto name = static_cast<uintptr_t>(
+            ExecOps(*prog, prog->post_end(), static_cast<uint32_t>(prog->ops().size()), env,
+                    /*post=*/false));
+        return mc->GetOrCreate(name);
+      }
+    }
+  }
+  return InterpretCalleePrincipal(set, mc, env);
+}
+
+Principal* Runtime::SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc,
+                                          const CallEnv& env) {
+  return SelectCalleePrincipal(BoundProgram(set), set, mc, env);
+}
+
+// --- AST interpreter -----------------------------------------------------------------
 
 int64_t Runtime::EvalExpr(const Expr& expr, const CallEnv& env) const {
   switch (expr.kind) {
@@ -681,19 +913,20 @@ int64_t Runtime::EvalExpr(const Expr& expr, const CallEnv& env) const {
   return 0;
 }
 
-std::vector<Capability> Runtime::ResolveCaps(const CapListSpec& spec, const CallEnv& env,
-                                             bool post) {
-  std::vector<Capability> caps;
+void Runtime::ResolveCaps(const CapListSpec& spec, const CallEnv& env, bool post, CapVec* out) {
   if (spec.is_iterator) {
     const CapIterator* iter = iterators_.Find(spec.iterator_name);
     if (iter == nullptr) {
       RaiseViolation(ViolationKind::kCapCheck,
                      "unknown capability iterator '" + spec.iterator_name + "' in " + env.what);
-      return caps;
+      return;
     }
     CapIterContext ctx(kernel_);
     (*iter)(ctx, static_cast<uint64_t>(EvalExpr(*spec.iterator_arg, env)));
-    return ctx.caps();
+    for (const Capability& cap : ctx.caps()) {
+      out->push_back(cap);
+    }
+    return;
   }
   auto addr = static_cast<uintptr_t>(EvalExpr(*spec.ptr, env));
   switch (spec.kind) {
@@ -703,17 +936,16 @@ std::vector<Capability> Runtime::ResolveCaps(const CapListSpec& spec, const Call
       // for pointer cells).
       size_t size = spec.size != nullptr ? static_cast<size_t>(EvalExpr(*spec.size, env))
                                          : sizeof(uintptr_t);
-      caps.push_back(Capability::Write(addr, size));
+      out->push_back(Capability::Write(addr, size));
       break;
     }
     case CapKind::kCall:
-      caps.push_back(Capability::Call(addr));
+      out->push_back(Capability::Call(addr));
       break;
     case CapKind::kRef:
-      caps.push_back(Capability::Ref(RefType(spec.ref_type_name), addr));
+      out->push_back(Capability::Ref(RefType(spec.ref_type_name), addr));
       break;
   }
-  return caps;
 }
 
 void Runtime::ApplyAction(const Action& action, const CallEnv& env, bool post) {
@@ -723,56 +955,15 @@ void Runtime::ApplyAction(const Action& action, const CallEnv& env, bool post) {
     }
     return;
   }
-  std::vector<Capability> caps = ResolveCaps(action.caps, env, post);
-  // Which side is granting? pre of module->kernel and post of kernel->module
-  // flow *from* the module; the opposite two flow from the (all-owning)
-  // kernel toward the module principal.
+  CapVec caps;
+  ResolveCaps(action.caps, env, post, &caps);
   bool from_module = env.kernel_to_module == post;
   for (const Capability& cap : caps) {
-    GuardScopeDyn guard(&guards_, GuardType::kAnnotationAction);
-    switch (action.op) {
-      case Action::Op::kCheck:
-        if (from_module && !OwnsForEnforcement(env.principal, cap)) {
-          RaiseViolation(cap.kind == CapKind::kRef ? ViolationKind::kRef
-                                                   : ViolationKind::kCapCheck,
-                         StrFormat("check failed in %s: %s does not own %s", env.what,
-                                   env.principal->DebugName().c_str(), cap.ToString().c_str()));
-        }
-        break;
-      case Action::Op::kCopy:
-        if (from_module) {
-          if (!OwnsForEnforcement(env.principal, cap)) {
-            RaiseViolation(ViolationKind::kCapCheck,
-                           StrFormat("copy source check failed in %s: %s does not own %s",
-                                     env.what, env.principal->DebugName().c_str(),
-                                     cap.ToString().c_str()));
-          }
-          // Copy toward the kernel: nothing to track, the kernel owns all.
-        } else {
-          Grant(env.principal, cap);
-        }
-        break;
-      case Action::Op::kTransfer:
-        if (from_module) {
-          if (!OwnsForEnforcement(env.principal, cap)) {
-            RaiseViolation(ViolationKind::kCapCheck,
-                           StrFormat("transfer source check failed in %s: %s does not own %s",
-                                     env.what, env.principal->DebugName().c_str(),
-                                     cap.ToString().c_str()));
-          }
-          RevokeEverywhere(cap);
-        } else {
-          RevokeEverywhere(cap);
-          Grant(env.principal, cap);
-        }
-        break;
-      case Action::Op::kIf:
-        break;
-    }
+    ApplyOneCap(action.op, cap, env, from_module);
   }
 }
 
-void Runtime::RunActions(const AnnotationSet* set, CallEnv& env, bool post) {
+void Runtime::InterpretActions(const AnnotationSet* set, CallEnv& env, bool post) {
   if (set == nullptr) {
     return;
   }
@@ -784,8 +975,8 @@ void Runtime::RunActions(const AnnotationSet* set, CallEnv& env, bool post) {
   }
 }
 
-Principal* Runtime::SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc,
-                                          const CallEnv& env) {
+Principal* Runtime::InterpretCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc,
+                                             const CallEnv& env) {
   if (set != nullptr) {
     for (const Annotation& a : set->annotations) {
       if (a.kind != Annotation::Kind::kPrincipal) {

@@ -15,6 +15,7 @@
 #include "src/kernel/kernel.h"
 #include "src/lxfi/annotation_registry.h"
 #include "src/lxfi/cap.h"
+#include "src/lxfi/guard_program.h"
 #include "src/lxfi/guards.h"
 #include "src/lxfi/principal.h"
 #include "src/lxfi/shadow_stack.h"
@@ -34,8 +35,12 @@ struct RuntimeOptions {
   bool writer_set_tracking = true;
   // Per-principal last-hit memos (EnforcementContext). Disabling is the
   // bench_sfi_micro ablation: every store guard takes the full flat-table
-  // lookup.
+  // lookup. Also gates the guard-program pre-check memo.
   bool enforcement_memo = true;
+  // Run compiled GuardPrograms at wrapper crossings (§4.2 lowered to a flat
+  // IR at registration time). Disabling is the bench_annotations /
+  // bench_wrappers ablation: every crossing re-interprets the annotation AST.
+  bool compiled_guards = true;
 };
 
 // Bound arguments of one wrapped call, for annotation-expression evaluation.
@@ -141,9 +146,30 @@ class Runtime : public kern::IsolationHooks {
   void ClearViolations() { violations_.clear(); }
 
   // --- wrapper machinery (used by wrap.h; internal) -------------------------
-  // Evaluates pre (post=false) or post (post=true) actions of `set`.
+  // The guard program a wrapper should bind at wrap time: the compiled form
+  // when compiled guards are enabled, null to force the AST interpreter.
+  const GuardProgram* BoundProgram(const AnnotationSet* set) const {
+    return set != nullptr && options_.compiled_guards ? set->program.get() : nullptr;
+  }
+  // Evaluates pre (post=false) or post (post=true) actions: the compiled
+  // program's section when `prog` is non-null, the AST of `set` otherwise.
+  // Wrappers bind `prog` once at wrap time (BoundProgram) so no lookup or
+  // dispatch decision happens per crossing; the empty-section skip (most
+  // annotations have no post actions) stays inline in the wrapper.
+  void RunBound(const GuardProgram* prog, const AnnotationSet* set, CallEnv& env, bool post) {
+    if (prog != nullptr) {
+      if ((post ? prog->pre_end() != prog->post_end() : prog->pre_end() != 0)) {
+        ExecGuards(*prog, env, post);
+      }
+      return;
+    }
+    InterpretActions(set, env, post);
+  }
+  // Convenience dispatcher over BoundProgram (tests, non-bound callers).
   void RunActions(const AnnotationSet* set, CallEnv& env, bool post);
   // Resolves the principal() annotation for a kernel->module call.
+  Principal* SelectCalleePrincipal(const GuardProgram* prog, const AnnotationSet* set,
+                                   ModuleCtx* mc, const CallEnv& env);
   Principal* SelectCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc, const CallEnv& env);
   // Shadow-stack push + principal switch; returns the frame token.
   uint64_t WrapperEnter(Principal* switch_to, const char* what);
@@ -165,10 +191,27 @@ class Runtime : public kern::IsolationHooks {
  private:
   friend class ActionEvaluator;
 
-  // Materializes the capabilities named by one caplist spec.
-  std::vector<Capability> ResolveCaps(const CapListSpec& spec, const CallEnv& env, bool post);
+  // --- compiled guard evaluation (guard_program.h) -------------------------
+  // Runs one section (pre or post) of a compiled program, including the
+  // EnforcementContext pre-check memo protocol for memoizable pre sections.
+  void ExecGuards(const GuardProgram& prog, CallEnv& env, bool post);
+  // The tight switch-loop evaluator over ops [pc, end); returns the top of
+  // stack (the principal-expression sections' result, 0 otherwise).
+  int64_t ExecOps(const GuardProgram& prog, uint32_t pc, uint32_t end, const CallEnv& env,
+                  bool post);
+
+  // --- AST interpreter (fallback + differential reference) -----------------
+  void InterpretActions(const AnnotationSet* set, CallEnv& env, bool post);
+  Principal* InterpretCalleePrincipal(const AnnotationSet* set, ModuleCtx* mc, const CallEnv& env);
+  // Materializes the capabilities named by one caplist spec into `out`
+  // (SmallVector scratch: typical caplists never heap-allocate).
+  void ResolveCaps(const CapListSpec& spec, const CallEnv& env, bool post, CapVec* out);
   int64_t EvalExpr(const Expr& expr, const CallEnv& env) const;
   void ApplyAction(const Action& action, const CallEnv& env, bool post);
+  // Applies one copy/transfer/check to one capability — the single shared
+  // implementation both the interpreter and the compiled evaluator call, so
+  // their semantics (and violation messages) cannot drift.
+  void ApplyOneCap(Action::Op op, const Capability& cap, const CallEnv& env, bool from_module);
 
   // --- enforcement fast-path internals ------------------------------------
   // Store-guard body shared by the timed and counter-only entry paths.

@@ -79,7 +79,10 @@ std::function<Ret(Args...)> Runtime::BindImport(ModuleCtx* mc, const std::string
   }
   Runtime* rt = this;
   kern::Kernel* k = kernel_;
-  return [rt, k, mc, kaddr, set, name](Args... args) -> Ret {
+  // Bind the compiled guard program once, at wrap time: per crossing the
+  // wrapper holds the program pointer, never a name or registry lookup.
+  const GuardProgram* prog = BoundProgram(set);
+  return [rt, k, mc, kaddr, set, prog, name](Args... args) -> Ret {
     Principal* caller = rt->CurrentPrincipal();
     if (caller == nullptr) {
       // Trusted context (e.g. test setup poking the module's import table):
@@ -98,13 +101,13 @@ std::function<Ret(Args...)> Runtime::BindImport(ModuleCtx* mc, const std::string
     env.args = raw.data();
     env.nargs = raw.size();
     env.what = name.c_str();
-    rt->RunActions(set, env, /*post=*/false);
+    rt->RunBound(prog, set, env, /*post=*/false);
     if constexpr (std::is_void_v<Ret>) {
       {
         FrameGuard frame(rt, nullptr, name.c_str());
         k->funcs().Invoke<Ret, Args...>(kaddr, args...);
       }
-      rt->RunActions(set, env, /*post=*/true);
+      rt->RunBound(prog, set, env, /*post=*/true);
     } else {
       Ret result;
       {
@@ -112,7 +115,7 @@ std::function<Ret(Args...)> Runtime::BindImport(ModuleCtx* mc, const std::string
         result = k->funcs().Invoke<Ret, Args...>(kaddr, args...);
       }
       env.ret = ToRaw(result);
-      rt->RunActions(set, env, /*post=*/true);
+      rt->RunBound(prog, set, env, /*post=*/true);
       return result;
     }
   };
@@ -123,7 +126,8 @@ std::function<Ret(Args...)> Runtime::WrapModuleFunction(ModuleCtx* mc, const Ann
                                                         const std::string& label,
                                                         std::function<Ret(Args...)> inner) {
   Runtime* rt = this;
-  return [rt, mc, set, label, inner](Args... args) -> Ret {
+  const GuardProgram* prog = BoundProgram(set);
+  return [rt, mc, set, prog, label, inner](Args... args) -> Ret {
     std::array<uint64_t, sizeof...(Args)> raw{ToRaw(args)...};
     CallEnv env;
     env.mc = mc;
@@ -131,17 +135,17 @@ std::function<Ret(Args...)> Runtime::WrapModuleFunction(ModuleCtx* mc, const Ann
     env.args = raw.data();
     env.nargs = raw.size();
     env.what = label.c_str();
-    Principal* target = rt->SelectCalleePrincipal(set, mc, env);
+    Principal* target = rt->SelectCalleePrincipal(prog, set, mc, env);
     env.principal = target;
     FrameGuard frame(rt, target, label.c_str());
-    rt->RunActions(set, env, /*post=*/false);
+    rt->RunBound(prog, set, env, /*post=*/false);
     if constexpr (std::is_void_v<Ret>) {
       inner(args...);
-      rt->RunActions(set, env, /*post=*/true);
+      rt->RunBound(prog, set, env, /*post=*/true);
     } else {
       Ret result = inner(args...);
       env.ret = ToRaw(result);
-      rt->RunActions(set, env, /*post=*/true);
+      rt->RunBound(prog, set, env, /*post=*/true);
       return result;
     }
   };

@@ -176,8 +176,11 @@ TEST(SfiMicro, MeasurementsAreSane) {
   // hotlist adds one guard per O(n) search: within noise of zero.
   EXPECT_LT(hotlist.SlowdownPct(), 10.0);
 
+  // The memo-hot store guard now costs ~1% on this workload — below the
+  // base run's own ±1.5% wall-clock noise — so the lower bound can only be
+  // a noise bound, not a "guards must cost something" bound.
   eval::MicroResult lld = eval::RunLld();
-  EXPECT_GT(lld.SlowdownPct(), 1.0) << "per-store guards must cost something";
+  EXPECT_GT(lld.SlowdownPct(), -3.0);
   EXPECT_LT(lld.SlowdownPct(), 60.0);
 
   eval::MicroResult md5 = eval::RunMd5();
