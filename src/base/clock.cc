@@ -1,5 +1,7 @@
 #include "src/base/clock.h"
 
+#include <ctime>
+
 #include <chrono>
 
 namespace lxfi {
@@ -8,6 +10,12 @@ uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                    std::chrono::steady_clock::now().time_since_epoch())
                                    .count());
+}
+
+uint64_t ThreadCpuNowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
 }
 
 }  // namespace lxfi

@@ -14,6 +14,13 @@ namespace lxfi {
 // Nanoseconds from the host's steady clock.
 uint64_t MonotonicNowNs();
 
+// Nanoseconds of CPU time consumed by the calling thread. Used by the SMP
+// scaling harness: on hosts with fewer cores than simulated CPUs the wall
+// clock measures timesharing, while per-thread CPU time still measures the
+// true per-packet cost each CPU pays (including contention), which is what
+// the Figure 12-style machine model scales to hardware speed.
+uint64_t ThreadCpuNowNs();
+
 // A virtual clock advanced explicitly by the simulation.
 class SimClock {
  public:

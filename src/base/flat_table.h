@@ -30,16 +30,32 @@
 //   * values sit in their own array and are only touched after a key hit,
 //     keeping the probe loop's cache footprint at one word per slot.
 //
+// SMP read-mostly mode (the seqlock read path): geometry and slot storage
+// live in one heap-allocated Rep published through an atomic pointer, so a
+// lock-free reader always sees a self-consistent {array, mask, shift}
+// triple even while a writer rehashes. The *Concurrent probes validate a
+// SeqCount around relaxed-atomic slot loads and retry if a writer
+// intervened; writers (serialized externally, e.g. by the per-principal
+// Spinlock) bump the SeqCount around every mutation and — when a reclaimer
+// is attached via SetReclaimer — retire replaced Reps through the
+// quiescent-state EpochReclaimer instead of freeing them, so a reader still
+// probing a superseded array never touches freed memory. Without a
+// reclaimer (the default, single-threaded configuration) nothing changes:
+// plain probes, immediate frees, no atomics on the hot loop.
+//
 // Keys are restricted to uint64_t because every enforcement key already is
 // one (bucket index, page number, text address, interned REF hash).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/base/compiler.h"
+#include "src/base/sync.h"
 
 namespace lxfi {
 
@@ -58,37 +74,98 @@ inline constexpr bool NeedsGrow(size_t size_after_insert, size_t capacity) {
   return size_after_insert * 2 > capacity;
 }
 
+// Relaxed-atomic slot accessors. On the write side every slot store goes
+// through RelaxedStore so concurrent seqlock readers race only with atomics
+// (TSan-clean); RelaxedLoad is used by the concurrent probes. Both compile
+// to plain moves on x86/arm64, so the single-threaded paths cost nothing.
+inline uint64_t RelaxedLoad(const uint64_t* p) { return __atomic_load_n(p, __ATOMIC_RELAXED); }
+inline void RelaxedStore(uint64_t* p, uint64_t v) { __atomic_store_n(p, v, __ATOMIC_RELAXED); }
+
+template <typename Rep>
+inline const Rep* AcquireRep(Rep* const* slot) {
+  return __atomic_load_n(slot, __ATOMIC_ACQUIRE);
+}
+
+template <typename Rep>
+inline void PublishRep(Rep** slot, Rep* rep) {
+  __atomic_store_n(slot, rep, __ATOMIC_RELEASE);
+}
+
 }  // namespace flat_internal
 
 template <typename V>
 class FlatTable {
+  // Slot storage (geometry + arrays) for one capacity generation. Geometry
+  // is immutable after construction; only slot contents mutate in place.
+  // The key array lives inline after the header (one load resolves rep and
+  // the array base together), so probe depth matches a direct member array;
+  // the value array is only touched after a key hit and may stay a vector.
+  struct Rep {
+    size_t cap;
+    size_t mask;
+    unsigned shift;
+    std::vector<V> vals;  // cap slots
+
+    uint64_t* keys() { return reinterpret_cast<uint64_t*>(this + 1); }
+    const uint64_t* keys() const { return reinterpret_cast<const uint64_t*>(this + 1); }
+
+    static Rep* Make(size_t capacity) {
+      size_t nkeys = capacity + flat_internal::kWindow - 1;
+      void* mem = ::operator new(sizeof(Rep) + nkeys * sizeof(uint64_t));
+      Rep* rep = new (mem) Rep();
+      rep->cap = capacity;
+      rep->mask = capacity - 1;
+      rep->shift = 64 - static_cast<unsigned>(__builtin_ctzll(capacity));
+      rep->vals.resize(capacity);
+      for (size_t i = 0; i < nkeys; ++i) {
+        rep->keys()[i] = 0;
+      }
+      return rep;
+    }
+    static void Destroy(Rep* rep) {
+      rep->~Rep();
+      ::operator delete(rep);
+    }
+  };
+
  public:
   FlatTable() = default;
+  ~FlatTable() { DisposeRep(rep_); }
 
-  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+
+  size_t size() const { return size_ + (HasZero() ? 1 : 0); }
   bool empty() const { return size() == 0; }
-  size_t capacity() const { return cap_; }
+  size_t capacity() const { return rep_ == nullptr ? 0 : rep_->cap; }
+
+  // Attaches the grace-period reclaimer: replaced slot arrays are retired
+  // instead of freed, which is what makes the *Concurrent probes safe
+  // against rehash. Set once, before any concurrent reader exists.
+  void SetReclaimer(EpochReclaimer* reclaimer) { reclaimer_ = reclaimer; }
 
   void Clear() {
-    keys_.clear();
-    vals_.clear();
-    cap_ = 0;
+    seq_.WriteBegin();
+    Rep* old = rep_;
+    flat_internal::PublishRep(&rep_, static_cast<Rep*>(nullptr));
     size_ = 0;
-    mask_ = 0;
-    shift_ = 64;
-    has_zero_ = false;
+    SetHasZero(false);
     zero_val_ = V{};
+    seq_.WriteEnd();
+    DisposeRep(old);
   }
 
   V* Find(uint64_t key) {
     if (LXFI_UNLIKELY(key == 0)) {
-      return has_zero_ ? &zero_val_ : nullptr;
+      return HasZero() ? &zero_val_ : nullptr;
     }
     if (size_ == 0) {
       return nullptr;
     }
-    const uint64_t* keys = keys_.data();
-    size_t i = IndexOf(key);
+    Rep* rep = rep_;
+    const uint64_t* keys = rep->keys();
+    const size_t mask = rep->mask;
+    size_t i = IndexOf(rep, key);
     while (true) {
       const uint64_t* w = keys + i;
       uint64_t c0 = w[0], c1 = w[1], c2 = w[2], c3 = w[3];
@@ -96,12 +173,12 @@ class FlatTable {
         // Arithmetic lane select: which lane matched is random per query, so
         // this must not become a branch tree (it would mispredict per hit).
         size_t n0 = c0 != key, n01 = n0 & (c1 != key), n012 = n01 & (c2 != key);
-        return &vals_[(i + n0 + n01 + n012) & mask_];
+        return &rep->vals[(i + n0 + n01 + n012) & mask];
       }
       if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
         return nullptr;
       }
-      i = (i + flat_internal::kWindow) & mask_;
+      i = (i + flat_internal::kWindow) & mask;
     }
   }
 
@@ -109,84 +186,199 @@ class FlatTable {
 
   bool Contains(uint64_t key) const { return Find(key) != nullptr; }
 
+  // Lock-free key-presence probe for concurrent readers (seqlock protocol;
+  // see file comment). Requires a reclaimer to be attached if writers can
+  // rehash concurrently.
+  bool ContainsConcurrent(uint64_t key) const {
+    if (LXFI_UNLIKELY(key == 0)) {
+      return __atomic_load_n(&has_zero_, __ATOMIC_RELAXED);
+    }
+    while (true) {
+      uint64_t s = seq_.ReadBegin();
+      const Rep* rep = flat_internal::AcquireRep(&rep_);
+      if (rep == nullptr) {
+        if (seq_.ReadValidate(s)) {
+          return false;
+        }
+        continue;
+      }
+      int found = ProbeKeyConcurrent(rep, key);
+      if (found >= 0 && seq_.ReadValidate(s)) {
+        return found == 1;
+      }
+      CpuRelax();
+    }
+  }
+
+  // Lock-free lookup of a pointer-sized trivially copyable value (e.g. the
+  // instance-principal map). Returns false when absent.
+  bool FindValueConcurrent(uint64_t key, V* out) const {
+    static_assert(std::is_trivially_copyable_v<V> && sizeof(V) == sizeof(uint64_t),
+                  "concurrent value loads require word-sized trivially copyable values");
+    if (LXFI_UNLIKELY(key == 0)) {
+      if (!__atomic_load_n(&has_zero_, __ATOMIC_RELAXED)) {
+        return false;
+      }
+      uint64_t raw = flat_internal::RelaxedLoad(reinterpret_cast<const uint64_t*>(&zero_val_));
+      __builtin_memcpy(out, &raw, sizeof(V));
+      return true;
+    }
+    while (true) {
+      uint64_t s = seq_.ReadBegin();
+      const Rep* rep = flat_internal::AcquireRep(&rep_);
+      if (rep == nullptr) {
+        if (seq_.ReadValidate(s)) {
+          return false;
+        }
+        continue;
+      }
+      const uint64_t* keys = rep->keys();
+      const size_t mask = rep->mask;
+      size_t i = IndexOf(rep, key);
+      uint64_t raw = 0;
+      int found = -1;
+      for (size_t steps = 0; steps <= rep->cap; ++steps) {
+        uint64_t k = flat_internal::RelaxedLoad(keys + i);
+        if (k == key) {
+          raw = flat_internal::RelaxedLoad(reinterpret_cast<const uint64_t*>(&rep->vals[i]));
+          found = 1;
+          break;
+        }
+        if (k == 0) {
+          found = 0;
+          break;
+        }
+        i = (i + 1) & mask;
+      }
+      if (found >= 0 && seq_.ReadValidate(s)) {
+        if (found == 1) {
+          __builtin_memcpy(out, &raw, sizeof(V));
+          return true;
+        }
+        return false;
+      }
+      CpuRelax();
+    }
+  }
+
   // Returns the value for `key`, inserting a default-constructed one first
   // if absent.
   V& GetOrInsert(uint64_t key) {
     if (key == 0) {
-      has_zero_ = true;
+      SetHasZero(true);
       return zero_val_;
     }
     // Probe for an existing entry before considering growth, so a duplicate
     // insert at the load threshold stays a pure lookup.
-    if (cap_ != 0) {
-      size_t i = IndexOf(key);
-      while (keys_[i] != 0) {
-        if (keys_[i] == key) {
-          return vals_[i];
+    if (rep_ != nullptr) {
+      size_t i = IndexOf(rep_, key);
+      while (rep_->keys()[i] != 0) {
+        if (rep_->keys()[i] == key) {
+          return rep_->vals[i];
         }
-        i = (i + 1) & mask_;
+        i = (i + 1) & rep_->mask;
       }
     }
-    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
-      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    if (flat_internal::NeedsGrow(size_ + 1, capacity())) {
+      Rehash(rep_ == nullptr ? flat_internal::kMinCapacity : rep_->cap * 2);
     }
-    size_t i = IndexOf(key);
-    while (keys_[i] != 0) {
-      i = (i + 1) & mask_;
+    size_t i = IndexOf(rep_, key);
+    while (rep_->keys()[i] != 0) {
+      i = (i + 1) & rep_->mask;
     }
-    StoreKey(i, key);
+    seq_.WriteBegin();
+    StoreKey(rep_, i, key);
+    seq_.WriteEnd();
     ++size_;
-    return vals_[i];
+    return rep_->vals[i];
   }
 
   // Inserts or overwrites; returns true if the key was newly inserted.
+  // Value and key land in ONE seqlock write section: a two-section insert
+  // (key published with a default value, value stored later) would let
+  // FindValueConcurrent validate in the gap and return the default.
   bool Insert(uint64_t key, V value) {
-    size_t before = size();
-    GetOrInsert(key) = std::move(value);
-    return size() != before;
+    if (key == 0) {
+      bool added = !HasZero();
+      seq_.WriteBegin();
+      StoreVal(&zero_val_, std::move(value));
+      SetHasZero(true);
+      seq_.WriteEnd();
+      return added;
+    }
+    if (rep_ != nullptr) {
+      size_t i = IndexOf(rep_, key);
+      while (rep_->keys()[i] != 0) {
+        if (rep_->keys()[i] == key) {
+          seq_.WriteBegin();
+          StoreVal(&rep_->vals[i], std::move(value));
+          seq_.WriteEnd();
+          return false;
+        }
+        i = (i + 1) & rep_->mask;
+      }
+    }
+    if (flat_internal::NeedsGrow(size_ + 1, capacity())) {
+      Rehash(rep_ == nullptr ? flat_internal::kMinCapacity : rep_->cap * 2);
+    }
+    size_t i = IndexOf(rep_, key);
+    while (rep_->keys()[i] != 0) {
+      i = (i + 1) & rep_->mask;
+    }
+    seq_.WriteBegin();
+    StoreVal(&rep_->vals[i], std::move(value));
+    StoreKey(rep_, i, key);
+    seq_.WriteEnd();
+    ++size_;
+    return true;
   }
 
   // Backward-shift erase: removes `key` and re-packs the probe window so no
   // tombstone is left behind. Returns true if the key was present.
   bool Erase(uint64_t key) {
     if (key == 0) {
-      if (!has_zero_) {
+      if (!HasZero()) {
         return false;
       }
-      has_zero_ = false;
+      seq_.WriteBegin();
+      SetHasZero(false);
       zero_val_ = V{};
+      seq_.WriteEnd();
       return true;
     }
     if (size_ == 0) {
       return false;
     }
-    size_t i = IndexOf(key);
+    Rep* rep = rep_;
+    size_t i = IndexOf(rep, key);
     while (true) {
-      if (keys_[i] == key) {
+      if (rep->keys()[i] == key) {
         break;
       }
-      if (keys_[i] == 0) {
+      if (rep->keys()[i] == 0) {
         return false;
       }
-      i = (i + 1) & mask_;
+      i = (i + 1) & rep->mask;
     }
+    seq_.WriteBegin();
     size_t hole = i;
     while (true) {
-      i = (i + 1) & mask_;
-      if (keys_[i] == 0) {
+      i = (i + 1) & rep->mask;
+      if (rep->keys()[i] == 0) {
         break;
       }
       // The entry at i may move into the hole iff doing so does not place it
       // before its ideal slot in probe order.
-      size_t ideal = IndexOf(keys_[i]);
-      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
-        StoreKey(hole, keys_[i]);
-        vals_[hole] = std::move(vals_[i]);
+      size_t ideal = IndexOf(rep, rep->keys()[i]);
+      if (((i - ideal) & rep->mask) >= ((i - hole) & rep->mask)) {
+        StoreKey(rep, hole, rep->keys()[i]);
+        MoveVal(&rep->vals[hole], &rep->vals[i]);
         hole = i;
       }
     }
-    StoreKey(hole, 0);
-    vals_[hole] = V{};
+    StoreKey(rep, hole, 0);
+    StoreVal(&rep->vals[hole], V{});
+    seq_.WriteEnd();
     --size_;
     return true;
   }
@@ -195,12 +387,15 @@ class FlatTable {
   // the table.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    if (has_zero_) {
+    if (HasZero()) {
       fn(uint64_t{0}, zero_val_);
     }
-    for (size_t i = 0; i < cap_; ++i) {
-      if (keys_[i] != 0) {
-        fn(keys_[i], vals_[i]);
+    if (rep_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < rep_->cap; ++i) {
+      if (rep_->keys()[i] != 0) {
+        fn(rep_->keys()[i], rep_->vals[i]);
       }
     }
   }
@@ -208,12 +403,15 @@ class FlatTable {
   // Visits every (key, value&); `fn` may mutate values but not insert/erase.
   template <typename Fn>
   void ForEachMut(Fn&& fn) {
-    if (has_zero_) {
+    if (HasZero()) {
       fn(uint64_t{0}, zero_val_);
     }
-    for (size_t i = 0; i < cap_; ++i) {
-      if (keys_[i] != 0) {
-        fn(keys_[i], vals_[i]);
+    if (rep_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < rep_->cap; ++i) {
+      if (rep_->keys()[i] != 0) {
+        fn(rep_->keys()[i], rep_->vals[i]);
       }
     }
   }
@@ -236,50 +434,103 @@ class FlatTable {
   }
 
  private:
-  size_t IndexOf(uint64_t key) const {
-    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  static size_t IndexOf(const Rep* rep, uint64_t key) {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> rep->shift);
   }
 
+  bool HasZero() const { return has_zero_; }
+  void SetHasZero(bool v) { __atomic_store_n(&has_zero_, v, __ATOMIC_RELAXED); }
+
   // All key writes go through here to keep the mirrored tail coherent.
-  void StoreKey(size_t i, uint64_t v) {
-    keys_[i] = v;
+  static void StoreKey(Rep* rep, size_t i, uint64_t v) {
+    flat_internal::RelaxedStore(rep->keys() + i, v);
     if (i < flat_internal::kWindow - 1) {
-      keys_[cap_ + i] = v;
+      flat_internal::RelaxedStore(rep->keys() + rep->cap + i, v);
     }
+  }
+
+  // Value stores: atomic for word-sized trivially copyable values (the kinds
+  // FindValueConcurrent may race with), plain otherwise.
+  static void StoreVal(V* dst, V v) {
+    if constexpr (std::is_trivially_copyable_v<V> && sizeof(V) == sizeof(uint64_t)) {
+      uint64_t raw;
+      __builtin_memcpy(&raw, &v, sizeof(V));
+      flat_internal::RelaxedStore(reinterpret_cast<uint64_t*>(dst), raw);
+    } else {
+      *dst = std::move(v);
+    }
+  }
+
+  static void MoveVal(V* dst, V* src) {
+    if constexpr (std::is_trivially_copyable_v<V> && sizeof(V) == sizeof(uint64_t)) {
+      StoreVal(dst, *src);
+    } else {
+      *dst = std::move(*src);
+    }
+  }
+
+  // Keys-only concurrent window probe: 1 found, 0 absent, -1 overran the
+  // table (torn state; caller revalidates and retries).
+  static int ProbeKeyConcurrent(const Rep* rep, uint64_t key) {
+    const uint64_t* keys = rep->keys();
+    const size_t mask = rep->mask;
+    size_t i = (key * flat_internal::kGolden) >> rep->shift;
+    for (size_t steps = 0; steps <= rep->cap; steps += flat_internal::kWindow) {
+      uint64_t c0 = flat_internal::RelaxedLoad(keys + i);
+      uint64_t c1 = flat_internal::RelaxedLoad(keys + i + 1);
+      uint64_t c2 = flat_internal::RelaxedLoad(keys + i + 2);
+      uint64_t c3 = flat_internal::RelaxedLoad(keys + i + 3);
+      if ((c0 == key) | (c1 == key) | (c2 == key) | (c3 == key)) {
+        return 1;
+      }
+      if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
+        return 0;
+      }
+      i = (i + flat_internal::kWindow) & mask;
+    }
+    return -1;
   }
 
   void Rehash(size_t new_cap) {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<V> old_vals = std::move(vals_);
-    size_t old_cap = cap_;
-    keys_.assign(new_cap + flat_internal::kWindow - 1, 0);
-    vals_.clear();
-    vals_.resize(new_cap);
-    cap_ = new_cap;
-    mask_ = new_cap - 1;
-    shift_ = 64 - __builtin_ctzll(new_cap);
+    Rep* old = rep_;
+    Rep* fresh = Rep::Make(new_cap);
     size_ = 0;
-    for (size_t i = 0; i < old_cap; ++i) {
-      if (old_keys[i] != 0) {
-        size_t j = IndexOf(old_keys[i]);
-        while (keys_[j] != 0) {
-          j = (j + 1) & mask_;
+    if (old != nullptr) {
+      for (size_t i = 0; i < old->cap; ++i) {
+        if (old->keys()[i] != 0) {
+          size_t j = IndexOf(fresh, old->keys()[i]);
+          while (fresh->keys()[j] != 0) {
+            j = (j + 1) & fresh->mask;
+          }
+          StoreKey(fresh, j, old->keys()[i]);
+          fresh->vals[j] = std::move(old->vals[i]);
+          ++size_;
         }
-        StoreKey(j, old_keys[i]);
-        vals_[j] = std::move(old_vals[i]);
-        ++size_;
       }
+    }
+    seq_.WriteBegin();
+    flat_internal::PublishRep(&rep_, fresh);
+    seq_.WriteEnd();
+    DisposeRep(old);
+  }
+
+  void DisposeRep(Rep* rep) {
+    if (rep == nullptr) {
+      return;
+    }
+    if (reclaimer_ != nullptr) {
+      reclaimer_->Retire([rep] { Rep::Destroy(rep); });
+    } else {
+      Rep::Destroy(rep);
     }
   }
 
-  std::vector<uint64_t> keys_;  // cap_ slots + kWindow-1 mirror slots; 0 = empty
-  std::vector<V> vals_;         // cap_ slots
-  size_t cap_ = 0;
+  Rep* rep_ = nullptr;
   size_t size_ = 0;  // non-zero-key entries
-  size_t mask_ = 0;
-  unsigned shift_ = 64;  // 64 - log2(capacity)
   bool has_zero_ = false;
   V zero_val_{};
+  SeqCount seq_;
+  EpochReclaimer* reclaimer_ = nullptr;
 };
 
 // Interleaved open-addressing multimap from a key to address ranges
@@ -298,19 +549,61 @@ class FlatTable {
 // Keys must be non-zero (0 marks an empty slot); CapTable passes
 // bucket_index + 1.
 class FlatRangeMap {
+  struct Slot {
+    uint64_t key;  // 0 = empty
+    uintptr_t lo;
+    uintptr_t hi;
+  };
+
+  // Header + inline slot array (cap slots + 1 mirror slot): one load
+  // resolves geometry and array base together, matching the probe depth of
+  // a direct member array.
+  struct Rep {
+    size_t cap;
+    size_t mask;
+    unsigned shift;
+
+    Slot* slots() { return reinterpret_cast<Slot*>(this + 1); }
+    const Slot* slots() const { return reinterpret_cast<const Slot*>(this + 1); }
+
+    static Rep* Make(size_t capacity) {
+      size_t nslots = capacity + 1;
+      void* mem = ::operator new(sizeof(Rep) + nslots * sizeof(Slot));
+      Rep* rep = new (mem) Rep();
+      rep->cap = capacity;
+      rep->mask = capacity - 1;
+      rep->shift = 64 - static_cast<unsigned>(__builtin_ctzll(capacity));
+      for (size_t i = 0; i < nslots; ++i) {
+        rep->slots()[i] = Slot{0, 0, 0};
+      }
+      return rep;
+    }
+    static void Destroy(Rep* rep) {
+      rep->~Rep();
+      ::operator delete(rep);
+    }
+  };
+
  public:
   FlatRangeMap() = default;
+  ~FlatRangeMap() { DisposeRep(rep_); }
+
+  FlatRangeMap(const FlatRangeMap&) = delete;
+  FlatRangeMap& operator=(const FlatRangeMap&) = delete;
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  size_t capacity() const { return cap_; }
+  size_t capacity() const { return rep_ == nullptr ? 0 : rep_->cap; }
+
+  void SetReclaimer(EpochReclaimer* reclaimer) { reclaimer_ = reclaimer; }
 
   void Clear() {
-    slots_.clear();
-    cap_ = 0;
+    seq_.WriteBegin();
+    Rep* old = rep_;
+    flat_internal::PublishRep(&rep_, static_cast<Rep*>(nullptr));
     size_ = 0;
-    mask_ = 0;
-    shift_ = 64;
+    seq_.WriteEnd();
+    DisposeRep(old);
   }
 
   // True iff some range stored under `key` fully contains [addr, addr+size);
@@ -320,8 +613,10 @@ class FlatRangeMap {
     if (size_ == 0) {
       return false;
     }
-    const Slot* s = slots_.data();
-    size_t i = IndexOf(key);
+    const Rep* rep = rep_;
+    const Slot* s = rep->slots();
+    const size_t mask = rep->mask;
+    size_t i = IndexOf(rep, key);
     while (true) {
       const Slot& s0 = s[i];
       const Slot& s1 = s[i + 1];
@@ -342,7 +637,50 @@ class FlatRangeMap {
       if ((s0.key == 0) | (s1.key == 0)) {
         return false;
       }
-      i = (i + 2) & mask_;
+      i = (i + 2) & mask;
+    }
+  }
+
+  // Seqlock-validated lock-free variant of FindContaining for concurrent
+  // readers (the SMP store-guard slow path).
+  bool FindContainingConcurrent(uint64_t key, uintptr_t addr, uintptr_t end, uintptr_t* lo,
+                                uintptr_t* hi) const {
+    while (true) {
+      uint64_t s = seq_.ReadBegin();
+      const Rep* rep = flat_internal::AcquireRep(&rep_);
+      if (rep == nullptr) {
+        if (seq_.ReadValidate(s)) {
+          return false;
+        }
+        continue;
+      }
+      int found = ProbeConcurrent(rep, key, addr, end, lo, hi, /*containment=*/true);
+      if (found >= 0 && seq_.ReadValidate(s)) {
+        return found == 1;
+      }
+      CpuRelax();
+    }
+  }
+
+  // True iff any range stored under `key` overlaps [addr, end). Lock-free;
+  // used as the revoke pre-filter so RevokeEverywhere does not need to lock
+  // principals that cannot hold the capability.
+  bool AnyOverlapConcurrent(uint64_t key, uintptr_t addr, uintptr_t end) const {
+    uintptr_t lo, hi;
+    while (true) {
+      uint64_t s = seq_.ReadBegin();
+      const Rep* rep = flat_internal::AcquireRep(&rep_);
+      if (rep == nullptr) {
+        if (seq_.ReadValidate(s)) {
+          return false;
+        }
+        continue;
+      }
+      int found = ProbeConcurrent(rep, key, addr, end, &lo, &hi, /*containment=*/false);
+      if (found >= 0 && seq_.ReadValidate(s)) {
+        return found == 1;
+      }
+      CpuRelax();
     }
   }
 
@@ -351,23 +689,25 @@ class FlatRangeMap {
   bool Insert(uint64_t key, uintptr_t lo, uintptr_t hi) {
     // Probe for an exact duplicate before considering growth, so a repeat
     // grant at the load threshold stays a pure lookup.
-    if (cap_ != 0) {
-      size_t i = IndexOf(key);
-      while (slots_[i].key != 0) {
-        if (slots_[i].key == key && slots_[i].lo == lo && slots_[i].hi == hi) {
+    if (rep_ != nullptr) {
+      size_t i = IndexOf(rep_, key);
+      while (rep_->slots()[i].key != 0) {
+        if (rep_->slots()[i].key == key && rep_->slots()[i].lo == lo && rep_->slots()[i].hi == hi) {
           return false;
         }
-        i = (i + 1) & mask_;
+        i = (i + 1) & rep_->mask;
       }
     }
-    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
-      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    if (flat_internal::NeedsGrow(size_ + 1, capacity())) {
+      Rehash(rep_ == nullptr ? flat_internal::kMinCapacity : rep_->cap * 2);
     }
-    size_t i = IndexOf(key);
-    while (slots_[i].key != 0) {
-      i = (i + 1) & mask_;
+    size_t i = IndexOf(rep_, key);
+    while (rep_->slots()[i].key != 0) {
+      i = (i + 1) & rep_->mask;
     }
-    StoreSlot(i, Slot{key, lo, hi});
+    seq_.WriteBegin();
+    StoreSlot(rep_, i, Slot{key, lo, hi});
+    seq_.WriteEnd();
     ++size_;
     return true;
   }
@@ -377,29 +717,32 @@ class FlatRangeMap {
     if (size_ == 0) {
       return false;
     }
-    size_t i = IndexOf(key);
+    Rep* rep = rep_;
+    size_t i = IndexOf(rep, key);
     while (true) {
-      if (slots_[i].key == 0) {
+      if (rep->slots()[i].key == 0) {
         return false;
       }
-      if (slots_[i].key == key && slots_[i].lo == lo && slots_[i].hi == hi) {
+      if (rep->slots()[i].key == key && rep->slots()[i].lo == lo && rep->slots()[i].hi == hi) {
         break;
       }
-      i = (i + 1) & mask_;
+      i = (i + 1) & rep->mask;
     }
+    seq_.WriteBegin();
     size_t hole = i;
     while (true) {
-      i = (i + 1) & mask_;
-      if (slots_[i].key == 0) {
+      i = (i + 1) & rep->mask;
+      if (rep->slots()[i].key == 0) {
         break;
       }
-      size_t ideal = IndexOf(slots_[i].key);
-      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
-        StoreSlot(hole, slots_[i]);
+      size_t ideal = IndexOf(rep, rep->slots()[i].key);
+      if (((i - ideal) & rep->mask) >= ((i - hole) & rep->mask)) {
+        StoreSlot(rep, hole, rep->slots()[i]);
         hole = i;
       }
     }
-    StoreSlot(hole, Slot{0, 0, 0});
+    StoreSlot(rep, hole, Slot{0, 0, 0});
+    seq_.WriteEnd();
     --size_;
     return true;
   }
@@ -410,86 +753,167 @@ class FlatRangeMap {
     if (size_ == 0) {
       return;
     }
-    size_t i = IndexOf(key);
-    while (slots_[i].key != 0) {
-      if (slots_[i].key == key) {
-        fn(slots_[i].lo, slots_[i].hi);
+    const Rep* rep = rep_;
+    size_t i = IndexOf(rep, key);
+    while (rep->slots()[i].key != 0) {
+      if (rep->slots()[i].key == key) {
+        fn(rep->slots()[i].lo, rep->slots()[i].hi);
       }
-      i = (i + 1) & mask_;
+      i = (i + 1) & rep->mask;
     }
   }
 
   // Visits every (key, lo, hi) slot; order is unspecified.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < cap_; ++i) {
-      if (slots_[i].key != 0) {
-        fn(slots_[i].key, slots_[i].lo, slots_[i].hi);
+    if (rep_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < rep_->cap; ++i) {
+      if (rep_->slots()[i].key != 0) {
+        fn(rep_->slots()[i].key, rep_->slots()[i].lo, rep_->slots()[i].hi);
       }
     }
   }
 
  private:
-  struct Slot {
-    uint64_t key;  // 0 = empty
-    uintptr_t lo;
-    uintptr_t hi;
-  };
-
-  size_t IndexOf(uint64_t key) const {
-    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  static size_t IndexOf(const Rep* rep, uint64_t key) {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> rep->shift);
   }
 
-  void StoreSlot(size_t i, Slot s) {
-    slots_[i] = s;
+  static void StoreField(uintptr_t* p, uintptr_t v) {
+    __atomic_store_n(p, v, __ATOMIC_RELAXED);
+  }
+
+  static void StoreSlot(Rep* rep, size_t i, Slot s) {
+    // Field-wise relaxed stores: a concurrent reader may see a torn slot,
+    // which the seqlock validation rejects; what matters is that every
+    // access is atomic at word granularity.
+    flat_internal::RelaxedStore(&rep->slots()[i].key, s.key);
+    StoreField(&rep->slots()[i].lo, s.lo);
+    StoreField(&rep->slots()[i].hi, s.hi);
     if (i == 0) {
-      slots_[cap_] = s;  // mirror for the 2-slot window wraparound
+      flat_internal::RelaxedStore(&rep->slots()[rep->cap].key, s.key);
+      StoreField(&rep->slots()[rep->cap].lo, s.lo);
+      StoreField(&rep->slots()[rep->cap].hi, s.hi);
     }
+  }
+
+  // 1 hit, 0 miss, -1 overran (torn state; caller retries).
+  static int ProbeConcurrent(const Rep* rep, uint64_t key, uintptr_t addr, uintptr_t end,
+                             uintptr_t* lo, uintptr_t* hi, bool containment) {
+    const Slot* s = rep->slots();
+    const size_t mask = rep->mask;
+    size_t i = IndexOf(rep, key);
+    for (size_t steps = 0; steps <= rep->cap; ++steps) {
+      uint64_t k = flat_internal::RelaxedLoad(&s[i].key);
+      if (k == 0) {
+        return 0;
+      }
+      if (k == key) {
+        uintptr_t slo = __atomic_load_n(&s[i].lo, __ATOMIC_RELAXED);
+        uintptr_t shi = __atomic_load_n(&s[i].hi, __ATOMIC_RELAXED);
+        bool hit = containment ? (slo <= addr) & (end <= shi) : (slo < end) & (addr < shi);
+        if (hit) {
+          *lo = slo;
+          *hi = shi;
+          return 1;
+        }
+      }
+      i = (i + 1) & mask;
+    }
+    return -1;
   }
 
   void Rehash(size_t new_cap) {
-    std::vector<Slot> old = std::move(slots_);
-    size_t old_cap = cap_;
-    slots_.assign(new_cap + 1, Slot{0, 0, 0});
-    cap_ = new_cap;
-    mask_ = new_cap - 1;
-    shift_ = 64 - __builtin_ctzll(new_cap);
+    Rep* old = rep_;
+    Rep* fresh = Rep::Make(new_cap);
     size_ = 0;
-    for (size_t i = 0; i < old_cap; ++i) {
-      if (old[i].key != 0) {
-        size_t j = IndexOf(old[i].key);
-        while (slots_[j].key != 0) {
-          j = (j + 1) & mask_;
+    if (old != nullptr) {
+      for (size_t i = 0; i < old->cap; ++i) {
+        if (old->slots()[i].key != 0) {
+          size_t j = IndexOf(fresh, old->slots()[i].key);
+          while (fresh->slots()[j].key != 0) {
+            j = (j + 1) & fresh->mask;
+          }
+          StoreSlot(fresh, j, old->slots()[i]);
+          ++size_;
         }
-        StoreSlot(j, old[i]);
-        ++size_;
       }
+    }
+    seq_.WriteBegin();
+    flat_internal::PublishRep(&rep_, fresh);
+    seq_.WriteEnd();
+    DisposeRep(old);
+  }
+
+  void DisposeRep(Rep* rep) {
+    if (rep == nullptr) {
+      return;
+    }
+    if (reclaimer_ != nullptr) {
+      reclaimer_->Retire([rep] { Rep::Destroy(rep); });
+    } else {
+      Rep::Destroy(rep);
     }
   }
 
-  std::vector<Slot> slots_;  // cap_ slots + kWindow-1 mirror slots
-  size_t cap_ = 0;
+  Rep* rep_ = nullptr;
   size_t size_ = 0;
-  size_t mask_ = 0;
-  unsigned shift_ = 64;
+  SeqCount seq_;
+  EpochReclaimer* reclaimer_ = nullptr;
 };
 
 // Value-less FlatTable: the CALL and REF capability sets.
 class FlatSet {
+  // Header + inline key array (cap + kWindow-1 mirror slots; 0 = empty).
+  struct Rep {
+    size_t cap;
+    size_t mask;
+    unsigned shift;
+
+    uint64_t* keys() { return reinterpret_cast<uint64_t*>(this + 1); }
+    const uint64_t* keys() const { return reinterpret_cast<const uint64_t*>(this + 1); }
+
+    static Rep* Make(size_t capacity) {
+      size_t nkeys = capacity + flat_internal::kWindow - 1;
+      void* mem = ::operator new(sizeof(Rep) + nkeys * sizeof(uint64_t));
+      Rep* rep = new (mem) Rep();
+      rep->cap = capacity;
+      rep->mask = capacity - 1;
+      rep->shift = 64 - static_cast<unsigned>(__builtin_ctzll(capacity));
+      for (size_t i = 0; i < nkeys; ++i) {
+        rep->keys()[i] = 0;
+      }
+      return rep;
+    }
+    static void Destroy(Rep* rep) {
+      rep->~Rep();
+      ::operator delete(rep);
+    }
+  };
+
  public:
   FlatSet() = default;
+  ~FlatSet() { DisposeRep(rep_); }
+
+  FlatSet(const FlatSet&) = delete;
+  FlatSet& operator=(const FlatSet&) = delete;
 
   size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
   bool empty() const { return size() == 0; }
-  size_t capacity() const { return cap_; }
+  size_t capacity() const { return rep_ == nullptr ? 0 : rep_->cap; }
+
+  void SetReclaimer(EpochReclaimer* reclaimer) { reclaimer_ = reclaimer; }
 
   void Clear() {
-    keys_.clear();
-    cap_ = 0;
+    seq_.WriteBegin();
+    Rep* old = rep_;
+    flat_internal::PublishRep(&rep_, static_cast<Rep*>(nullptr));
     size_ = 0;
-    mask_ = 0;
-    shift_ = 64;
-    has_zero_ = false;
+    __atomic_store_n(&has_zero_, false, __ATOMIC_RELAXED);
+    seq_.WriteEnd();
+    DisposeRep(old);
   }
 
   bool Contains(uint64_t key) const {
@@ -499,8 +923,10 @@ class FlatSet {
     if (size_ == 0) {
       return false;
     }
-    const uint64_t* keys = keys_.data();
-    size_t i = IndexOf(key);
+    const Rep* rep = rep_;
+    const uint64_t* keys = rep->keys();
+    const size_t mask = rep->mask;
+    size_t i = IndexOf(rep, key);
     while (true) {
       const uint64_t* w = keys + i;
       uint64_t c0 = w[0], c1 = w[1], c2 = w[2], c3 = w[3];
@@ -510,7 +936,30 @@ class FlatSet {
       if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
         return false;
       }
-      i = (i + flat_internal::kWindow) & mask_;
+      i = (i + flat_internal::kWindow) & mask;
+    }
+  }
+
+  // Lock-free seqlock-validated probe for concurrent readers (the SMP CALL
+  // check slow path and the revoke pre-filter).
+  bool ContainsConcurrent(uint64_t key) const {
+    if (LXFI_UNLIKELY(key == 0)) {
+      return __atomic_load_n(&has_zero_, __ATOMIC_RELAXED);
+    }
+    while (true) {
+      uint64_t s = seq_.ReadBegin();
+      const Rep* rep = flat_internal::AcquireRep(&rep_);
+      if (rep == nullptr) {
+        if (seq_.ReadValidate(s)) {
+          return false;
+        }
+        continue;
+      }
+      int found = ProbeKeyConcurrent(rep, key);
+      if (found >= 0 && seq_.ReadValidate(s)) {
+        return found == 1;
+      }
+      CpuRelax();
     }
   }
 
@@ -518,28 +967,30 @@ class FlatSet {
   bool Insert(uint64_t key) {
     if (key == 0) {
       bool added = !has_zero_;
-      has_zero_ = true;
+      __atomic_store_n(&has_zero_, true, __ATOMIC_RELAXED);
       return added;
     }
     // Probe for an existing key before considering growth, so a duplicate
     // insert at the load threshold stays a pure lookup.
-    if (cap_ != 0) {
-      size_t i = IndexOf(key);
-      while (keys_[i] != 0) {
-        if (keys_[i] == key) {
+    if (rep_ != nullptr) {
+      size_t i = IndexOf(rep_, key);
+      while (rep_->keys()[i] != 0) {
+        if (rep_->keys()[i] == key) {
           return false;
         }
-        i = (i + 1) & mask_;
+        i = (i + 1) & rep_->mask;
       }
     }
-    if (flat_internal::NeedsGrow(size_ + 1, cap_)) {
-      Rehash(cap_ == 0 ? flat_internal::kMinCapacity : cap_ * 2);
+    if (flat_internal::NeedsGrow(size_ + 1, capacity())) {
+      Rehash(rep_ == nullptr ? flat_internal::kMinCapacity : rep_->cap * 2);
     }
-    size_t i = IndexOf(key);
-    while (keys_[i] != 0) {
-      i = (i + 1) & mask_;
+    size_t i = IndexOf(rep_, key);
+    while (rep_->keys()[i] != 0) {
+      i = (i + 1) & rep_->mask;
     }
-    StoreKey(i, key);
+    seq_.WriteBegin();
+    StoreKey(rep_, i, key);
+    seq_.WriteEnd();
     ++size_;
     return true;
   }
@@ -547,35 +998,38 @@ class FlatSet {
   bool Erase(uint64_t key) {
     if (key == 0) {
       bool had = has_zero_;
-      has_zero_ = false;
+      __atomic_store_n(&has_zero_, false, __ATOMIC_RELAXED);
       return had;
     }
     if (size_ == 0) {
       return false;
     }
-    size_t i = IndexOf(key);
+    Rep* rep = rep_;
+    size_t i = IndexOf(rep, key);
     while (true) {
-      if (keys_[i] == key) {
+      if (rep->keys()[i] == key) {
         break;
       }
-      if (keys_[i] == 0) {
+      if (rep->keys()[i] == 0) {
         return false;
       }
-      i = (i + 1) & mask_;
+      i = (i + 1) & rep->mask;
     }
+    seq_.WriteBegin();
     size_t hole = i;
     while (true) {
-      i = (i + 1) & mask_;
-      if (keys_[i] == 0) {
+      i = (i + 1) & rep->mask;
+      if (rep->keys()[i] == 0) {
         break;
       }
-      size_t ideal = IndexOf(keys_[i]);
-      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
-        StoreKey(hole, keys_[i]);
+      size_t ideal = IndexOf(rep, rep->keys()[i]);
+      if (((i - ideal) & rep->mask) >= ((i - hole) & rep->mask)) {
+        StoreKey(rep, hole, rep->keys()[i]);
         hole = i;
       }
     }
-    StoreKey(hole, 0);
+    StoreKey(rep, hole, 0);
+    seq_.WriteEnd();
     --size_;
     return true;
   }
@@ -585,51 +1039,86 @@ class FlatSet {
     if (has_zero_) {
       fn(uint64_t{0});
     }
-    for (size_t i = 0; i < cap_; ++i) {
-      if (keys_[i] != 0) {
-        fn(keys_[i]);
+    if (rep_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < rep_->cap; ++i) {
+      if (rep_->keys()[i] != 0) {
+        fn(rep_->keys()[i]);
       }
     }
   }
 
  private:
-  size_t IndexOf(uint64_t key) const {
-    return static_cast<size_t>((key * flat_internal::kGolden) >> shift_);
+  static size_t IndexOf(const Rep* rep, uint64_t key) {
+    return static_cast<size_t>((key * flat_internal::kGolden) >> rep->shift);
   }
 
-  void StoreKey(size_t i, uint64_t v) {
-    keys_[i] = v;
+  static void StoreKey(Rep* rep, size_t i, uint64_t v) {
+    flat_internal::RelaxedStore(rep->keys() + i, v);
     if (i < flat_internal::kWindow - 1) {
-      keys_[cap_ + i] = v;
+      flat_internal::RelaxedStore(rep->keys() + rep->cap + i, v);
     }
+  }
+
+  static int ProbeKeyConcurrent(const Rep* rep, uint64_t key) {
+    const uint64_t* keys = rep->keys();
+    const size_t mask = rep->mask;
+    size_t i = (key * flat_internal::kGolden) >> rep->shift;
+    for (size_t steps = 0; steps <= rep->cap; steps += flat_internal::kWindow) {
+      uint64_t c0 = flat_internal::RelaxedLoad(keys + i);
+      uint64_t c1 = flat_internal::RelaxedLoad(keys + i + 1);
+      uint64_t c2 = flat_internal::RelaxedLoad(keys + i + 2);
+      uint64_t c3 = flat_internal::RelaxedLoad(keys + i + 3);
+      if ((c0 == key) | (c1 == key) | (c2 == key) | (c3 == key)) {
+        return 1;
+      }
+      if ((c0 == 0) | (c1 == 0) | (c2 == 0) | (c3 == 0)) {
+        return 0;
+      }
+      i = (i + flat_internal::kWindow) & mask;
+    }
+    return -1;
   }
 
   void Rehash(size_t new_cap) {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    size_t old_cap = cap_;
-    keys_.assign(new_cap + flat_internal::kWindow - 1, 0);
-    cap_ = new_cap;
-    mask_ = new_cap - 1;
-    shift_ = 64 - __builtin_ctzll(new_cap);
+    Rep* old = rep_;
+    Rep* fresh = Rep::Make(new_cap);
     size_ = 0;
-    for (size_t i = 0; i < old_cap; ++i) {
-      if (old_keys[i] != 0) {
-        size_t j = IndexOf(old_keys[i]);
-        while (keys_[j] != 0) {
-          j = (j + 1) & mask_;
+    if (old != nullptr) {
+      for (size_t i = 0; i < old->cap; ++i) {
+        if (old->keys()[i] != 0) {
+          size_t j = IndexOf(fresh, old->keys()[i]);
+          while (fresh->keys()[j] != 0) {
+            j = (j + 1) & fresh->mask;
+          }
+          StoreKey(fresh, j, old->keys()[i]);
+          ++size_;
         }
-        StoreKey(j, old_keys[i]);
-        ++size_;
       }
+    }
+    seq_.WriteBegin();
+    flat_internal::PublishRep(&rep_, fresh);
+    seq_.WriteEnd();
+    DisposeRep(old);
+  }
+
+  void DisposeRep(Rep* rep) {
+    if (rep == nullptr) {
+      return;
+    }
+    if (reclaimer_ != nullptr) {
+      reclaimer_->Retire([rep] { Rep::Destroy(rep); });
+    } else {
+      Rep::Destroy(rep);
     }
   }
 
-  std::vector<uint64_t> keys_;  // cap_ slots + kWindow-1 mirror slots; 0 = empty
-  size_t cap_ = 0;
+  Rep* rep_ = nullptr;
   size_t size_ = 0;  // non-zero-key entries
-  size_t mask_ = 0;
-  unsigned shift_ = 64;
   bool has_zero_ = false;
+  SeqCount seq_;
+  EpochReclaimer* reclaimer_ = nullptr;
 };
 
 }  // namespace lxfi

@@ -1,0 +1,94 @@
+#include "src/base/sync.h"
+
+namespace lxfi {
+
+EpochReclaimer& EpochReclaimer::Global() {
+  static EpochReclaimer instance;
+  return instance;
+}
+
+EpochReclaimer::Reader* EpochReclaimer::Register() {
+  for (Reader& r : readers_) {
+    bool expected = false;
+    if (r.active_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      // A fresh reader starts quiesced: it cannot hold references into
+      // anything retired before it existed.
+      r.idle_.store(false, std::memory_order_release);
+      r.seen_.store(epoch_.load(std::memory_order_acquire), std::memory_order_release);
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void EpochReclaimer::Unregister(Reader* reader) {
+  if (reader != nullptr) {
+    reader->active_.store(false, std::memory_order_release);
+  }
+}
+
+uint64_t EpochReclaimer::MinSeen() const {
+  uint64_t min = ~uint64_t{0};
+  for (const Reader& r : readers_) {
+    if (r.active_.load(std::memory_order_acquire) && !r.idle_.load(std::memory_order_acquire)) {
+      uint64_t seen = r.seen_.load(std::memory_order_acquire);
+      if (seen < min) {
+        min = seen;
+      }
+    }
+  }
+  return min;
+}
+
+void EpochReclaimer::Retire(std::function<void()> deleter) {
+  uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.push_back(Retired{epoch, std::move(deleter)});
+  }
+  // Amortize reclamation onto the (rare) retire path so nothing needs a
+  // background thread; readers only announce quiescent states.
+  TryReclaim();
+}
+
+size_t EpochReclaimer::TryReclaim() {
+  uint64_t min = MinSeen();
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t kept = 0;
+    for (Retired& item : retired_) {
+      if (item.epoch <= min) {
+        ready.push_back(std::move(item.deleter));
+      } else {
+        retired_[kept++] = std::move(item);
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (auto& fn : ready) {
+    fn();
+  }
+  return ready.size();
+}
+
+void EpochReclaimer::Synchronize() {
+  uint64_t target = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int spins = 0;
+  while (MinSeen() < target) {
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    } else {
+      CpuRelax();
+    }
+  }
+  TryReclaim();
+}
+
+size_t EpochReclaimer::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace lxfi

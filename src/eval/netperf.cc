@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "src/base/clock.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/net/netdevice.h"
 #include "src/kernel/net/nicsim.h"
 #include "src/kernel/net/skbuff.h"
+#include "src/kernel/panic.h"
+#include "src/kernel/smp.h"
 #include "src/lxfi/kernel_api.h"
 #include "src/lxfi/runtime.h"
 #include "src/modules/e1000/e1000.h"
@@ -62,25 +65,38 @@ struct NetperfHarness::Impl {
   bool echo_mode = false;
   uint8_t echo_frame[kSmallMsg] = {};
   int pending_echoes = 0;
+  // SMP mode: one NIC + device per simulated CPU, and the CPU set itself.
+  std::vector<kern::NicHw*> hws;
+  std::vector<kern::NetDevice*> devs;
+  std::unique_ptr<kern::CpuSet> cpus;
 };
 
-NetperfHarness::NetperfHarness(bool isolated, bool guard_timing) : impl_(new Impl()) {
+NetperfHarness::NetperfHarness(bool isolated, bool guard_timing, int cpus) : impl_(new Impl()) {
   impl_->kernel = std::make_unique<kern::Kernel>(256ull << 20);
   if (isolated) {
     lxfi::RuntimeOptions options;
     options.guard_timing = guard_timing;
+    options.concurrent_enforcement = cpus > 0;
     impl_->rt = std::make_unique<lxfi::Runtime>(impl_->kernel.get(), options);
   }
   kernel_ = impl_->kernel.get();
   rt_ = impl_->rt.get();
   lxfi::InstallKernelApi(kernel_, rt_);
-  impl_->hw = mods::PlugInE1000Device(kernel_);
+  // One NIC per CPU in SMP mode (per-CPU TX queues); one NIC otherwise.
+  int nics = cpus > 0 ? cpus : 1;
+  for (int i = 0; i < nics; ++i) {
+    impl_->hws.push_back(mods::PlugInE1000Device(kernel_, /*irq=*/5 + i));
+  }
+  impl_->hw = impl_->hws.front();
   kern::Module* mod = kernel_->LoadModule(mods::E1000ModuleDef());
   if (mod == nullptr) {
     kern::Panic("netperf harness: e1000 failed to load");
   }
   impl_->stack = kern::GetNetStack(kernel_);
-  impl_->dev = impl_->stack->DevByIndex(1);
+  for (int i = 0; i < nics; ++i) {
+    impl_->devs.push_back(impl_->stack->DevByIndex(1 + i));
+  }
+  impl_->dev = impl_->devs.front();
   impl_->stack->SetProtocolHandler(kTestProto, [this](kern::SkBuff* skb) {
     ++impl_->rx_delivered;
     kern::FreeSkb(kernel_, skb);
@@ -94,12 +110,74 @@ NetperfHarness::NetperfHarness(bool isolated, bool guard_timing) : impl_(new Imp
   });
   impl_->echo_frame[0] = static_cast<uint8_t>(kTestProto & 0xff);
   impl_->echo_frame[1] = static_cast<uint8_t>(kTestProto >> 8);
+  if (cpus > 0) {
+    // Per-CPU slab magazines keep the per-packet alloc/free pair off the
+    // global allocator lock; the CpuSet threads give every CPU its own
+    // kthread context, memo shards and guard-counter shards.
+    kernel_->slab().EnableSmpCache();
+    impl_->cpus = std::make_unique<kern::CpuSet>(kernel_, cpus);
+  }
 }
 
 NetperfHarness::~NetperfHarness() {
+  // CPU threads must drain before the kernel and runtime go away.
+  impl_->cpus.reset();
   // Runtime must detach from the kernel before either is destroyed; member
   // order in Impl handles destruction, but unload keeps the slab honest.
   delete impl_;
+}
+
+int NetperfHarness::cpus() const { return impl_->cpus == nullptr ? 0 : impl_->cpus->ncpus(); }
+
+SmpScalingResult NetperfHarness::RunParallelTx(uint64_t packets_per_cpu) {
+  Impl* im = impl_;
+  if (im->cpus == nullptr) {
+    kern::Panic("RunParallelTx requires an SMP harness (cpus > 0)");
+  }
+  const int n = im->cpus->ncpus();
+  std::vector<uint64_t> frames_before(n);
+  std::vector<uint64_t> cpu_ns(n, 0);
+  for (int i = 0; i < n; ++i) {
+    frames_before[i] = im->hws[i]->frames_tx();
+  }
+  kern::Kernel* k = kernel_;
+  kern::NetStack* stack = im->stack;
+  uint64_t wall_start = lxfi::MonotonicNowNs();
+  for (int i = 0; i < n; ++i) {
+    kern::NetDevice* dev = im->devs[i];
+    kern::NicHw* hw = im->hws[i];
+    uint64_t* out_ns = &cpu_ns[i];
+    im->cpus->RunOn(i, [k, stack, dev, hw, packets_per_cpu, out_ns] {
+      uint64_t t0 = lxfi::ThreadCpuNowNs();
+      for (uint64_t p = 0; p < packets_per_cpu; ++p) {
+        kern::SkBuff* skb = MakePacket(k, kSmallMsg);
+        if (skb == nullptr) {
+          break;  // arena exhausted; the recycle cache makes this unlikely
+        }
+        int rc = stack->DevQueueXmit(dev, skb);
+        if (rc == kern::kNetdevTxBusy) {
+          kern::FreeSkb(k, skb);
+        }
+        if ((p & 15) == 15) {
+          hw->ProcessTx();
+        }
+        if ((p & 1023) == 1023) {
+          kern::CpuSet::QuiescePoint();
+        }
+      }
+      hw->ProcessTx();
+      *out_ns = lxfi::ThreadCpuNowNs() - t0;
+    });
+  }
+  im->cpus->Barrier();
+  SmpScalingResult result;
+  result.cpus = n;
+  result.wall_ns = lxfi::MonotonicNowNs() - wall_start;
+  for (int i = 0; i < n; ++i) {
+    result.packets += im->hws[i]->frames_tx() - frames_before[i];
+    result.cpu_ns_total += cpu_ns[i];
+  }
+  return result;
 }
 
 NetperfMeasurement NetperfHarness::Run(const NetperfConfig& config) {

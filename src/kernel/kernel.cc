@@ -23,28 +23,34 @@ void Kernel::set_isolation(IsolationHooks* hooks) {
 
 KthreadContext* Kernel::CreateKthread() {
   auto ctx = std::make_unique<KthreadContext>();
-  ctx->id = static_cast<int>(kthreads_.size());
+  ctx->id = next_kthread_id_.fetch_add(1, std::memory_order_relaxed);
   KthreadContext* raw = ctx.get();
-  kthreads_.push_back(std::move(ctx));
+  {
+    std::lock_guard<std::mutex> lock(kthreads_mu_);
+    kthreads_.push_back(std::move(ctx));
+    if (current_ctx_ == nullptr) {
+      current_ctx_ = raw;
+    }
+  }
   if (isolation_ != nullptr) {
     isolation_->OnKthreadCreate(raw);
-  }
-  if (current_ctx_ == nullptr) {
-    current_ctx_ = raw;
   }
   return raw;
 }
 
 void Kernel::DeliverInterrupt(const std::function<void()>& handler) {
-  ++current_ctx_->irq_depth;
+  // Interrupts are delivered to the CPU the raising device belongs to, i.e.
+  // the calling thread's current context.
+  KthreadContext* ctx = current();
+  ++ctx->irq_depth;
   if (isolation_ != nullptr) {
-    isolation_->OnInterruptEnter(current_ctx_);
+    isolation_->OnInterruptEnter(ctx);
   }
   handler();
   if (isolation_ != nullptr) {
-    isolation_->OnInterruptExit(current_ctx_);
+    isolation_->OnInterruptExit(ctx);
   }
-  --current_ctx_->irq_depth;
+  --ctx->irq_depth;
 }
 
 Module* Kernel::LoadModule(ModuleDef def) {

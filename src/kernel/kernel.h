@@ -4,8 +4,10 @@
 // runtime via set_isolation() turns it into the protected configuration.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
@@ -22,6 +24,13 @@
 #include "src/kernel/uaccess.h"
 
 namespace kern {
+
+// CPU-local current kthread: null on the harness main thread (which uses
+// the kernel's own member, preserving single-threaded determinism), set by
+// CpuSet worker threads via Kernel::AdoptCurrentThread. Thread-local rather
+// than per-kernel because a host thread simulates a CPU of exactly one
+// kernel at a time.
+inline thread_local KthreadContext* tls_cpu_kthread = nullptr;
 
 class Kernel {
  public:
@@ -43,11 +52,30 @@ class Kernel {
   void set_isolation(IsolationHooks* hooks);
 
   // --- Kthreads ---------------------------------------------------------
+  // Thread-safe (ids from an atomic counter, registration under the kernel
+  // lock); callable from CPU threads.
   KthreadContext* CreateKthread();
-  KthreadContext* current() { return current_ctx_; }
-  void SwitchTo(KthreadContext* ctx) { current_ctx_ = ctx; }
-  Task* current_task() { return current_ctx_ != nullptr ? current_ctx_->current_task : nullptr; }
-  void SetCurrentTask(Task* task) { current_ctx_->current_task = task; }
+  // The current execution context: CPU-local on simulated-CPU threads,
+  // the kernel member on the main thread.
+  KthreadContext* current() {
+    return tls_cpu_kthread != nullptr ? tls_cpu_kthread : current_ctx_;
+  }
+  void SwitchTo(KthreadContext* ctx) {
+    if (tls_cpu_kthread != nullptr) {
+      tls_cpu_kthread = ctx;
+    } else {
+      current_ctx_ = ctx;
+    }
+  }
+  // Binds/unbinds the calling host thread as a simulated CPU running `ctx`
+  // (used by smp.cc; main-thread semantics are untouched).
+  static void AdoptCurrentThread(KthreadContext* ctx) { tls_cpu_kthread = ctx; }
+  static void ReleaseCurrentThread() { tls_cpu_kthread = nullptr; }
+  Task* current_task() {
+    KthreadContext* ctx = current();
+    return ctx != nullptr ? ctx->current_task : nullptr;
+  }
+  void SetCurrentTask(Task* task) { current()->current_task = task; }
 
   // Simulated interrupt delivery: runs `handler` in interrupt context on the
   // current kthread, with principal save/restore around it when isolated.
@@ -116,8 +144,10 @@ class Kernel {
   std::unique_ptr<ProcessTable> procs_;
   IsolationHooks* isolation_ = nullptr;
 
+  std::mutex kthreads_mu_;  // guards kthreads_ (CPU threads create contexts)
+  std::atomic<int> next_kthread_id_{0};
   std::vector<std::unique_ptr<KthreadContext>> kthreads_;
-  KthreadContext* current_ctx_ = nullptr;
+  KthreadContext* current_ctx_ = nullptr;  // main-thread current
 
   std::vector<std::unique_ptr<Module>> modules_;
   std::unordered_map<std::type_index, std::shared_ptr<void>> subsystems_;

@@ -30,8 +30,28 @@ void* SlabAllocator::Alloc(size_t size) {
   if (size == 0) {
     return nullptr;
   }
+  if (smp_cache_) {
+    // Per-CPU magazine hit: the object is already recorded live with this
+    // exact requested size, so no global state changes at all.
+    CpuCache& cache = caches_[lxfi::ThisShardIndex()];
+    for (CpuCache::Bin& bin : cache.bins) {
+      if (bin.requested == size && !bin.objs.empty()) {
+        void* p = bin.objs.back();
+        bin.objs.pop_back();
+        if (uint64_t* rec = cache.cached_size.Find(reinterpret_cast<uintptr_t>(p))) {
+          *rec &= ~kCacheInBin;  // back in circulation
+        }
+        std::memset(p, 0, size);
+        return p;
+      }
+    }
+  }
   int ci = ClassIndexFor(size);
-  void* p = ci >= 0 ? AllocFromClass(static_cast<size_t>(ci), size) : AllocLarge(size);
+  void* p;
+  {
+    lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+    p = ci >= 0 ? AllocFromClass(static_cast<size_t>(ci), size) : AllocLarge(size);
+  }
   if (p != nullptr) {
     std::memset(p, 0, size);
   }
@@ -82,6 +102,64 @@ void SlabAllocator::Free(void* ptr) {
   if (ptr == nullptr) {
     return;
   }
+  if (smp_cache_) {
+    CpuCache& cache = caches_[lxfi::ThisShardIndex()];
+    // Recycled object this shard has seen before: return it to the bin with
+    // no global work. (The live_ entry persists with the same requested
+    // size, which is exactly what the next same-size Alloc will hand out.)
+    if (uint64_t* requested = cache.cached_size.Find(reinterpret_cast<uintptr_t>(ptr))) {
+      if ((*requested & kCacheInBin) != 0) {
+        // The pointer is sitting in the magazine right now: this is the
+        // double-kfree the uncached path panics on; preserve that.
+        Panic("kfree of pointer already free in the per-CPU slab cache (double free)");
+      }
+      uint64_t size_only = *requested & ~kCacheInBin;
+      for (CpuCache::Bin& bin : cache.bins) {
+        if (bin.requested == size_only && bin.objs.size() < kCacheBinCap) {
+          bin.objs.push_back(ptr);
+          *requested |= kCacheInBin;
+          return;
+        }
+      }
+      // Bin full: really free it, and drop the record so a future
+      // reallocation with a different size cannot alias it.
+      cache.cached_size.Erase(reinterpret_cast<uintptr_t>(ptr));
+      FreeGlobal(ptr);
+      return;
+    }
+    // First sighting on this shard: stash class-backed objects, keeping the
+    // live_ entry (same requested size) so introspection stays truthful.
+    size_t stash_requested = 0;
+    {
+      lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+      auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
+      if (it == live_.end()) {
+        Panic("kfree of unknown or already-freed pointer (slab corruption)");
+      }
+      if (it->second.class_index != SIZE_MAX && it->second.requested > 0) {
+        stash_requested = it->second.requested;
+      }
+    }
+    if (stash_requested != 0) {
+      for (CpuCache::Bin& bin : cache.bins) {
+        if ((bin.requested == stash_requested || bin.requested == 0) &&
+            bin.objs.size() < kCacheBinCap) {
+          bin.requested = stash_requested;
+          bin.objs.push_back(ptr);
+          cache.cached_size.Insert(reinterpret_cast<uintptr_t>(ptr),
+                                   stash_requested | kCacheInBin);
+          return;
+        }
+      }
+    }
+    FreeGlobal(ptr);
+    return;
+  }
+  FreeGlobal(ptr);
+}
+
+void SlabAllocator::FreeGlobal(void* ptr) {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
   auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
   if (it == live_.end()) {
     Panic("kfree of unknown or already-freed pointer (slab corruption)");
@@ -105,11 +183,13 @@ void SlabAllocator::Free(void* ptr) {
 }
 
 size_t SlabAllocator::AllocSize(const void* ptr) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
   auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
   return it == live_.end() ? 0 : it->second.requested;
 }
 
 size_t SlabAllocator::UsableSize(const void* ptr) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
   auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
   if (it == live_.end()) {
     return 0;
@@ -119,6 +199,7 @@ size_t SlabAllocator::UsableSize(const void* ptr) const {
 }
 
 bool SlabAllocator::IsLive(const void* ptr) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
   return live_.count(reinterpret_cast<uintptr_t>(ptr)) != 0;
 }
 

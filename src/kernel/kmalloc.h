@@ -8,6 +8,16 @@
 //    integer-overflow exploit depends on overwriting the *next* slab object),
 //  - ksize()-style introspection so capability annotations can revoke the
 //    exact granted range on kfree.
+//
+// SMP: the shared structures are guarded by a spinlock, and an optional
+// per-CPU object cache (EnableSmpCache — the analogue of SLUB's per-CPU
+// partial lists) recycles same-size objects entirely within one simulated
+// CPU: a cached object stays "live" in the global map with an unchanged
+// requested size, so ksize/AllocSize introspection and the capability
+// annotations built on it keep working, while the per-packet alloc/free
+// pair on the parallel netperf path touches no global lock at all. The
+// cache is off by default — allocation adjacency and double-free panics
+// behave exactly as before for tests and exploits.
 #pragma once
 
 #include <array>
@@ -17,6 +27,8 @@
 #include <vector>
 
 #include "src/base/arena.h"
+#include "src/base/flat_table.h"
+#include "src/base/sync.h"
 
 namespace kern {
 
@@ -46,8 +58,25 @@ class SlabAllocator {
 
   bool IsLive(const void* ptr) const;
 
+  // Switches the allocator to locked operation (called by kern::CpuSet
+  // before any CPU thread exists). Single-threaded kernels never pay the
+  // lock: per-packet alloc/free on the Figure 12 path stays exactly the
+  // seed's cost.
+  void EnableSmp() { smp_lock_ = true; }
+  bool smp() const { return smp_lock_; }
+
+  // Turns on the per-CPU recycling cache (simulated-CPU harnesses only).
+  // Note: cached objects report IsLive() true between free and reuse.
+  void EnableSmpCache() {
+    smp_lock_ = true;
+    smp_cache_ = true;
+  }
+
   // Stats.
-  size_t live_objects() const { return live_.size(); }
+  size_t live_objects() const {
+    lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+    return live_.size();
+  }
   size_t pages_allocated() const { return pages_allocated_; }
 
   static constexpr std::array<size_t, 8> kClassSizes = {32, 64, 128, 256, 512, 1024, 2048, 4096};
@@ -64,16 +93,42 @@ class SlabAllocator {
     size_t large_bytes;  // only for large allocations
   };
 
+  // Per-CPU magazine: a few exact-size bins of recycled objects plus the
+  // ptr->size record that lets Free() classify a recycled pointer without
+  // the global lock. Only ever touched by its shard's thread. The record's
+  // top bit tracks "currently in the bin", so a same-CPU double-kfree still
+  // panics like the uncached path. (A double-free that crosses CPUs while
+  // the object sits in another CPU's bin is the one case the cache cannot
+  // see; the cache is only enabled by SMP harnesses, never for the exploit
+  // or regression suites.)
+  static constexpr uint64_t kCacheInBin = 1ull << 63;
+  static constexpr size_t kCacheBins = 4;
+  static constexpr size_t kCacheBinCap = 128;
+  struct alignas(lxfi::kCacheLineSize) CpuCache {
+    struct Bin {
+      size_t requested = 0;
+      std::vector<void*> objs;
+    };
+    std::array<Bin, kCacheBins> bins;
+    lxfi::FlatTable<uint64_t> cached_size;  // ptr -> requested
+  };
+
   static int ClassIndexFor(size_t size);
   void* AllocFromClass(size_t class_index, size_t requested);
   void* AllocLarge(size_t size);
+  // The non-cached free path (locks internally).
+  void FreeGlobal(void* ptr);
 
   lxfi::Arena* arena_;
+  mutable lxfi::Spinlock mu_;  // guards partial_/page_of_/live_/arena (SMP mode)
+  bool smp_lock_ = false;
+  bool smp_cache_ = false;
   // Per-class list of pages that still have free objects.
   std::array<std::vector<SlabPage*>, kClassSizes.size()> partial_;
   std::unordered_map<uintptr_t, SlabPage*> page_of_;  // page base -> slab page
   std::unordered_map<uintptr_t, LiveObject> live_;
   size_t pages_allocated_ = 0;
+  std::array<CpuCache, lxfi::kMaxCpuShards> caches_;
 };
 
 }  // namespace kern

@@ -2,8 +2,10 @@
 //
 // LXFI keeps a shadow stack per kernel thread (§5); interrupts save and
 // restore the current principal. The simulation models kernel threads as
-// explicitly-switched contexts on one host thread, which keeps the
-// enforcement logic identical while avoiding host-threading nondeterminism.
+// explicitly-switched contexts; in the default configuration everything runs
+// on one host thread (deterministic, no host-threading nondeterminism), and
+// the SMP subsystem (smp.h) runs one host thread per simulated CPU, each
+// with its own CPU-local current context.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +17,29 @@ namespace kern {
 struct Task;
 
 struct KthreadContext {
+  // Unique per kernel, assigned from an atomic counter in creation order
+  // (thread-safe and deterministic: concurrent creators race only for
+  // *which* id each gets, never for uniqueness; single-threaded creation —
+  // every existing test — sees the exact sequence 0, 1, 2, ...).
   int id = 0;
   Task* current_task = nullptr;
   int irq_depth = 0;
+
+  // Host-stack bounds of the CPU thread this kthread runs on, granted as
+  // the "current kernel stack" to module code (§3.2). Zero when the kthread
+  // runs on the harness main thread (the Runtime's own captured bounds
+  // apply there instead).
+  uintptr_t stack_lo = 0;
+  uintptr_t stack_hi = 0;
+
   // Opaque per-thread LXFI state (the shadow stack); owned by the runtime.
+  //
+  // Ownership across CPU migration: this pointer is written under the
+  // runtime's shadow lock but read lock-free, which is safe because only
+  // the CPU a kthread is *currently running on* may dereference it, and a
+  // kthread migrates between CPUs only at run-queue item boundaries — the
+  // handoff through the target CPU's queue lock orders the reads. A kthread
+  // is never current on two CPUs at once.
   void* lxfi_shadow = nullptr;
 };
 

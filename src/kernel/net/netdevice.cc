@@ -124,9 +124,8 @@ int NetStack::DevQueueXmit(NetDevice* dev, SkBuff* skb) {
     FreeSkb(kernel_, skb);
     return -kEnodev;
   }
-  if (dst_output_slot_ == 0) {
-    InstallKernelDispatch();
-  }
+  EnsureKernelDispatch();  // single-threaded fallback; SMP paths installed
+                           // eagerly via GetNetStack
   // dst->output: the first of the kernel-internal indirect hops.
   return kernel_->IndirectCall<int, NetDevice*, SkBuff*>(&dst_output_slot_, "dst_ops::output",
                                                          dev, skb);
@@ -155,7 +154,11 @@ int NetStack::RunSoftirq(int budget_per_poll) {
   return total;
 }
 
-NetStack* GetNetStack(Kernel* kernel) { return kernel->EnsureSubsystem<NetStack>(kernel); }
+NetStack* GetNetStack(Kernel* kernel) {
+  NetStack* stack = kernel->EnsureSubsystem<NetStack>(kernel);
+  stack->EnsureKernelDispatch();
+  return stack;
+}
 
 NetDevice* AllocEtherdev(Kernel* kernel, size_t priv_size) {
   void* mem = kernel->slab().Alloc(sizeof(NetDevice));

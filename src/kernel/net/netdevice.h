@@ -76,6 +76,16 @@ class NetStack {
   // Returns the driver's netdev_tx code.
   int DevQueueXmit(NetDevice* dev, SkBuff* skb);
 
+  // Registers the kernel-internal dispatch hops (dst_output, qdisc enqueue)
+  // if not yet installed. Idempotent; must run before DevQueueXmit can be
+  // called from simulated CPUs (GetNetStack does it at creation — lazy
+  // installation from N CPUs at once would race the function registry).
+  void EnsureKernelDispatch() {
+    if (dst_output_slot_ == 0) {
+      InstallKernelDispatch();
+    }
+  }
+
   // NAPI.
   void NapiSchedule(NapiStruct* napi);
   // Runs pending NAPI polls (the softirq); returns packets the polls claimed.

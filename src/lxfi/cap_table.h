@@ -28,16 +28,34 @@ namespace lxfi {
 
 // Process-wide generation counter bumped on every capability removal (revoke
 // or table clear) anywhere. EnforcementContext memos (last-hit WRITE range,
-// last-checked CALL target) record the generation at fill time; a bump
-// anywhere invalidates every memo, which is the conservative direction — a
-// stale *positive* memo could otherwise outlive the grant that justified it.
-// Grants never bump it: adding capabilities cannot turn a cached "allowed"
-// into "denied". Revocation is rare (transfer() actions, module unload), so
-// the cost is an extra full lookup right after one, never a missed check.
+// last-checked CALL target) record the generation observed *before* the
+// validating table probe; a bump anywhere invalidates every memo, which is
+// the conservative direction — a stale *positive* memo could otherwise
+// outlive the grant that justified it. Grants never bump it: adding
+// capabilities cannot turn a cached "allowed" into "denied". Revocation is
+// rare (transfer() actions, module unload), so the cost is an extra full
+// lookup right after one, never a missed check.
+//
+// SMP ordering: Bump() is acq_rel and Current() is acquire, so any thread
+// that observes (via any release/acquire chain) that a revoke has returned
+// also observes an epoch at least as new as that revoke's bump — its memos
+// filled under the old epoch can never validate. Combined with the rule
+// that revokes mutate the table *before* bumping, a revoke that has
+// returned is never passed by any CPU afterwards (the concurrent stress
+// test asserts exactly this).
 class RevocationEpoch {
  public:
-  static uint64_t Current() { return counter_.load(std::memory_order_relaxed); }
-  static void Bump() { counter_.fetch_add(1, std::memory_order_relaxed); }
+  // Acquire: the fill-protocol reads that must not sink past the table
+  // probe (WriteTableProbe and friends read the epoch *before* probing).
+  static uint64_t Current() { return counter_.load(std::memory_order_acquire); }
+  // Relaxed: memo-hit validation. The cross-CPU guarantee does not need
+  // ordering here — whoever observes (through any release/acquire chain)
+  // that a revoke returned also has the bump in their happens-before past,
+  // and coherence then forbids a relaxed load from returning the pre-bump
+  // value. Keeping this relaxed lets the compiler schedule the hit path
+  // exactly as the pre-SMP code did.
+  static uint64_t CurrentRelaxed() { return counter_.load(std::memory_order_relaxed); }
+  static void Bump() { counter_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
   static inline std::atomic<uint64_t> counter_{1};
@@ -107,6 +125,43 @@ class CapTable {
   bool Revoke(const Capability& cap);
 
   void Clear();
+
+  // --- SMP read-mostly mode -------------------------------------------------
+  // Attaches the grace-period reclaimer to all three tables; after this,
+  // the *Concurrent probes below are safe against concurrent mutation
+  // (which must itself be serialized by the owning principal's lock).
+  void SetReclaimer(EpochReclaimer* reclaimer) {
+    write_buckets_.SetReclaimer(reclaimer);
+    call_.SetReclaimer(reclaimer);
+    ref_.SetReclaimer(reclaimer);
+  }
+
+  // Lock-free seqlock-validated probes (the SMP enforcement slow paths).
+  bool FindWriteRangeConcurrent(uintptr_t addr, size_t size, uintptr_t* lo, uintptr_t* hi) const {
+    if (size == 0) {
+      *lo = addr;
+      *hi = addr;
+      return true;
+    }
+    uintptr_t qend = RangeEnd(addr, size);
+    return write_buckets_.FindContainingConcurrent(BucketKey(BucketOf(addr)), addr, qend, lo, hi);
+  }
+  bool CheckWriteConcurrent(uintptr_t addr, size_t size) const {
+    uintptr_t lo, hi;
+    return FindWriteRangeConcurrent(addr, size, &lo, &hi);
+  }
+  bool CheckCallConcurrent(uintptr_t target) const { return call_.ContainsConcurrent(target); }
+  bool CheckRefConcurrent(RefTypeId type, uintptr_t addr) const {
+    return ref_.ContainsConcurrent(RefKey(type, addr));
+  }
+  bool CheckConcurrent(const Capability& cap) const;
+
+  // Revoke pre-filter: true when this table might hold state that
+  // Revoke(cap) would remove. Lock-free, so RevokeEverywhere only locks
+  // principals that can actually be affected; a false positive costs a
+  // locked no-op revoke, a false negative can only happen for a capability
+  // granted concurrently with the revoke (the two were unordered anyway).
+  bool MightHoldConcurrent(const Capability& cap) const;
 
   size_t write_count() const;
   size_t call_count() const { return call_.size(); }

@@ -1,11 +1,11 @@
-// Per-principal enforcement state, fused (§4–§5, Figure 13).
+// Per-(CPU, principal) enforcement state, fused (§4–§5, Figure 13).
 //
 // The reference monitor's hot path — a store guard on every module write, a
 // CALL check on every boundary crossing — used to touch three separately
 // allocated structures (capability table, writer set, guard stats). This
-// object fuses the per-principal portion into one cache-resident record:
+// record fuses the per-principal, per-CPU portion into one cache-resident
+// shard:
 //
-//   * the principal's capability table (flat, open-addressing);
 //   * a 1-entry last-hit WRITE-range memo: module code overwhelmingly
 //     re-checks the same object it just wrote (memset loops, field-by-field
 //     struct initialization), so remembering the granted range that
@@ -22,24 +22,35 @@
 //     crossing pair (spin_lock(&l); ...; spin_unlock(&l)) skips guard
 //     evaluation entirely after the first pass — again two entries, because
 //     the pair alternates two programs;
-//   * per-principal guard counters (checks and memo hits), cheap enough to
+//   * per-shard guard counters (checks and memo hits), cheap enough to
 //     keep always-on and the raw material for the Figure 13 breakdown.
+//
+// Sharding (SMP): each Principal owns one EnforcementContext per simulated
+// CPU (lxfi::kMaxCpuShards; Principal::ctx() indexes by ThisShardIndex()).
+// A shard is written only by its CPU, so the memo fields need no atomics
+// and never bounce between cores; the counters are single-writer
+// RelaxedCells so cross-CPU aggregation reads are race-free. The shared
+// capability table itself lives on the Principal (see principal.h), guarded
+// by the per-principal writer lock with lock-free concurrent probes.
 //
 // Memo soundness: memos cache *positive* answers only, and every capability
 // removal anywhere bumps the process-wide RevocationEpoch, which invalidates
 // all memos at once (see cap_table.h). Grants never invalidate — more
-// authority cannot make a cached "allowed" wrong.
+// authority cannot make a cached "allowed" wrong. Under SMP the fill
+// protocol records the epoch observed *before* the validating table probe:
+// if a revoke interleaves with the probe, the memo is created already
+// stale instead of wrongly outliving the revoke.
 #pragma once
 
 #include <cstdint>
 
+#include "src/base/compiler.h"
+#include "src/base/sync.h"
 #include "src/lxfi/cap_table.h"
 
 namespace lxfi {
 
-struct EnforcementContext {
-  CapTable caps;
-
+struct alignas(kCacheLineSize) EnforcementContext {
   // Last-hit WRITE memo: the granted range [write_lo, write_hi) that
   // contained the previous successful check. Invalid when epoch is stale
   // (or at rest: lo > hi matches nothing).
@@ -52,13 +63,13 @@ struct EnforcementContext {
   uint64_t call_epoch[2] = {0, 0};
   uint8_t call_mru = 0;
 
-  // Guard counters (always on; counter-only, no clock reads).
-  uint64_t write_checks = 0;
-  uint64_t write_memo_hits = 0;
-  uint64_t call_checks = 0;
-  uint64_t call_memo_hits = 0;
-  uint64_t pre_checks = 0;
-  uint64_t pre_memo_hits = 0;
+  // Guard counters (always on; single-writer per shard, race-free reads).
+  RelaxedCell write_checks;
+  RelaxedCell write_memo_hits;
+  RelaxedCell call_checks;
+  RelaxedCell call_memo_hits;
+  RelaxedCell pre_checks;
+  RelaxedCell pre_memo_hits;
 
   // Last clean pure-check pre-section memos: program identity plus the exact
   // argument values it passed with. Bounded arg count keeps the compare
@@ -76,20 +87,23 @@ struct EnforcementContext {
   uint8_t pre_mru = 0;
 
   bool WriteMemoHit(uintptr_t addr, size_t size) const {
-    return write_epoch == RevocationEpoch::Current() && addr >= write_lo && addr <= write_hi &&
+    return write_epoch == RevocationEpoch::CurrentRelaxed() && addr >= write_lo && addr <= write_hi &&
            size <= write_hi - addr;
   }
 
-  void FillWriteMemo(uintptr_t lo, uintptr_t hi) {
+  // `epoch` must be the RevocationEpoch read *before* the table probe that
+  // produced [lo, hi): a revoke that raced with the probe then leaves the
+  // memo already invalid rather than freshly poisoned.
+  void FillWriteMemo(uintptr_t lo, uintptr_t hi, uint64_t epoch) {
     if (lo < hi) {  // never memoize an empty range (zero-size checks)
       write_lo = lo;
       write_hi = hi;
-      write_epoch = RevocationEpoch::Current();
+      write_epoch = epoch;
     }
   }
 
   bool CallMemoHit(uintptr_t target) {
-    uint64_t now = RevocationEpoch::Current();
+    uint64_t now = RevocationEpoch::CurrentRelaxed();
     for (uint8_t e = 0; e < 2; ++e) {
       if (call_epoch[e] == now && call_target[e] == target) {
         call_mru = e;
@@ -99,10 +113,10 @@ struct EnforcementContext {
     return false;
   }
 
-  void FillCallMemo(uintptr_t target) {
+  void FillCallMemo(uintptr_t target, uint64_t epoch) {
     uint8_t victim = call_mru ^ 1;
     call_target[victim] = target;
-    call_epoch[victim] = RevocationEpoch::Current();
+    call_epoch[victim] = epoch;
     call_mru = victim;
   }
 
@@ -111,7 +125,7 @@ struct EnforcementContext {
   // values and the principal's capabilities, grants cannot invalidate a
   // positive answer, and every revocation bumps the epoch.
   bool PreMemoHit(const void* program, const uint64_t* args, size_t nargs) {
-    uint64_t now = RevocationEpoch::Current();
+    uint64_t now = RevocationEpoch::CurrentRelaxed();
     for (uint8_t e = 0; e < 2; ++e) {
       const PreMemoEntry& m = pre_memo[e];
       if (m.epoch != now || m.program != program || m.nargs != nargs) {
@@ -129,7 +143,7 @@ struct EnforcementContext {
     return false;
   }
 
-  void FillPreMemo(const void* program, const uint64_t* args, size_t nargs) {
+  void FillPreMemo(const void* program, const uint64_t* args, size_t nargs, uint64_t epoch) {
     uint8_t victim = pre_mru ^ 1;
     PreMemoEntry& m = pre_memo[victim];
     m.program = program;
@@ -137,7 +151,7 @@ struct EnforcementContext {
     for (size_t i = 0; i < nargs; ++i) {
       m.args[i] = args[i];
     }
-    m.epoch = RevocationEpoch::Current();
+    m.epoch = epoch;
     pre_mru = victim;
   }
 };

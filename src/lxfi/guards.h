@@ -11,6 +11,8 @@
 #include <string>
 
 #include "src/base/clock.h"
+#include "src/base/compiler.h"
+#include "src/base/sync.h"
 
 namespace lxfi {
 
@@ -28,18 +30,42 @@ enum class GuardType : int {
 
 const char* GuardTypeName(GuardType type);
 
+// Sharded per-CPU: each simulated CPU increments its own cache-line-aligned
+// shard (plain single-writer increments — no lock prefix, so single-core
+// cost is identical to the flat array this replaced), and readers sum
+// shards. Aggregation reads are race-free (RelaxedCell) but not a
+// linearizable snapshot; callers read after a CpuSet barrier for exact
+// totals, which is what every bench and eval harness does.
 class GuardStats {
  public:
   void Reset() {
-    counts_.fill(0);
-    time_ns_.fill(0);
+    for (Shard& shard : shards_) {
+      for (size_t i = 0; i < static_cast<size_t>(GuardType::kCount); ++i) {
+        shard.counts[i] = 0;
+        shard.time_ns[i] = 0;
+      }
+    }
   }
 
-  void Count(GuardType type) { ++counts_[static_cast<size_t>(type)]; }
-  void AddTime(GuardType type, uint64_t ns) { time_ns_[static_cast<size_t>(type)] += ns; }
+  void Count(GuardType type) { ++shards_[ThisShardIndex()].counts[static_cast<size_t>(type)]; }
+  void AddTime(GuardType type, uint64_t ns) {
+    shards_[ThisShardIndex()].time_ns[static_cast<size_t>(type)].Add(ns);
+  }
 
-  uint64_t count(GuardType type) const { return counts_[static_cast<size_t>(type)]; }
-  uint64_t time_ns(GuardType type) const { return time_ns_[static_cast<size_t>(type)]; }
+  uint64_t count(GuardType type) const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.counts[static_cast<size_t>(type)];
+    }
+    return total;
+  }
+  uint64_t time_ns(GuardType type) const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.time_ns[static_cast<size_t>(type)];
+    }
+    return total;
+  }
 
   double MeanNs(GuardType type) const {
     uint64_t n = count(type);
@@ -48,8 +74,8 @@ class GuardStats {
 
   uint64_t TotalTimeNs() const {
     uint64_t t = 0;
-    for (uint64_t v : time_ns_) {
-      t += v;
+    for (size_t i = 0; i < static_cast<size_t>(GuardType::kCount); ++i) {
+      t += time_ns(static_cast<GuardType>(i));
     }
     return t;
   }
@@ -59,8 +85,11 @@ class GuardStats {
   std::string Report() const;
 
  private:
-  std::array<uint64_t, static_cast<size_t>(GuardType::kCount)> counts_ = {};
-  std::array<uint64_t, static_cast<size_t>(GuardType::kCount)> time_ns_ = {};
+  struct alignas(kCacheLineSize) Shard {
+    std::array<RelaxedCell, static_cast<size_t>(GuardType::kCount)> counts;
+    std::array<RelaxedCell, static_cast<size_t>(GuardType::kCount)> time_ns;
+  };
+  std::array<Shard, kMaxCpuShards> shards_;
 };
 
 // RAII guard accounting, resolved at compile time per instantiation:

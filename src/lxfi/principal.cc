@@ -22,17 +22,71 @@ ModuleCtx::ModuleCtx(Runtime* runtime, kern::Module* kmod)
     : runtime_(runtime),
       kmod_(kmod),
       shared_(this, PrincipalKind::kShared, 0),
-      global_(this, PrincipalKind::kGlobal, 0) {}
+      global_(this, PrincipalKind::kGlobal, 0) {
+  PublishSnapshot();
+}
+
+ModuleCtx::~ModuleCtx() {
+  // Unload runs from a quiescent context (no concurrent enforcement against
+  // a module being torn down); the last snapshot can be freed in place.
+  delete inst_snapshot_;
+}
 
 const std::string& ModuleCtx::name() const { return kmod_->name(); }
 
+void ModuleCtx::EnableConcurrent(EpochReclaimer* reclaimer) {
+  reclaimer_ = reclaimer;
+  shared_.caps().SetReclaimer(reclaimer);
+  global_.caps().SetReclaimer(reclaimer);
+  by_name_.SetReclaimer(reclaimer);
+  for (auto& inst : instances_) {
+    inst->caps().SetReclaimer(reclaimer);
+  }
+}
+
+void ModuleCtx::PublishSnapshot() {
+  auto* fresh = new InstanceSnapshot();
+  fresh->items.reserve(instances_.size());
+  for (const auto& inst : instances_) {
+    fresh->items.push_back(inst.get());
+  }
+  InstanceSnapshot* old = inst_snapshot_;
+  __atomic_store_n(&inst_snapshot_, fresh, __ATOMIC_RELEASE);
+  if (old != nullptr) {
+    if (reclaimer_ != nullptr) {
+      reclaimer_->Retire([old] { delete old; });
+    } else {
+      delete old;
+    }
+  }
+}
+
 Principal* ModuleCtx::GetOrCreate(uintptr_t name) {
+  if (reclaimer_ != nullptr) {
+    // Lock-free hit path: per-crossing principal() resolution lands here on
+    // every kernel->module call, and the principal almost always exists.
+    Principal* found = nullptr;
+    if (by_name_.FindValueConcurrent(name, &found)) {
+      return found;
+    }
+    SpinGuard guard(mu_);
+    if (Principal* const* raced = by_name_.Find(name)) {
+      return *raced;
+    }
+    instances_.push_back(std::make_unique<Principal>(this, PrincipalKind::kInstance, name));
+    Principal* p = instances_.back().get();
+    p->caps().SetReclaimer(reclaimer_);
+    by_name_.Insert(name, p);
+    PublishSnapshot();
+    return p;
+  }
   if (Principal* const* found = by_name_.Find(name)) {
     return *found;
   }
   instances_.push_back(std::make_unique<Principal>(this, PrincipalKind::kInstance, name));
   Principal* p = instances_.back().get();
   by_name_.Insert(name, p);
+  PublishSnapshot();
   return p;
 }
 
@@ -42,26 +96,44 @@ Principal* ModuleCtx::Lookup(uintptr_t name) const {
 }
 
 bool ModuleCtx::Alias(uintptr_t existing, uintptr_t alias) {
-  Principal* p = Lookup(existing);
-  if (p == nullptr) {
+  SpinGuard guard(mu_);
+  Principal* const* found = by_name_.Find(existing);
+  if (found == nullptr) {
     return false;
   }
-  by_name_.Insert(alias, p);
+  by_name_.Insert(alias, *found);
   return true;
 }
 
 void ModuleCtx::DropInstance(uintptr_t name) {
-  Principal* p = Lookup(name);
-  if (p == nullptr) {
+  std::unique_ptr<Principal> doomed;
+  {
+    SpinGuard guard(mu_);
+    Principal* const* found = by_name_.Find(name);
+    if (found == nullptr) {
+      return;
+    }
+    Principal* p = *found;
+    // Remove all names bound to this principal.
+    by_name_.EraseIf([p](uint64_t, Principal* const& bound) { return bound == p; });
+    for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+      if (it->get() == p) {
+        doomed = std::move(*it);
+        instances_.erase(it);
+        break;
+      }
+    }
+    PublishSnapshot();
+  }
+  if (doomed == nullptr) {
     return;
   }
-  // Remove all names bound to this principal.
-  by_name_.EraseIf([p](uint64_t, Principal* const& bound) { return bound == p; });
-  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
-    if (it->get() == p) {
-      instances_.erase(it);
-      break;
-    }
+  if (reclaimer_ != nullptr) {
+    // Lock-free probes may still hold the principal until their next
+    // quiescent state; its capability tables (whose destructor also bumps
+    // the revocation epoch) die with it after the grace period.
+    Principal* raw = doomed.release();
+    reclaimer_->Retire([raw] { delete raw; });
   }
 }
 
@@ -87,6 +159,27 @@ bool ModuleCtx::OwnsChain(const Principal* p, Probe&& probe) const {
   return false;
 }
 
+// Concurrent flavor: same chain, but the global-principal case iterates the
+// published snapshot so it cannot race instance creation.
+template <typename Probe>
+bool ModuleCtx::OwnsChainConcurrent(const Principal* p, Probe&& probe) const {
+  if (probe(*p)) {
+    return true;
+  }
+  if (p != &shared_ && probe(shared_)) {
+    return true;
+  }
+  if (p->kind() == PrincipalKind::kGlobal) {
+    const InstanceSnapshot* snap = AcquireSnapshot();
+    for (const Principal* inst : snap->items) {
+      if (probe(*inst)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 bool ModuleCtx::Owns(const Principal* p, const Capability& cap) const {
   return OwnsChain(p, [&cap](const Principal& q) { return q.caps().Check(cap); });
 }
@@ -101,11 +194,49 @@ bool ModuleCtx::OwnsCall(const Principal* p, uintptr_t target) const {
   return OwnsChain(p, [target](const Principal& q) { return q.caps().CheckCall(target); });
 }
 
+bool ModuleCtx::OwnsConcurrent(const Principal* p, const Capability& cap) const {
+  return OwnsChainConcurrent(p,
+                             [&cap](const Principal& q) { return q.caps().CheckConcurrent(cap); });
+}
+
+bool ModuleCtx::OwnsWriteConcurrent(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
+                                    uintptr_t* hi) const {
+  return OwnsChainConcurrent(p, [&](const Principal& q) {
+    return q.caps().FindWriteRangeConcurrent(addr, size, lo, hi);
+  });
+}
+
+bool ModuleCtx::OwnsCallConcurrent(const Principal* p, uintptr_t target) const {
+  return OwnsChainConcurrent(
+      p, [target](const Principal& q) { return q.caps().CheckCallConcurrent(target); });
+}
+
 bool ModuleCtx::RevokeEverywhere(const Capability& cap) {
-  bool any = shared_.caps().Revoke(cap);
-  any |= global_.caps().Revoke(cap);
-  for (auto& inst : instances_) {
-    any |= inst->caps().Revoke(cap);
+  if (reclaimer_ == nullptr) {
+    bool any = shared_.caps().Revoke(cap);
+    any |= global_.caps().Revoke(cap);
+    for (auto& inst : instances_) {
+      any |= inst->caps().Revoke(cap);
+    }
+    return any;
+  }
+  // SMP path: pre-filter each principal lock-free so the common per-packet
+  // transfer locks only the one principal that actually holds the
+  // capability. Table mutation happens before the revocation-epoch bump
+  // (inside CapTable::Revoke), preserving the "returned revokes are never
+  // passed" ordering.
+  auto revoke_one = [&cap](Principal* p) {
+    if (!p->caps().MightHoldConcurrent(cap)) {
+      return false;
+    }
+    SpinGuard guard(p->lock());
+    return p->caps().Revoke(cap);
+  };
+  bool any = revoke_one(&shared_);
+  any |= revoke_one(&global_);
+  const InstanceSnapshot* snap = AcquireSnapshot();
+  for (Principal* inst : snap->items) {
+    any |= revoke_one(inst);
   }
   return any;
 }

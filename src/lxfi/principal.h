@@ -9,6 +9,15 @@
 //            code manipulating cross-instance state switches to it.
 // A logical principal can have several names (pci_dev vs net_device);
 // lxfi_princ_alias maps a new name onto an existing principal.
+//
+// SMP model: a Principal owns one capability table (mutated under the
+// per-principal Spinlock in concurrent mode, probed lock-free by any CPU)
+// plus one EnforcementContext memo shard per simulated CPU, so hot-path
+// memo state never bounces between cores. ModuleCtx keeps an RCU-style
+// published snapshot of its instance-principal list: creators publish a new
+// snapshot under the module lock, concurrent revokers and ownership chains
+// iterate the snapshot lock-free, and superseded snapshots (and dropped
+// principals) are reclaimed through the quiescent-state EpochReclaimer.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "src/base/flat_table.h"
+#include "src/base/sync.h"
 #include "src/lxfi/cap_table.h"
 #include "src/lxfi/enforcement_context.h"
 
@@ -45,13 +55,28 @@ class Principal {
   PrincipalKind kind() const { return kind_; }
   uintptr_t name() const { return name_; }
 
-  CapTable& caps() { return ctx_.caps; }
-  const CapTable& caps() const { return ctx_.caps; }
+  CapTable& caps() { return caps_; }
+  const CapTable& caps() const { return caps_; }
 
-  // The fused per-principal enforcement record (capability table + memos +
-  // guard counters) the runtime hot paths operate on.
-  EnforcementContext& ctx() { return ctx_; }
-  const EnforcementContext& ctx() const { return ctx_; }
+  // Serializes capability-table mutation (and the writer-page record) in
+  // concurrent mode; lock-free probes never take it.
+  Spinlock& lock() { return lock_; }
+
+  // Pages this principal has already been recorded for in the global
+  // WriterSet. Guarded by lock(); lets the per-packet grant path skip the
+  // global writer-set lock once a page is recorded (steady state). Valid
+  // only for the WriterSet clear generation it was recorded under —
+  // Runtime::Grant flushes it when the generation moved (ClearRange /
+  // RemoveWriter erased attribution these records would otherwise hide).
+  FlatSet& writer_pages() { return writer_pages_; }
+  uint64_t writer_pages_gen() const { return writer_pages_gen_; }
+  void set_writer_pages_gen(uint64_t gen) { writer_pages_gen_ = gen; }
+
+  // The fused per-CPU enforcement shard (memos + guard counters) the
+  // runtime hot paths operate on. A shard is written only by its CPU.
+  EnforcementContext& ctx() { return shards_[ThisShardIndex()]; }
+  const EnforcementContext& ctx() const { return shards_[ThisShardIndex()]; }
+  EnforcementContext& ctx(int shard) { return shards_[shard]; }
 
   std::string DebugName() const;
 
@@ -59,24 +84,37 @@ class Principal {
   ModuleCtx* module_;
   PrincipalKind kind_;
   uintptr_t name_;  // primary name (0 for shared/global)
-  EnforcementContext ctx_;
+  CapTable caps_;
+  Spinlock lock_;
+  FlatSet writer_pages_;
+  uint64_t writer_pages_gen_ = 0;  // guarded by lock_
+  EnforcementContext shards_[kMaxCpuShards];
 };
 
 // Per-loaded-module LXFI state.
 class ModuleCtx {
  public:
   ModuleCtx(Runtime* runtime, kern::Module* kmod);
+  ~ModuleCtx();
 
   Runtime* runtime() const { return runtime_; }
   kern::Module* kmod() const { return kmod_; }
   const std::string& name() const;
+
+  // Switches this module's principal state into SMP mode: capability tables
+  // retire replaced slot arrays through `reclaimer`, instance creation
+  // publishes snapshots, and ownership probes go lock-free. Must be called
+  // before any concurrent access (Runtime does it at module load).
+  void EnableConcurrent(EpochReclaimer* reclaimer);
+  bool concurrent() const { return reclaimer_ != nullptr; }
 
   Principal* shared() { return &shared_; }
   Principal* global() { return &global_; }
 
   // Finds the principal for `name`, creating an instance principal on first
   // use (instances come into existence when first named, e.g. by a
-  // principal() annotation selecting a socket pointer).
+  // principal() annotation selecting a socket pointer). Lock-free on the
+  // (overwhelmingly common) hit path in concurrent mode.
   Principal* GetOrCreate(uintptr_t name);
   Principal* Lookup(uintptr_t name) const;
 
@@ -85,9 +123,13 @@ class ModuleCtx {
   bool Alias(uintptr_t existing, uintptr_t alias);
 
   // Drops an instance principal and its capabilities (e.g. socket release).
+  // In concurrent mode the principal's memory is reclaimed only after a
+  // grace period, so in-flight lock-free probes stay safe.
   void DropInstance(uintptr_t name);
 
-  // All instance principals (no shared/global).
+  // All instance principals (no shared/global). Not safe against concurrent
+  // instance creation; use only from quiescent contexts (setup, teardown,
+  // diagnostics). Enforcement paths iterate the published snapshot instead.
   const std::vector<std::unique_ptr<Principal>>& instances() const { return instances_; }
 
   // Capability ownership honoring shared/global semantics:
@@ -104,25 +146,50 @@ class ModuleCtx {
   // CALL ownership with the same fallback chain (no range to report).
   bool OwnsCall(const Principal* p, uintptr_t target) const;
 
+  // Lock-free variants for SMP enforcement: identical fallback chain, but
+  // every table probe is seqlock-validated and the global-principal case
+  // walks the published instance snapshot.
+  bool OwnsConcurrent(const Principal* p, const Capability& cap) const;
+  bool OwnsWriteConcurrent(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
+                           uintptr_t* hi) const;
+  bool OwnsCallConcurrent(const Principal* p, uintptr_t target) const;
+
  private:
   // Shared self -> shared -> (global: instances) fallback chain; `probe`
   // tests one principal's table. Defined in principal.cc.
   template <typename Probe>
   bool OwnsChain(const Principal* p, Probe&& probe) const;
+  template <typename Probe>
+  bool OwnsChainConcurrent(const Principal* p, Probe&& probe) const;
 
  public:
 
   // Revokes `cap` from every principal of this module; returns true if any
-  // principal held it.
+  // principal held it. In concurrent mode each affected principal is
+  // revoked under its own lock, pre-filtered by a lock-free probe.
   bool RevokeEverywhere(const Capability& cap);
 
  private:
+  struct InstanceSnapshot {
+    std::vector<Principal*> items;
+  };
+
+  const InstanceSnapshot* AcquireSnapshot() const {
+    return __atomic_load_n(&inst_snapshot_, __ATOMIC_ACQUIRE);
+  }
+  // Rebuilds and publishes the snapshot from instances_; caller holds mu_
+  // (or is single-threaded). Retires the old snapshot.
+  void PublishSnapshot();
+
   Runtime* runtime_;
   kern::Module* kmod_;
   Principal shared_;
   Principal global_;
+  mutable Spinlock mu_;  // guards instances_ / by_name_ mutation
   std::vector<std::unique_ptr<Principal>> instances_;
   FlatTable<Principal*> by_name_;
+  InstanceSnapshot* inst_snapshot_ = nullptr;
+  EpochReclaimer* reclaimer_ = nullptr;
 };
 
 }  // namespace lxfi

@@ -70,6 +70,9 @@ std::string GuardStats::Report() const {
 Runtime::Runtime(kern::Kernel* kernel, RuntimeOptions options)
     : kernel_(kernel), options_(options) {
   guards_.timing_enabled = options_.guard_timing;
+  if (options_.concurrent_enforcement) {
+    writer_set_.EnableConcurrent(&EpochReclaimer::Global());
+  }
   // The registration-time compile pass resolves iterator-func names against
   // this runtime's iterator registry.
   annotations_.BindIterators(&iterators_);
@@ -109,6 +112,9 @@ Runtime::~Runtime() {
 bool Runtime::OnModuleLoad(kern::Module* module) {
   auto ctx = std::make_unique<ModuleCtx>(this, module);
   ModuleCtx* mc = ctx.get();
+  if (options_.concurrent_enforcement) {
+    mc->EnableConcurrent(&EpochReclaimer::Global());
+  }
   ctxs_[module] = std::move(ctx);
   module->lxfi_ctx = mc;
   Principal* shared = mc->shared();
@@ -233,14 +239,17 @@ ModuleCtx* Runtime::CtxOf(kern::Module* module) {
 ShadowStack* Runtime::CurrentShadow() {
   kern::KthreadContext* ctx = kernel_->current();
   // The kthread context caches its shadow stack; every enforcement check
-  // starts here, so the common case must not pay a map lookup. The owner
-  // tag rejects a stack cached by a different Runtime on the same kernel.
+  // starts here, so the common case must not pay a map lookup (or a lock:
+  // lxfi_shadow is only dereferenced by the CPU the kthread runs on — see
+  // kthread.h on migration). The owner tag rejects a stack cached by a
+  // different Runtime on the same kernel.
   if (LXFI_LIKELY(ctx->lxfi_shadow != nullptr)) {
     auto* shadow = static_cast<ShadowStack*>(ctx->lxfi_shadow);
     if (LXFI_LIKELY(shadow->owner == this)) {
       return shadow;
     }
   }
+  SpinGuard guard(shadows_mu_);
   auto it = shadows_.find(ctx);
   if (it == shadows_.end()) {
     it = shadows_.emplace(ctx, std::make_unique<ShadowStack>()).first;
@@ -253,6 +262,7 @@ ShadowStack* Runtime::CurrentShadow() {
 Principal* Runtime::CurrentPrincipal() { return CurrentShadow()->current; }
 
 void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
+  SpinGuard guard(shadows_mu_);
   if (shadows_.count(ctx) == 0) {
     auto shadow = std::make_unique<ShadowStack>();
     shadow->owner = this;
@@ -262,6 +272,7 @@ void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
 }
 
 void Runtime::OnKthreadDestroy(kern::KthreadContext* ctx) {
+  SpinGuard guard(shadows_mu_);
   shadows_.erase(ctx);
   ctx->lxfi_shadow = nullptr;
 }
@@ -295,6 +306,46 @@ void Runtime::OnInterruptExit(kern::KthreadContext* ctx) {
 // --- capability operations ----------------------------------------------------
 
 void Runtime::Grant(Principal* p, const Capability& cap) {
+  if (LXFI_UNLIKELY(options_.concurrent_enforcement)) {
+    // Mutate the table under the principal's lock, and record writer pages
+    // against the principal's private page set while we hold it: steady
+    // per-packet grants (skb transfers re-granting slab pages seen before)
+    // then never touch the global writer-set lock.
+    constexpr size_t kMaxInlinePages = 64;
+    uint64_t new_pages[kMaxInlinePages];
+    size_t n_new = 0;
+    bool huge_range = false;
+    {
+      SpinGuard guard(p->lock());
+      p->caps().Grant(cap);
+      if (cap.kind == CapKind::kWrite && cap.size > 0) {
+        // A ClearRange/RemoveWriter since we last recorded invalidates every
+        // record: re-attribute from scratch so erased pages get re-inserted.
+        uint64_t gen = writer_set_.clear_generation();
+        if (gen != p->writer_pages_gen()) {
+          p->writer_pages().Clear();
+          p->set_writer_pages_gen(gen);
+        }
+        uintptr_t first = cap.addr >> WriterSet::kPageShift;
+        uintptr_t last = (cap.addr + cap.size - 1) >> WriterSet::kPageShift;
+        if (last - first >= kMaxInlinePages) {
+          huge_range = true;  // module-lifetime grant (e.g. the user window)
+        } else {
+          for (uintptr_t page = first; page <= last; ++page) {
+            if (p->writer_pages().Insert(page)) {
+              new_pages[n_new++] = page;
+            }
+          }
+        }
+      }
+    }
+    if (huge_range) {
+      writer_set_.AddRange(p, cap.addr, cap.size);
+    } else if (n_new > 0) {
+      writer_set_.AddPages(p, new_pages, n_new);
+    }
+    return;
+  }
   p->caps().Grant(cap);
   if (cap.kind == CapKind::kWrite) {
     writer_set_.AddRange(p, cap.addr, cap.size);
@@ -302,6 +353,9 @@ void Runtime::Grant(Principal* p, const Capability& cap) {
 }
 
 bool Runtime::Owns(Principal* p, const Capability& cap) const {
+  if (LXFI_UNLIKELY(options_.concurrent_enforcement)) {
+    return p->module()->OwnsConcurrent(p, cap);
+  }
   return p->module()->Owns(p, cap);
 }
 
@@ -346,12 +400,18 @@ LXFI_ALWAYS_INLINE bool Runtime::WriteMemoProbe(EnforcementContext& ec, uintptr_
 
 LXFI_ALWAYS_INLINE bool Runtime::WriteTableProbe(Principal* p, EnforcementContext& ec,
                                                  uintptr_t addr, size_t size) {
+  // Epoch before the probe: if a revoke interleaves, the memo is filled
+  // already stale instead of outliving the revoke (see enforcement_context.h).
+  uint64_t epoch = RevocationEpoch::Current();
   uintptr_t lo, hi;
-  if (!p->module()->OwnsWrite(p, addr, size, &lo, &hi)) {
+  bool owned = LXFI_UNLIKELY(options_.concurrent_enforcement)
+                   ? p->module()->OwnsWriteConcurrent(p, addr, size, &lo, &hi)
+                   : p->module()->OwnsWrite(p, addr, size, &lo, &hi);
+  if (!owned) {
     return false;
   }
   if (options_.enforcement_memo) {
-    ec.FillWriteMemo(lo, hi);
+    ec.FillWriteMemo(lo, hi, epoch);
   }
   return true;
 }
@@ -387,11 +447,15 @@ bool Runtime::OwnsCallFast(Principal* p, uintptr_t target) {
     ++ec.call_memo_hits;
     return true;
   }
-  if (!p->module()->OwnsCall(p, target)) {
+  uint64_t epoch = RevocationEpoch::Current();
+  bool owned = LXFI_UNLIKELY(options_.concurrent_enforcement)
+                   ? p->module()->OwnsCallConcurrent(p, target)
+                   : p->module()->OwnsCall(p, target);
+  if (!owned) {
     return false;
   }
   if (options_.enforcement_memo) {
-    ec.FillCallMemo(target);
+    ec.FillCallMemo(target, epoch);
   }
   return true;
 }
@@ -440,14 +504,23 @@ void Runtime::IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr
     guards_.Count(GuardType::kIndCallModule);
   }
   uintptr_t slot = reinterpret_cast<uintptr_t>(pptr);
-  if (LXFI_LIKELY(options_.writer_set_tracking && writer_set_.Empty(slot))) {
+  const bool concurrent = options_.concurrent_enforcement;
+  if (LXFI_LIKELY(options_.writer_set_tracking &&
+                  (concurrent ? writer_set_.EmptyConcurrent(slot) : writer_set_.Empty(slot)))) {
     return;  // fast path: no principal could have written this slot
   }
   GuardScope<kTimed> full_guard(&guards_, GuardType::kIndCallFull);
   WriterVec scratch;
   const WriterVec* writers;
   if (options_.writer_set_tracking) {
-    writers = &writer_set_.WritersFor(slot);
+    if (concurrent) {
+      // The inline writer vector cannot be read lock-free; copy it out
+      // under the writer-set lock (slow path only — ops-table slots).
+      writer_set_.SnapshotWriters(slot, &scratch);
+      writers = &scratch;
+    } else {
+      writers = &writer_set_.WritersFor(slot);
+    }
   } else {
     CollectWritersFromCaps(slot, &scratch);
     writers = &scratch;
@@ -625,7 +698,11 @@ std::string Runtime::DumpState() const {
 // --- violations ---------------------------------------------------------------------
 
 void Runtime::RaiseViolation(ViolationKind kind, const std::string& details) {
-  violations_.push_back(ViolationRecord{kind, details});
+  {
+    SpinGuard guard(violations_mu_);
+    violations_.push_back(ViolationRecord{kind, details});
+    violation_seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
   LXFI_LOG_WARN("lxfi violation: %s: %s", ViolationKindName(kind), details.c_str());
   switch (options_.policy) {
     case ViolationPolicy::kThrow:
@@ -821,12 +898,15 @@ void Runtime::ExecGuards(const GuardProgram& prog, CallEnv& env, bool post) {
       ++ec.pre_memo_hits;
       return;
     }
-    size_t violations_before = violations_.size();
+    // Epoch before evaluation, violation sequence around it: a pass is
+    // memoized only if it was clean and no revoke raced the checks.
+    uint64_t epoch = RevocationEpoch::Current();
+    uint64_t violations_before = violation_seq_.load(std::memory_order_relaxed);
     ExecOps(prog, begin, end, env, post);
     // Under the throwing policy a violation already unwound past us; under
-    // the counting policy the count says whether the pass was clean.
-    if (violations_.size() == violations_before) {
-      ec.FillPreMemo(&prog, env.args, env.nargs);
+    // the counting policy the sequence says whether the pass was clean.
+    if (violation_seq_.load(std::memory_order_relaxed) == violations_before) {
+      ec.FillPreMemo(&prog, env.args, env.nargs, epoch);
     }
     return;
   }

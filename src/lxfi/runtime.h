@@ -41,6 +41,12 @@ struct RuntimeOptions {
   // IR at registration time). Disabling is the bench_annotations /
   // bench_wrappers ablation: every crossing re-interprets the annotation AST.
   bool compiled_guards = true;
+  // SMP enforcement: capability tables go read-mostly (lock-free
+  // seqlock-validated probes, mutation under per-principal locks,
+  // grace-period reclamation of retired slot arrays) so checks from
+  // simulated CPUs (kern::CpuSet) can run concurrently. Off by default:
+  // single-threaded configurations keep the PR 1 flat probe untouched.
+  bool concurrent_enforcement = false;
 };
 
 // Bound arguments of one wrapped call, for annotation-expression evaluation.
@@ -99,10 +105,17 @@ class Runtime : public kern::IsolationHooks {
   void RevokeEverywhere(const Capability& cap);
 
   // §3.2 initial capability (2): every module holds WRITE for the current
-  // kernel stack. Module locals live on the host thread stack here, so the
-  // runtime treats that range as module-writable during enforcement.
+  // kernel stack. Module locals live on host thread stacks here, so the
+  // runtime treats those ranges as module-writable during enforcement: the
+  // main thread's stack (captured at construction) plus the current
+  // kthread's stack bounds (captured per simulated CPU by kern::CpuSet).
   bool OnKernelStack(uintptr_t addr, size_t size) const {
-    return addr >= stack_lo_ && addr + size <= stack_hi_;
+    if (addr >= stack_lo_ && addr + size <= stack_hi_) {
+      return true;
+    }
+    const kern::KthreadContext* ctx = kernel_->current();
+    return ctx != nullptr && ctx->stack_lo != 0 && addr >= ctx->stack_lo &&
+           addr + size <= ctx->stack_hi;
   }
   // Ownership as the enforcement paths see it (stack grant included).
   bool OwnsForEnforcement(Principal* p, const Capability& cap) const {
@@ -114,11 +127,18 @@ class Runtime : public kern::IsolationHooks {
 
   // --- instrumentation entry points ---------------------------------------
   // Module store guard (inserted before each memory write, §4.2). The fast
-  // path is the per-principal EnforcementContext write memo; the slow path
-  // is one flat-table probe per fallback principal.
+  // path is the per-(CPU, principal) EnforcementContext write memo; the
+  // slow path is one flat-table probe per fallback principal (lock-free
+  // seqlock-validated under concurrent_enforcement).
   void CheckWrite(const void* dst, size_t size);
   // CALL-capability check for a module's direct (wrapped) call.
   void CheckCall(Principal* p, uintptr_t target, const std::string& name);
+  // WRITE/CALL ownership through the principal's per-CPU memo shard
+  // (positive answers are memoized; see enforcement_context.h). Public so
+  // concurrency stress tests can drive the exact memoized path the guards
+  // use.
+  bool OwnsWriteFast(Principal* p, uintptr_t addr, size_t size);
+  bool OwnsCallFast(Principal* p, uintptr_t target);
 
   // --- module-facing runtime API (lxfi_* functions, §3.4) ------------------
   // lxfi_check: verify the current principal owns `cap`.
@@ -141,9 +161,15 @@ class Runtime : public kern::IsolationHooks {
 
   // --- violations -----------------------------------------------------------
   void RaiseViolation(ViolationKind kind, const std::string& details);
-  uint64_t violation_count() const { return violations_.size(); }
+  // Lock-free count (any thread); the record vector itself should be read
+  // from quiescent contexts only.
+  uint64_t violation_count() const { return violation_seq_.load(std::memory_order_acquire); }
   const std::vector<ViolationRecord>& violations() const { return violations_; }
-  void ClearViolations() { violations_.clear(); }
+  void ClearViolations() {
+    SpinGuard guard(violations_mu_);
+    violations_.clear();
+    violation_seq_.store(0, std::memory_order_release);
+  }
 
   // --- wrapper machinery (used by wrap.h; internal) -------------------------
   // The guard program a wrapper should bind at wrap time: the compiled form
@@ -220,10 +246,6 @@ class Runtime : public kern::IsolationHooks {
   // hit test) and table probe (fallback chain + memo fill).
   bool WriteMemoProbe(EnforcementContext& ec, uintptr_t addr, size_t size);
   bool WriteTableProbe(Principal* p, EnforcementContext& ec, uintptr_t addr, size_t size);
-  // WRITE/CALL ownership through the principal's EnforcementContext memo
-  // (positive answers are memoized; see enforcement_context.h).
-  bool OwnsWriteFast(Principal* p, uintptr_t addr, size_t size);
-  bool OwnsCallFast(Principal* p, uintptr_t target);
   // Indirect-call body shared by the timed and counter-only entry paths.
   template <bool kTimed>
   void IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr_t target);
@@ -238,7 +260,10 @@ class Runtime : public kern::IsolationHooks {
   GuardStats guards_;
   WriterSet writer_set_;
   std::unordered_map<kern::Module*, std::unique_ptr<ModuleCtx>> ctxs_;
+  Spinlock shadows_mu_;  // guards shadows_ (kthreads appear from CPU threads)
   std::unordered_map<kern::KthreadContext*, std::unique_ptr<ShadowStack>> shadows_;
+  Spinlock violations_mu_;  // guards violations_
+  std::atomic<uint64_t> violation_seq_{0};
   std::vector<ViolationRecord> violations_;
   uintptr_t stack_lo_ = 0;
   uintptr_t stack_hi_ = 0;

@@ -14,13 +14,24 @@
 // probe. The page map is an open-addressing flat table with the writers
 // inline (src/base/flat_table.h), so the Empty() probe on every kernel
 // indirect call walks contiguous memory only.
+//
+// SMP mode: the emptiness probe (EmptyConcurrent) is a lock-free
+// seqlock-validated key probe; mutation and the slow-path writer snapshot
+// take the writer spinlock. The per-packet grant path avoids this lock
+// almost entirely: Runtime::Grant records, per principal, which pages are
+// already attributed (Principal::writer_pages(), under the per-principal
+// lock it already holds) and only calls into the global table for pages
+// never seen before — after warmup, steady-state traffic takes zero global
+// locks here.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "src/base/flat_table.h"
 #include "src/base/small_vector.h"
+#include "src/base/sync.h"
 
 namespace lxfi {
 
@@ -37,8 +48,16 @@ class WriterSet {
   void AddRange(Principal* writer, uintptr_t addr, size_t size);
 
   // Called when memory is zeroed (fresh kmalloc) or an owner is destroyed:
-  // clears all writer attribution for the range.
+  // clears all writer attribution for the range. Also bumps the clear
+  // generation, which invalidates every Principal::writer_pages() record —
+  // a stale record would otherwise make a later re-grant skip global
+  // re-attribution and hand the indirect-call guard a false "no writers".
   void ClearRange(uintptr_t addr, size_t size);
+
+  // Generation of writer-attribution removals. Principal page records are
+  // valid only for the generation they were recorded under (Runtime::Grant
+  // flushes a principal's record set when the generation moved).
+  uint64_t clear_generation() const { return clear_gen_.load(std::memory_order_acquire); }
 
   // Removes one principal from every page of the range (module unload).
   void RemoveWriter(Principal* writer);
@@ -51,13 +70,33 @@ class WriterSet {
     return !pages_.Contains(addr >> kPageShift);
   }
 
+  // Lock-free SMP variant of Empty() (seqlock-validated key probe).
+  bool EmptyConcurrent(uintptr_t addr) const {
+    return !pages_.ContainsConcurrent(addr >> kPageShift);
+  }
+
   // Writers recorded for the page containing `addr`.
   const WriterVec& WritersFor(uintptr_t addr) const;
+
+  // SMP slow path: copies the writers for `addr`'s page under the lock (the
+  // inline writer vector cannot be read lock-free).
+  void SnapshotWriters(uintptr_t addr, WriterVec* out) const;
+
+  // Enables lock-free probes: attaches the grace-period reclaimer and
+  // switches mutators to take the internal lock.
+  void EnableConcurrent(EpochReclaimer* reclaimer);
+
+  // Locked insert of `writer` into the given pages (the miss path of the
+  // per-principal page record; see Runtime::Grant).
+  void AddPages(Principal* writer, const uint64_t* pages, size_t count);
 
   size_t TrackedPages() const { return pages_.size(); }
 
  private:
   FlatTable<WriterVec> pages_;
+  mutable Spinlock mu_;
+  bool concurrent_ = false;
+  std::atomic<uint64_t> clear_gen_{1};
   static const WriterVec kEmpty;
 };
 

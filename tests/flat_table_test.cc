@@ -275,7 +275,7 @@ TEST(FlatTable, SmallVectorValuesSurviveChurn) {
 TEST(EnforcementContext, WriteMemoHitsWithinFilledRange) {
   lxfi::EnforcementContext ec;
   EXPECT_FALSE(ec.WriteMemoHit(0x1000, 8));
-  ec.FillWriteMemo(0x1000, 0x2000);
+  ec.FillWriteMemo(0x1000, 0x2000, lxfi::RevocationEpoch::Current());
   EXPECT_TRUE(ec.WriteMemoHit(0x1000, 8));
   EXPECT_TRUE(ec.WriteMemoHit(0x1ff8, 8));
   EXPECT_TRUE(ec.WriteMemoHit(0x1000, 0x1000));
@@ -286,27 +286,39 @@ TEST(EnforcementContext, WriteMemoHitsWithinFilledRange) {
 
 TEST(EnforcementContext, EmptyRangeIsNeverMemoized) {
   lxfi::EnforcementContext ec;
-  ec.FillWriteMemo(0x1000, 0x1000);
+  ec.FillWriteMemo(0x1000, 0x1000, lxfi::RevocationEpoch::Current());
   EXPECT_FALSE(ec.WriteMemoHit(0x1000, 8));
 }
 
 TEST(EnforcementContext, RevocationEpochInvalidatesMemos) {
   lxfi::EnforcementContext ec;
-  ec.FillWriteMemo(0x1000, 0x2000);
-  ec.FillCallMemo(0xffffffff81000100ull);
+  ec.FillWriteMemo(0x1000, 0x2000, lxfi::RevocationEpoch::Current());
+  ec.FillCallMemo(0xffffffff81000100ull, lxfi::RevocationEpoch::Current());
   EXPECT_TRUE(ec.WriteMemoHit(0x1000, 8));
   EXPECT_TRUE(ec.CallMemoHit(0xffffffff81000100ull));
   lxfi::RevocationEpoch::Bump();
   EXPECT_FALSE(ec.WriteMemoHit(0x1000, 8));
   EXPECT_FALSE(ec.CallMemoHit(0xffffffff81000100ull));
   // Refill re-arms at the new epoch.
-  ec.FillWriteMemo(0x1000, 0x2000);
+  ec.FillWriteMemo(0x1000, 0x2000, lxfi::RevocationEpoch::Current());
   EXPECT_TRUE(ec.WriteMemoHit(0x1000, 8));
+}
+
+TEST(EnforcementContext, StaleEpochFillNeverValidates) {
+  // The SMP fill protocol passes the epoch read *before* the table probe: if
+  // a revoke raced the probe, the memo must be born invalid.
+  lxfi::EnforcementContext ec;
+  uint64_t before = lxfi::RevocationEpoch::Current();
+  lxfi::RevocationEpoch::Bump();  // revoke lands between epoch read and fill
+  ec.FillWriteMemo(0x1000, 0x2000, before);
+  EXPECT_FALSE(ec.WriteMemoHit(0x1000, 8));
+  ec.FillCallMemo(0xffffffff81000100ull, before);
+  EXPECT_FALSE(ec.CallMemoHit(0xffffffff81000100ull));
 }
 
 TEST(EnforcementContext, CapTableRevokeInvalidatesAnyMemo) {
   lxfi::EnforcementContext ec;
-  ec.FillWriteMemo(0x5000, 0x6000);
+  ec.FillWriteMemo(0x5000, 0x6000, lxfi::RevocationEpoch::Current());
   // A revoke on some unrelated table still invalidates (conservative).
   lxfi::CapTable other;
   other.GrantWrite(0x9000, 64);
