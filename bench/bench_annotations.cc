@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_out.h"
 #include "src/base/clock.h"
 #include "src/base/log.h"
 #include "src/eval/annotation_stats.h"
@@ -171,23 +172,16 @@ void PrintAblation(const std::vector<Row>& rows) {
 }
 
 void WriteJson(const std::vector<Row>& rows, const char* path) {
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
+  lxfibench::JsonWriter json("bench_annotations");
+  json.Meta("mode", "compiled_vs_interpreted");
+  for (const Row& r : rows) {
+    json.AddRow(r.name)
+        .Set("interpreted_ns", r.interp_ns)
+        .Set("compiled_ns", r.compiled_ns)
+        .Set("compiled_memo_ns", r.memo_ns)
+        .Set("speedup", r.interp_ns / r.memo_ns);
   }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"interpreted_ns\": %.2f, \"compiled_ns\": %.2f, "
-                 "\"compiled_memo_ns\": %.2f, \"speedup\": %.3f}%s\n",
-                 r.name.c_str(), r.interp_ns, r.compiled_ns, r.memo_ns, r.interp_ns / r.memo_ns,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  json.WriteFile(path);
 }
 
 }  // namespace

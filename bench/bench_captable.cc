@@ -15,6 +15,7 @@
 #include <vector>
 #include <unordered_set>
 
+#include "bench/gbench_json.h"
 #include "bench/std_baseline.h"
 #include "src/base/rng.h"
 #include "src/lxfi/cap_table.h"
@@ -258,4 +259,8 @@ BENCHMARK(BM_CapTableHashGrantLarge)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--json FILE` mirrors every row into the shared bench schema
+// (bench/gbench_json.h) alongside the normal google-benchmark output.
+int main(int argc, char** argv) {
+  return lxfibench::RunGbenchMain("bench_captable", argc, argv);
+}

@@ -1,0 +1,191 @@
+// fsperf: metadata-heavy filesystem workload over VFS + ramfs, stock vs
+// LXFI-enforced (the filesystem counterpart of bench_netperf's Figure 12
+// methodology).
+//
+// Default mode runs the five-phase create/write/read/stat/unlink workload
+// on a stock and an isolated kernel and reports per-operation wall cost and
+// the enforcement overhead per phase. The benign workload must complete
+// with zero violations — that is asserted, not assumed.
+//
+// --cpus N additionally runs the workload on 1..N simulated CPUs, each CPU
+// driving its own working directory through the concurrent enforcement
+// path, reporting wall-clock and hardware-speed-model aggregates (same
+// conventions as bench_netperf --cpus).
+//
+// --json FILE writes the shared bench schema (bench/json_out.h).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "src/base/log.h"
+#include "src/eval/fsperf.h"
+#include "src/lxfi/runtime.h"
+
+namespace {
+
+struct PhaseRow {
+  const char* name;
+  eval::FsperfPhase stock;
+  eval::FsperfPhase lxfi;
+
+  double OverheadPct() const {
+    return stock.NsPerOp() == 0 ? 0.0
+                                : 100.0 * (lxfi.NsPerOp() - stock.NsPerOp()) / stock.NsPerOp();
+  }
+};
+
+int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
+  eval::FsperfHarness stock(/*isolated=*/false);
+  eval::FsperfHarness isolated(/*isolated=*/true);
+  // Warm both paths (slab magazines, dcache spine, memo shards), then
+  // measure.
+  eval::FsperfConfig warm = config;
+  warm.files = config.files / 10 + 1;
+  stock.Run(warm);
+  isolated.Run(warm);
+  eval::FsperfMeasurement ms = stock.Run(config);
+  eval::FsperfMeasurement ml = isolated.Run(config);
+
+  if (ml.violations != 0) {
+    std::fprintf(stderr, "FAIL: enforced benign workload raised %llu violations\n",
+                 static_cast<unsigned long long>(ml.violations));
+    return 1;
+  }
+
+  std::vector<PhaseRow> rows = {
+      {"create", ms.create, ml.create}, {"write", ms.write, ml.write},
+      {"read", ms.read, ml.read},       {"stat", ms.stat, ml.stat},
+      {"unlink", ms.unlink, ml.unlink},
+  };
+  std::printf("=== fsperf: %llu files x %u bytes (chunk %u), stock vs LXFI ===\n",
+              static_cast<unsigned long long>(config.files), config.file_bytes, config.io_chunk);
+  std::printf("%-8s %10s %14s %14s %10s\n", "phase", "ops", "stock ns/op", "lxfi ns/op",
+              "overhead");
+  for (const PhaseRow& r : rows) {
+    std::printf("%-8s %10llu %14.1f %14.1f %9.1f%%\n", r.name,
+                static_cast<unsigned long long>(r.stock.ops), r.stock.NsPerOp(),
+                r.lxfi.NsPerOp(), r.OverheadPct());
+  }
+  double stock_total = static_cast<double>(ms.total_wall_ns()) / ms.total_ops();
+  double lxfi_total = static_cast<double>(ml.total_wall_ns()) / ml.total_ops();
+  std::printf("%-8s %10llu %14.1f %14.1f %9.1f%%\n", "all",
+              static_cast<unsigned long long>(ms.total_ops()), stock_total, lxfi_total,
+              100.0 * (lxfi_total - stock_total) / stock_total);
+  std::printf("enforced violations on the benign workload: %llu (must be 0)\n",
+              static_cast<unsigned long long>(ml.violations));
+
+  if (json != nullptr) {
+    json->Meta("mode", "overhead");
+    json->Meta("files", static_cast<double>(config.files));
+    json->Meta("file_bytes", static_cast<double>(config.file_bytes));
+    json->Meta("io_chunk", static_cast<double>(config.io_chunk));
+    json->Meta("lxfi_violations", static_cast<double>(ml.violations));
+    for (const PhaseRow& r : rows) {
+      json->AddRow(r.name)
+          .Set("ops", static_cast<double>(r.stock.ops))
+          .Set("stock_ns_per_op", r.stock.NsPerOp())
+          .Set("lxfi_ns_per_op", r.lxfi.NsPerOp())
+          .Set("overhead_pct", r.OverheadPct());
+    }
+    json->AddRow("all")
+        .Set("ops", static_cast<double>(ms.total_ops()))
+        .Set("stock_ns_per_op", stock_total)
+        .Set("lxfi_ns_per_op", lxfi_total)
+        .Set("overhead_pct", 100.0 * (lxfi_total - stock_total) / stock_total);
+  }
+  return 0;
+}
+
+int RunScaling(int max_cpus, const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
+  std::printf("=== fsperf SMP scaling: per-CPU working dirs, concurrent enforcement ===\n");
+  std::printf("%-5s %16s %16s %16s %14s %10s\n", "cpus", "lxfi model ops/s", "lxfi wall ops/s",
+              "stock model ops/s", "lxfi ns/op", "speedup");
+  if (json != nullptr) {
+    json->Meta("mode", "smp_scaling");
+    json->Meta("files_per_cpu", static_cast<double>(config.files));
+    json->Meta("file_bytes", static_cast<double>(config.file_bytes));
+  }
+  double base_model = 0.0;
+  int rc = 0;
+  for (int n = 1; n <= max_cpus; ++n) {
+    eval::FsScalingResult lx;
+    eval::FsScalingResult st;
+    uint64_t violations = 0;
+    {
+      eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/n);
+      eval::FsperfConfig warm = config;
+      warm.files = config.files / 10 + 1;
+      h.RunParallel(warm);
+      lx = h.RunParallel(config);
+      violations = h.runtime()->violation_count();
+    }
+    {
+      eval::FsperfHarness h(/*isolated=*/false, /*cpus=*/n);
+      st = h.RunParallel(config);
+    }
+    if (violations != 0) {
+      std::fprintf(stderr, "FAIL: %d-cpu enforced run raised %llu violations\n", n,
+                   static_cast<unsigned long long>(violations));
+      rc = 1;
+    }
+    if (n == 1) {
+      base_model = lx.ModelOps();
+    }
+    double speedup = base_model > 0 ? lx.ModelOps() / base_model : 0.0;
+    std::printf("%-5d %16.0f %16.0f %16.0f %14.1f %9.2fx\n", n, lx.ModelOps(), lx.WallOps(),
+                st.ModelOps(), lx.PerOpCpuNs(), speedup);
+    if (json != nullptr) {
+      json->AddRow("cpus=" + std::to_string(n))
+          .Set("cpus", n)
+          .Set("lxfi_ops", static_cast<double>(lx.ops))
+          .Set("lxfi_wall_ns", static_cast<double>(lx.wall_ns))
+          .Set("lxfi_cpu_ns", static_cast<double>(lx.cpu_ns_total))
+          .Set("lxfi_model_ops_per_sec", lx.ModelOps())
+          .Set("lxfi_wall_ops_per_sec", lx.WallOps())
+          .Set("lxfi_ns_per_op", lx.PerOpCpuNs())
+          .Set("stock_model_ops_per_sec", st.ModelOps())
+          .Set("speedup_vs_1cpu", speedup)
+          .Set("violations", static_cast<double>(violations));
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lxfi::SetLogLevel(lxfi::LogLevel::kError);
+
+  int cpus = 0;
+  eval::FsperfConfig config;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+      cpus = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      config.files = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
+      config.file_bytes = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      config.io_chunk = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--cpus N] [--files F] [--bytes B] [--chunk C] [--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  lxfibench::JsonWriter json("bench_fsperf");
+  int rc = cpus > 0 ? RunScaling(cpus, config, json_path != nullptr ? &json : nullptr)
+                    : RunOverhead(config, json_path != nullptr ? &json : nullptr);
+  if (json_path != nullptr && rc == 0) {
+    json.WriteFile(json_path);
+  }
+  return rc;
+}

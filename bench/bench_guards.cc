@@ -1,19 +1,33 @@
 // Figure 13: guards executed per packet and time per guard for the
 // UDP_STREAM TX workload, plus the writer-set fast-path effectiveness
 // (the paper: fast path eliminates ~2/3 of full indirect-call checks).
+// --json FILE writes the per-guard rows in the shared bench schema.
 #include <cstdio>
+#include <cstring>
 
+#include "bench/json_out.h"
 #include "src/base/log.h"
 #include "src/eval/netperf.h"
 #include "src/lxfi/guards.h"
 
-int main() {
+int main(int argc, char** argv) {
   lxfi::SetLogLevel(lxfi::LogLevel::kError);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   constexpr uint64_t kPackets = 50000;
 
   eval::NetperfHarness harness(/*isolated=*/true, /*guard_timing=*/true);
   harness.Run({eval::NetWorkload::kUdpStreamTx, kPackets / 10});  // warm-up
   eval::NetperfMeasurement m = harness.Run({eval::NetWorkload::kUdpStreamTx, kPackets});
+
+  lxfibench::JsonWriter json("bench_guards");
+  json.Meta("mode", "figure13_guards");
+  json.Meta("workload", "UDP_STREAM TX");
+  json.Meta("packets", static_cast<double>(kPackets));
 
   std::printf("=== Figure 13: LXFI guards for UDP_STREAM TX ===\n");
   std::printf("%-22s %12s %14s %14s\n", "Guard type", "per packet", "ns per guard",
@@ -28,6 +42,10 @@ int main() {
                                     static_cast<double>(m.guard_counts[i]);
     std::printf("%-22s %12.1f %14.1f %14.1f\n", lxfi::GuardTypeName(t), per_pkt, ns_per_guard,
                 per_pkt * ns_per_guard);
+    json.AddRow(lxfi::GuardTypeName(t))
+        .Set("per_packet", per_pkt)
+        .Set("ns_per_guard", ns_per_guard)
+        .Set("ns_per_packet", per_pkt * ns_per_guard);
   }
   uint64_t all = m.guard_counts[static_cast<int>(lxfi::GuardType::kIndCallAll)];
   uint64_t full = m.guard_counts[static_cast<int>(lxfi::GuardType::kIndCallFull)];
@@ -36,5 +54,9 @@ int main() {
   std::printf("\nwriter-set fast path eliminated %.0f%% of full indirect-call checks\n",
               eliminated);
   std::printf("(paper: ~2/3 eliminated; annotation actions + write checks dominate)\n");
+  json.Meta("fast_path_eliminated_pct", eliminated);
+  if (json_path != nullptr) {
+    json.WriteFile(json_path);
+  }
   return 0;
 }

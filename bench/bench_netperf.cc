@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_out.h"
 #include "src/base/log.h"
 #include "src/eval/netperf.h"
 
@@ -107,30 +108,24 @@ void RunScaling(int max_cpus, uint64_t packets_per_cpu, const std::string& json_
   if (json_path.empty()) {
     return;
   }
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"mode\": \"smp_scaling\",\n  \"workload\": \"UDP_STREAM TX\",\n");
-  std::fprintf(f, "  \"packets_per_cpu\": %llu,\n  \"results\": [\n",
-               static_cast<unsigned long long>(packets_per_cpu));
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const ScalingRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"cpus\": %d, \"lxfi_packets\": %llu, \"lxfi_wall_ns\": %llu, "
-                 "\"lxfi_cpu_ns\": %llu, \"lxfi_model_pps\": %.0f, \"lxfi_wall_pps\": %.0f, "
-                 "\"lxfi_ns_per_packet\": %.1f, \"stock_model_pps\": %.0f}%s\n",
-                 r.cpus, static_cast<unsigned long long>(r.lxfi.packets),
-                 static_cast<unsigned long long>(r.lxfi.wall_ns),
-                 static_cast<unsigned long long>(r.lxfi.cpu_ns_total), r.lxfi.ModelPps(),
-                 r.lxfi.WallPps(), r.lxfi.PerPacketCpuNs(), r.stock.ModelPps(),
-                 i + 1 < rows.size() ? "," : "");
-  }
+  lxfibench::JsonWriter json("bench_netperf");
+  json.Meta("mode", "smp_scaling");
+  json.Meta("workload", "UDP_STREAM TX");
+  json.Meta("packets_per_cpu", static_cast<double>(packets_per_cpu));
   double speedup = base_model_pps > 0 ? rows.back().lxfi.ModelPps() / base_model_pps : 0.0;
-  std::fprintf(f, "  ],\n  \"lxfi_speedup_%dv1\": %.3f\n}\n", rows.back().cpus, speedup);
-  std::fclose(f);
-  std::printf("wrote %s\n", json_path.c_str());
+  json.Meta("lxfi_speedup_max_vs_1cpu", speedup);
+  for (const ScalingRow& r : rows) {
+    json.AddRow("cpus=" + std::to_string(r.cpus))
+        .Set("cpus", r.cpus)
+        .Set("lxfi_packets", static_cast<double>(r.lxfi.packets))
+        .Set("lxfi_wall_ns", static_cast<double>(r.lxfi.wall_ns))
+        .Set("lxfi_cpu_ns", static_cast<double>(r.lxfi.cpu_ns_total))
+        .Set("lxfi_model_pps", r.lxfi.ModelPps())
+        .Set("lxfi_wall_pps", r.lxfi.WallPps())
+        .Set("lxfi_ns_per_packet", r.lxfi.PerPacketCpuNs())
+        .Set("stock_model_pps", r.stock.ModelPps());
+  }
+  json.WriteFile(json_path.c_str());
 }
 
 }  // namespace

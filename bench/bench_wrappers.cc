@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "bench/gbench_json.h"
 #include "src/kernel/kernel.h"
 #include "src/lxfi/kernel_api.h"
 #include "src/lxfi/runtime.h"
@@ -142,4 +143,8 @@ BENCHMARK(BM_DirectKmallocKfree);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--json FILE` mirrors every row into the shared bench schema
+// (bench/gbench_json.h) alongside the normal google-benchmark output.
+int main(int argc, char** argv) {
+  return lxfibench::RunGbenchMain("bench_wrappers", argc, argv);
+}

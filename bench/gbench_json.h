@@ -1,0 +1,60 @@
+// --json support for the google-benchmark-based benches: a reporter that
+// mirrors each run into the shared JsonWriter schema (bench/json_out.h)
+// while keeping the normal console output, and a main() helper that strips
+// `--json FILE` before handing argv to benchmark::Initialize.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench/json_out.h"
+
+namespace lxfibench {
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(JsonWriter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      out_->AddRow(run.benchmark_name())
+          .Set("ns", run.GetAdjustedRealTime())
+          .Set("iterations", static_cast<double>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  JsonWriter* out_;
+};
+
+inline int RunGbenchMain(const char* bench_name, int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonWriter out(bench_name);
+  CollectingReporter reporter(&out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path != nullptr) {
+    out.WriteFile(json_path);
+  }
+  return 0;
+}
+
+}  // namespace lxfibench

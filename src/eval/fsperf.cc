@@ -1,0 +1,237 @@
+#include "src/eval/fsperf.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/ksymtab.h"
+#include "src/kernel/panic.h"
+#include "src/kernel/smp.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/lxfi/runtime.h"
+#include "src/modules/ramfs/ramfs.h"
+
+namespace eval {
+namespace {
+
+// Per-worker user-space staging area. Workers touch disjoint windows, so
+// concurrent copies never overlap.
+constexpr uintptr_t kUserWindow = 0x8000;
+uintptr_t UserBase(int worker) { return 0x1000 + static_cast<uintptr_t>(worker) * kUserWindow; }
+
+}  // namespace
+
+struct FsperfHarness::Impl {
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<lxfi::Runtime> rt;
+  std::unique_ptr<kern::CpuSet> cpus;
+};
+
+FsperfHarness::FsperfHarness(bool isolated, int cpus) : impl_(new Impl()) {
+  impl_->kernel = std::make_unique<kern::Kernel>(256ull << 20);
+  if (isolated) {
+    lxfi::RuntimeOptions options;
+    options.concurrent_enforcement = cpus > 0;
+    impl_->rt = std::make_unique<lxfi::Runtime>(impl_->kernel.get(), options);
+  }
+  kernel_ = impl_->kernel.get();
+  rt_ = impl_->rt.get();
+  lxfi::InstallKernelApi(kernel_, rt_);
+  vfs_ = kern::GetVfs(kernel_);
+  if (kernel_->LoadModule(mods::RamfsModuleDef()) == nullptr) {
+    kern::Panic("fsperf harness: ramfs failed to load");
+  }
+  if (vfs_->Mount("ramfs", "/mnt") == nullptr) {
+    kern::Panic("fsperf harness: mount failed");
+  }
+  // Working directories: /mnt/d0 for the single-threaded runs, /mnt/cpuN
+  // per simulated CPU. Created before any CPU thread runs, so the dcache
+  // spine is stable by the time the parallel phases walk it.
+  if (vfs_->Mkdir("/mnt/d0") != 0) {
+    kern::Panic("fsperf harness: mkdir failed");
+  }
+  int workers = cpus > 0 ? cpus : 0;
+  for (int i = 0; i < workers; ++i) {
+    char dir[32];
+    std::snprintf(dir, sizeof(dir), "/mnt/cpu%d", i);
+    if (vfs_->Mkdir(dir) != 0) {
+      kern::Panic("fsperf harness: per-cpu mkdir failed");
+    }
+  }
+  if (cpus > 0) {
+    kernel_->slab().EnableSmpCache();
+    impl_->cpus = std::make_unique<kern::CpuSet>(kernel_, cpus);
+  }
+}
+
+FsperfHarness::~FsperfHarness() {
+  impl_->cpus.reset();  // CPU threads drain before kernel/runtime teardown
+  delete impl_;
+}
+
+int FsperfHarness::cpus() const { return impl_->cpus == nullptr ? 0 : impl_->cpus->ncpus(); }
+
+namespace {
+
+// One worker's five-phase pass over `files` files in `dir`. Phase wall
+// times are accumulated into `phases[5]` (create, write, read, stat,
+// unlink); op counts into `ops[5]`. Runs on the calling thread.
+void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const FsperfConfig& config,
+               int worker, bool quiesce, uint64_t* wall, uint64_t* ops) {
+  const uint64_t files = config.files;
+  const uint32_t chunk = config.io_chunk;
+  const uint32_t bytes = config.file_bytes;
+  const uintptr_t ubuf = UserBase(worker);
+  char path[64];
+
+  // Phase 0: create (open O_CREAT + close).
+  uint64_t t0 = lxfi::MonotonicNowNs();
+  for (uint64_t i = 0; i < files; ++i) {
+    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    int err = 0;
+    kern::File* f = vfs->Open(path, kern::kOCreate, &err);
+    if (f == nullptr) {
+      kern::Panic("fsperf: create failed");
+    }
+    vfs->Close(f);
+    if (quiesce && (i & 63) == 63) {
+      kern::CpuSet::QuiescePoint();
+    }
+  }
+  wall[0] += lxfi::MonotonicNowNs() - t0;
+  ops[0] += files;
+
+  // Phase 1: write in chunks.
+  t0 = lxfi::MonotonicNowNs();
+  for (uint64_t i = 0; i < files; ++i) {
+    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    kern::File* f = vfs->Open(path, 0);
+    for (uint32_t off = 0; off < bytes; off += chunk) {
+      uint32_t n = off + chunk <= bytes ? chunk : bytes - off;
+      if (vfs->Write(f, ubuf, n) != static_cast<int64_t>(n)) {
+        kern::Panic("fsperf: write failed");
+      }
+      ++ops[1];
+    }
+    vfs->Close(f);
+    if (quiesce && (i & 63) == 63) {
+      kern::CpuSet::QuiescePoint();
+    }
+  }
+  wall[1] += lxfi::MonotonicNowNs() - t0;
+
+  // Phase 2: read back in chunks.
+  t0 = lxfi::MonotonicNowNs();
+  for (uint64_t i = 0; i < files; ++i) {
+    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    kern::File* f = vfs->Open(path, 0);
+    int64_t got;
+    while ((got = vfs->Read(f, ubuf, chunk)) > 0) {
+      ++ops[2];
+    }
+    if (got < 0) {
+      kern::Panic("fsperf: read failed");
+    }
+    vfs->Close(f);
+    if (quiesce && (i & 63) == 63) {
+      kern::CpuSet::QuiescePoint();
+    }
+  }
+  wall[2] += lxfi::MonotonicNowNs() - t0;
+
+  // Phase 3: stat.
+  t0 = lxfi::MonotonicNowNs();
+  for (uint64_t i = 0; i < files; ++i) {
+    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    kern::VfsStat st;
+    if (vfs->Stat(path, &st) != 0 || st.size != bytes) {
+      kern::Panic("fsperf: stat failed");
+    }
+    if (quiesce && (i & 63) == 63) {
+      kern::CpuSet::QuiescePoint();
+    }
+  }
+  wall[3] += lxfi::MonotonicNowNs() - t0;
+  ops[3] += files;
+
+  // Phase 4: unlink.
+  t0 = lxfi::MonotonicNowNs();
+  for (uint64_t i = 0; i < files; ++i) {
+    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    if (vfs->Unlink(path) != 0) {
+      kern::Panic("fsperf: unlink failed");
+    }
+    if (quiesce && (i & 63) == 63) {
+      kern::CpuSet::QuiescePoint();
+    }
+  }
+  wall[4] += lxfi::MonotonicNowNs() - t0;
+  ops[4] += files;
+}
+
+}  // namespace
+
+FsperfMeasurement FsperfHarness::Run(const FsperfConfig& config) {
+  // Stage the write payload once.
+  std::memset(kernel_->user().UserPtr(UserBase(0)), 0xC3, config.io_chunk);
+  uint64_t violations_before = rt_ != nullptr ? rt_->violation_count() : 0;
+  uint64_t wall[5] = {};
+  uint64_t ops[5] = {};
+  RunPhases(kernel_, vfs_, "/mnt/d0", config, /*worker=*/0, /*quiesce=*/false, wall, ops);
+  FsperfMeasurement m;
+  FsperfPhase* phases[5] = {&m.create, &m.write, &m.read, &m.stat, &m.unlink};
+  for (int i = 0; i < 5; ++i) {
+    phases[i]->ops = ops[i];
+    phases[i]->wall_ns = wall[i];
+  }
+  if (rt_ != nullptr) {
+    m.violations = rt_->violation_count() - violations_before;
+  }
+  return m;
+}
+
+FsScalingResult FsperfHarness::RunParallel(const FsperfConfig& config) {
+  Impl* im = impl_;
+  if (im->cpus == nullptr) {
+    kern::Panic("RunParallel requires an SMP harness (cpus > 0)");
+  }
+  const int n = im->cpus->ncpus();
+  for (int i = 0; i < n; ++i) {
+    std::memset(kernel_->user().UserPtr(UserBase(i)), 0xC3, config.io_chunk);
+  }
+  std::vector<uint64_t> cpu_ns(n, 0);
+  std::vector<uint64_t> cpu_ops(n, 0);
+  kern::Kernel* k = kernel_;
+  kern::Vfs* vfs = vfs_;
+  uint64_t wall_start = lxfi::MonotonicNowNs();
+  for (int i = 0; i < n; ++i) {
+    uint64_t* out_ns = &cpu_ns[i];
+    uint64_t* out_ops = &cpu_ops[i];
+    FsperfConfig cfg = config;
+    im->cpus->RunOn(i, [k, vfs, cfg, i, out_ns, out_ops] {
+      char dir[32];
+      std::snprintf(dir, sizeof(dir), "/mnt/cpu%d", i);
+      uint64_t wall[5] = {};
+      uint64_t ops[5] = {};
+      uint64_t t0 = lxfi::ThreadCpuNowNs();
+      RunPhases(k, vfs, dir, cfg, /*worker=*/i, /*quiesce=*/true, wall, ops);
+      *out_ns = lxfi::ThreadCpuNowNs() - t0;
+      *out_ops = ops[0] + ops[1] + ops[2] + ops[3] + ops[4];
+    });
+  }
+  im->cpus->Barrier();
+  FsScalingResult result;
+  result.cpus = n;
+  result.wall_ns = lxfi::MonotonicNowNs() - wall_start;
+  for (int i = 0; i < n; ++i) {
+    result.ops += cpu_ops[i];
+    result.cpu_ns_total += cpu_ns[i];
+  }
+  return result;
+}
+
+}  // namespace eval

@@ -1,0 +1,111 @@
+// fsperf: a metadata-heavy filesystem workload over the VFS + ramfs stack
+// (the filesystem counterpart of netperf.h's Figure 12 methodology).
+//
+// The harness drives the real per-operation path — path walk, LXFI wrappers
+// and annotation actions, uaccess-checked copies, ramfs — and measures wall
+// time per operation for five phases: create, write, read, stat, unlink.
+// bench_fsperf runs it against a stock and an isolated kernel and reports
+// the per-op enforcement overhead; with --cpus N each simulated CPU drives
+// its own working directory through the concurrent enforcement path.
+#pragma once
+
+#include <cstdint>
+
+namespace kern {
+class Kernel;
+class Vfs;
+}
+
+namespace lxfi {
+class Runtime;
+}
+
+namespace eval {
+
+struct FsperfConfig {
+  uint64_t files = 300;     // files per (CPU-)working directory
+  uint32_t file_bytes = 2048;
+  uint32_t io_chunk = 512;  // read/write granularity
+};
+
+struct FsperfPhase {
+  uint64_t ops = 0;
+  uint64_t wall_ns = 0;
+
+  double NsPerOp() const {
+    return ops == 0 ? 0.0 : static_cast<double>(wall_ns) / static_cast<double>(ops);
+  }
+};
+
+struct FsperfMeasurement {
+  FsperfPhase create;
+  FsperfPhase write;
+  FsperfPhase read;
+  FsperfPhase stat;
+  FsperfPhase unlink;
+  uint64_t violations = 0;
+
+  uint64_t total_ops() const {
+    return create.ops + write.ops + read.ops + stat.ops + unlink.ops;
+  }
+  uint64_t total_wall_ns() const {
+    return create.wall_ns + write.wall_ns + read.wall_ns + stat.wall_ns + unlink.wall_ns;
+  }
+};
+
+// Aggregate result of one parallel run (same conventions as netperf's
+// SmpScalingResult: wall-clock is honest on hosts with >= cpus cores; the
+// model aggregate assumes each simulated CPU runs at hardware speed, with
+// contention still visible in the per-op CPU cost).
+struct FsScalingResult {
+  int cpus = 0;
+  uint64_t ops = 0;
+  uint64_t wall_ns = 0;
+  uint64_t cpu_ns_total = 0;
+
+  double WallOps() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(ops) * 1e9 / static_cast<double>(wall_ns);
+  }
+  double ModelOps() const {
+    return cpu_ns_total == 0 ? 0.0
+                             : static_cast<double>(ops) * 1e9 /
+                                   static_cast<double>(cpu_ns_total) * static_cast<double>(cpus);
+  }
+  double PerOpCpuNs() const {
+    return ops == 0 ? 0.0 : static_cast<double>(cpu_ns_total) / static_cast<double>(ops);
+  }
+};
+
+// Owns a kernel (stock or isolated) with ramfs mounted at /mnt; runs the
+// workload against it. cpus > 0 spawns a kern::CpuSet, enables concurrent
+// enforcement and the per-CPU slab cache, and pre-creates one working
+// directory per CPU (/mnt/cpuN).
+class FsperfHarness {
+ public:
+  explicit FsperfHarness(bool isolated, int cpus = 0);
+  ~FsperfHarness();
+
+  FsperfHarness(const FsperfHarness&) = delete;
+  FsperfHarness& operator=(const FsperfHarness&) = delete;
+
+  // Single-threaded five-phase run in /mnt/d0.
+  FsperfMeasurement Run(const FsperfConfig& config);
+
+  // The same five phases on every simulated CPU at once, each CPU in its
+  // own directory. Requires cpus > 0 at construction.
+  FsScalingResult RunParallel(const FsperfConfig& config);
+
+  lxfi::Runtime* runtime() const { return rt_; }
+  kern::Kernel* kernel() const { return kernel_; }
+  kern::Vfs* vfs() const { return vfs_; }
+  int cpus() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  kern::Kernel* kernel_ = nullptr;
+  lxfi::Runtime* rt_ = nullptr;
+  kern::Vfs* vfs_ = nullptr;
+};
+
+}  // namespace eval

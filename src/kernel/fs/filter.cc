@@ -1,0 +1,106 @@
+#include "src/kernel/fs/filter.h"
+
+#include <algorithm>
+
+#include "src/base/small_vector.h"
+#include "src/kernel/kernel.h"
+
+namespace kern {
+
+const char* VfsOpName(VfsOp op) {
+  switch (op) {
+    case VfsOp::kOpen:
+      return "open";
+    case VfsOp::kRead:
+      return "read";
+    case VfsOp::kWrite:
+      return "write";
+    case VfsOp::kCreate:
+      return "create";
+    case VfsOp::kUnlink:
+      return "unlink";
+    case VfsOp::kMkdir:
+      return "mkdir";
+    case VfsOp::kRmdir:
+      return "rmdir";
+    case VfsOp::kStat:
+      return "stat";
+    case VfsOp::kCount:
+      break;
+  }
+  return "?";
+}
+
+int FilterChain::Register(VfsFilter* flt) {
+  if (flt == nullptr || flt->name == nullptr) {
+    return -kEinval;
+  }
+  lxfi::SpinGuard guard(mu_);
+  for (VfsFilter* f : filters_) {
+    if (f == flt) {
+      return -kEexist;
+    }
+  }
+  // Stable insert: equal priorities keep registration order.
+  auto it = std::find_if(filters_.begin(), filters_.end(),
+                         [flt](VfsFilter* f) { return f->priority > flt->priority; });
+  filters_.insert(it, flt);
+  count_.store(filters_.size(), std::memory_order_relaxed);
+  return 0;
+}
+
+int FilterChain::Unregister(VfsFilter* flt) {
+  lxfi::SpinGuard guard(mu_);
+  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+    if (*it == flt) {
+      filters_.erase(it);
+      count_.store(filters_.size(), std::memory_order_relaxed);
+      return 0;
+    }
+  }
+  return -kEnoent;
+}
+
+int FilterChain::RunPre(FilterCtx* ctx, FilterRun* run) {
+  run->ran = 0;
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    return 0;  // the common unfiltered case: no lock, no snapshot
+  }
+  // Snapshot under the lock, dispatch outside it: hooks are module code and
+  // may re-enter the kernel. The snapshot travels to RunPost, so the unwind
+  // always matches the filters whose pre actually ran even if the chain
+  // mutates mid-operation.
+  {
+    lxfi::SpinGuard guard(mu_);
+    for (VfsFilter* f : filters_) {
+      run->snap.push_back(f);
+    }
+  }
+  for (size_t i = 0; i < run->snap.size(); ++i) {
+    VfsFilter* f = run->snap[i];
+    if (f->pre_op == 0) {
+      ++run->ran;
+      continue;
+    }
+    int rc = kernel_->IndirectCall<int, VfsFilter*, FilterCtx*>(&f->pre_op, "vfs_filter::pre_op",
+                                                                f, ctx);
+    ++run->ran;
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}
+
+void FilterChain::RunPost(FilterCtx* ctx, const FilterRun& run) {
+  for (int i = run.ran - 1; i >= 0; --i) {
+    VfsFilter* f = run.snap[i];
+    if (f->post_op == 0) {
+      continue;
+    }
+    kernel_->IndirectCall<void, VfsFilter*, FilterCtx*>(&f->post_op, "vfs_filter::post_op", f,
+                                                        ctx);
+  }
+}
+
+}  // namespace kern

@@ -1,0 +1,113 @@
+// Stackable VFS filters (redirfs-style).
+//
+// Filter modules register a VfsFilter with a priority; the kernel runs every
+// registered pre hook in priority order before dispatching a VFS operation
+// to the filesystem module, and the post hooks of the filters whose pre ran
+// in reverse order afterwards. A pre hook may veto the operation by
+// returning a negative errno, which short-circuits lower-priority filters
+// and the filesystem itself.
+//
+// The chain is dispatched by trusted kernel code through the checked
+// indirect-call path, and each filter registration is its own LXFI
+// principal (principal(flt) on the hook types): a compromised filter cannot
+// skip the rest of the chain (it never dispatches its peers), cannot
+// scribble on another filter's private state (WRITE checks), and cannot
+// unregister a filter or filesystem it does not own (REF checks on the
+// unregister exports).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/small_vector.h"
+#include "src/base/sync.h"
+
+namespace kern {
+
+class Kernel;
+class Module;
+struct File;
+struct Inode;
+struct Dentry;
+
+// The VFS operations filters interpose on.
+enum class VfsOp : int {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kCreate,
+  kUnlink,
+  kMkdir,
+  kRmdir,
+  kStat,
+  kCount,
+};
+
+const char* VfsOpName(VfsOp op);
+
+// One operation in flight, as shown to filter hooks. Lives on the kernel
+// stack of the dispatching thread; hooks read it freely (LXFI checks writes,
+// not reads) but own none of the objects it points to.
+struct FilterCtx {
+  int op = 0;  // VfsOp
+  File* file = nullptr;
+  Inode* dir = nullptr;
+  Dentry* dentry = nullptr;
+  uintptr_t ubuf = 0;
+  uint64_t len = 0;
+  uint64_t pos = 0;
+  int64_t result = 0;  // operation result; valid in post hooks
+  // Scratch the kernel never touches: filters use it for the chain-position
+  // protocol the stacking tests verify. The hook annotations copy WRITE
+  // over the FilterCtx on entry and transfer it back on exit, so every hook
+  // may write it — but only while that hook runs.
+  int64_t token = 0;
+};
+
+// Module-provided filter registration. Lives in the module's own .data
+// section (the hook slots are indirect-call home slots, so their page's
+// writer set must name only this module); the register export checks WRITE
+// over it and mints the REF that is the only unregister ticket.
+struct VfsFilter {
+  const char* name = nullptr;
+  int priority = 0;       // lower value runs earlier on the pre side
+  uintptr_t pre_op = 0;   // int(VfsFilter*, FilterCtx*): 0 = continue, <0 veto
+  uintptr_t post_op = 0;  // void(VfsFilter*, FilterCtx*)
+  void* private_data = nullptr;
+  Module* module = nullptr;
+};
+
+// One operation's pass through the chain: the snapshot RunPre dispatched
+// and how many pre hooks ran. RunPost unwinds exactly that snapshot, so a
+// filter (un)registering mid-operation can never mispair pre and post
+// hooks.
+struct FilterRun {
+  lxfi::SmallVector<VfsFilter*, 8> snap;
+  int ran = 0;
+};
+
+class FilterChain {
+ public:
+  explicit FilterChain(Kernel* kernel) : kernel_(kernel) {}
+
+  int Register(VfsFilter* flt);
+  int Unregister(VfsFilter* flt);
+  size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Snapshots the chain into `run` and dispatches pre hooks in priority
+  // order. Returns 0 when every hook passed, or the first veto value;
+  // run->ran counts the pre hooks that executed (vetoing hook included).
+  // The empty chain is a single relaxed load — no lock, no copy.
+  int RunPre(FilterCtx* ctx, FilterRun* run);
+  // Runs the post hooks of the first run.ran snapshot entries in reverse.
+  void RunPost(FilterCtx* ctx, const FilterRun& run);
+
+ private:
+  Kernel* kernel_;
+  mutable lxfi::Spinlock mu_;  // guards filters_
+  std::vector<VfsFilter*> filters_;  // sorted by (priority, registration order)
+  std::atomic<size_t> count_{0};     // lock-free emptiness probe for RunPre
+};
+
+}  // namespace kern

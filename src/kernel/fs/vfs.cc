@@ -1,0 +1,708 @@
+#include "src/kernel/fs/vfs.h"
+
+#include <cstring>
+#include <new>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/panic.h"
+
+namespace kern {
+namespace {
+
+// Extracts the next path component into out[kVfsNameMax+1]; advances *p past
+// it. Returns 0 on success, -kEnoent when the path is exhausted, -kEinval on
+// oversize names.
+int NextComponent(const char** p, char* out) {
+  const char* s = *p;
+  while (*s == '/') {
+    ++s;
+  }
+  if (*s == '\0') {
+    *p = s;
+    return -kEnoent;
+  }
+  size_t n = 0;
+  while (s[n] != '\0' && s[n] != '/') {
+    ++n;
+  }
+  if (n > kVfsNameMax) {
+    return -kEinval;
+  }
+  std::memcpy(out, s, n);
+  out[n] = '\0';
+  *p = s + n;
+  return 0;
+}
+
+}  // namespace
+
+Vfs::Vfs(Kernel* kernel) : kernel_(kernel), chain_(kernel) {}
+
+// --- filesystem-type registry -------------------------------------------------
+
+int Vfs::RegisterFilesystem(FileSystemType* fstype) {
+  if (fstype == nullptr || fstype->name == nullptr || fstype->mount == 0) {
+    return -kEinval;
+  }
+  lxfi::SpinGuard guard(mu_);
+  for (FileSystemType* t : fstypes_) {
+    if (t == fstype || std::strcmp(t->name, fstype->name) == 0) {
+      return -kEexist;
+    }
+  }
+  fstypes_.push_back(fstype);
+  return 0;
+}
+
+int Vfs::UnregisterFilesystem(FileSystemType* fstype) {
+  lxfi::SpinGuard guard(mu_);
+  for (const MountEntry& m : mounts_) {
+    if (m.sb->type == fstype) {
+      return -kEbusy;
+    }
+  }
+  for (auto it = fstypes_.begin(); it != fstypes_.end(); ++it) {
+    if (*it == fstype) {
+      fstypes_.erase(it);
+      return 0;
+    }
+  }
+  return -kEnoent;
+}
+
+FileSystemType* Vfs::FindFilesystem(const char* name) {
+  lxfi::SpinGuard guard(mu_);
+  for (FileSystemType* t : fstypes_) {
+    if (std::strcmp(t->name, name) == 0) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+// --- dcache primitives --------------------------------------------------------
+
+Dentry* Vfs::NewDentry(SuperBlock* sb, Dentry* parent, const char* name) {
+  void* mem = kernel_->slab().Alloc(sizeof(Dentry));
+  KERN_BUG_ON(mem == nullptr);
+  Dentry* d = new (mem) Dentry();
+  std::snprintf(d->name, sizeof(d->name), "%s", name);
+  d->parent = parent;
+  d->sb = sb;
+  return d;
+}
+
+void Vfs::FreeDentry(Dentry* dentry) { kernel_->slab().Free(dentry); }
+
+void Vfs::FreeTree(Dentry* root) {
+  Dentry* c = root->child;
+  while (c != nullptr) {
+    Dentry* next = c->sibling;
+    FreeTree(c);
+    c = next;
+  }
+  FreeDentry(root);
+}
+
+Dentry* Vfs::FindChildLocked(Dentry* parent, const char* name) const {
+  for (Dentry* c = parent->child; c != nullptr; c = c->sibling) {
+    if (std::strcmp(c->name, name) == 0) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+void Vfs::LinkChildLocked(Dentry* parent, Dentry* child) {
+  child->sibling = parent->child;
+  parent->child = child;
+}
+
+void Vfs::UnlinkChildLocked(Dentry* parent, Dentry* child) {
+  Dentry** link = &parent->child;
+  while (*link != nullptr && *link != child) {
+    link = &(*link)->sibling;
+  }
+  if (*link == child) {
+    *link = child->sibling;
+  }
+}
+
+Dentry* Vfs::LookupChild(Dentry* parent, const char* name) {
+  Inode* dir = parent->inode;
+  if (dir->i_op == nullptr || dir->i_op->lookup == 0) {
+    return nullptr;
+  }
+  Dentry* probe = NewDentry(parent->sb, parent, name);
+  Inode* found = kernel_->IndirectCall<Inode*, Inode*, Dentry*>(
+      &dir->i_op->lookup, "inode_operations::lookup", dir, probe);
+  if (found == nullptr) {
+    FreeDentry(probe);
+    return nullptr;
+  }
+  if (DInstantiate(probe, found) != 0) {
+    // Lost a race (or the module lied about the inode); the existing child
+    // wins on the retry in the caller.
+    FreeDentry(probe);
+    lxfi::SpinGuard guard(mu_);
+    return FindChildLocked(parent, name);
+  }
+  return probe;
+}
+
+// --- path walk ----------------------------------------------------------------
+
+int Vfs::Walk(const char* path, Dentry** out) {
+  if (path == nullptr || path[0] != '/') {
+    return -kEinval;
+  }
+  const char* p = path;
+  char comp[kVfsNameMax + 1];
+  int rc = NextComponent(&p, comp);
+  if (rc != 0) {
+    return rc == -kEnoent ? -kEinval : rc;  // "/" itself is not addressable
+  }
+  SuperBlock* sb = SuperAt(comp);
+  if (sb == nullptr) {
+    return -kEnodev;
+  }
+  Dentry* cur = sb->root;
+  while ((rc = NextComponent(&p, comp)) == 0) {
+    if (cur->inode == nullptr) {
+      return -kEnoent;
+    }
+    if ((cur->inode->mode & kIfDir) == 0) {
+      return -kEnotdir;
+    }
+    Dentry* next;
+    {
+      lxfi::SpinGuard guard(mu_);
+      next = FindChildLocked(cur, comp);
+    }
+    if (next == nullptr) {
+      next = LookupChild(cur, comp);
+    }
+    if (next == nullptr || next->inode == nullptr) {
+      return -kEnoent;
+    }
+    cur = next;
+  }
+  if (rc != -kEnoent) {
+    return rc;  // oversize component
+  }
+  *out = cur;
+  return 0;
+}
+
+int Vfs::WalkParent(const char* path, Dentry** parent_out, std::string* leaf_out) {
+  if (path == nullptr || path[0] != '/') {
+    return -kEinval;
+  }
+  // Find the final component, then walk the prefix.
+  const char* end = path + std::strlen(path);
+  while (end > path && end[-1] == '/') {
+    --end;
+  }
+  const char* leaf = end;
+  while (leaf > path && leaf[-1] != '/') {
+    --leaf;
+  }
+  if (leaf == end || static_cast<size_t>(end - leaf) > kVfsNameMax) {
+    return -kEinval;
+  }
+  std::string prefix(path, leaf);
+  leaf_out->assign(leaf, end);
+
+  // The prefix must itself contain a mount component.
+  Dentry* parent = nullptr;
+  int rc = Walk(prefix.c_str(), &parent);
+  if (rc != 0) {
+    return rc;
+  }
+  if (parent->inode == nullptr || (parent->inode->mode & kIfDir) == 0) {
+    return -kEnotdir;
+  }
+  *parent_out = parent;
+  return 0;
+}
+
+// --- mounts -------------------------------------------------------------------
+
+SuperBlock* Vfs::SuperAt(const char* where) {
+  const char* p = where;
+  char comp[kVfsNameMax + 1];
+  if (NextComponent(&p, comp) != 0) {
+    return nullptr;
+  }
+  lxfi::SpinGuard guard(mu_);
+  for (const MountEntry& m : mounts_) {
+    if (m.name == comp) {
+      return m.sb;
+    }
+  }
+  return nullptr;
+}
+
+size_t Vfs::mount_count() const {
+  lxfi::SpinGuard guard(mu_);
+  return mounts_.size();
+}
+
+SuperBlock* Vfs::Mount(const char* fsname, const char* where) {
+  char comp[kVfsNameMax + 1];
+  const char* p = where;
+  if (where == nullptr || NextComponent(&p, comp) != 0) {
+    return nullptr;
+  }
+  char extra[kVfsNameMax + 1];
+  if (NextComponent(&p, extra) != -kEnoent) {
+    return nullptr;  // mountpoints are a single root component
+  }
+  FileSystemType* fstype = FindFilesystem(fsname);
+  if (fstype == nullptr || fstype->mount == 0) {
+    return nullptr;
+  }
+  if (SuperAt(comp) != nullptr) {
+    return nullptr;
+  }
+  void* mem = kernel_->slab().Alloc(sizeof(SuperBlock));
+  KERN_BUG_ON(mem == nullptr);
+  SuperBlock* sb = new (mem) SuperBlock();
+  sb->type = fstype;
+  std::snprintf(sb->id, sizeof(sb->id), "%s", comp);
+  Dentry* root = NewDentry(sb, nullptr, "/");
+
+  int rc = kernel_->IndirectCall<int, FileSystemType*, SuperBlock*, Dentry*>(
+      &fstype->mount, "file_system_type::mount", fstype, sb, root);
+  if (rc != 0 || root->inode == nullptr || (root->inode->mode & kIfDir) == 0) {
+    if (rc == 0 && fstype->kill_sb != 0) {
+      kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
+          &fstype->kill_sb, "file_system_type::kill_sb", fstype, sb);
+    }
+    FreeTree(root);
+    kernel_->slab().Free(sb);
+    return nullptr;
+  }
+  sb->root = root;
+  bool lost_race = false;
+  {
+    lxfi::SpinGuard guard(mu_);
+    for (const MountEntry& m : mounts_) {
+      lost_race = lost_race || m.name == comp;
+    }
+    if (!lost_race) {
+      mounts_.push_back(MountEntry{comp, sb});
+    }
+  }
+  if (lost_race) {
+    // Mountpoint taken between the pre-check and publication; back out
+    // through the module so its capabilities and state are reclaimed.
+    if (fstype->kill_sb != 0) {
+      kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
+          &fstype->kill_sb, "file_system_type::kill_sb", fstype, sb);
+    }
+    FreeTree(root);
+    kernel_->slab().Free(sb);
+    return nullptr;
+  }
+  return sb;
+}
+
+int Vfs::Unmount(const char* where) {
+  char comp[kVfsNameMax + 1];
+  const char* p = where;
+  if (where == nullptr || NextComponent(&p, comp) != 0) {
+    return -kEinval;
+  }
+  SuperBlock* sb = nullptr;
+  {
+    lxfi::SpinGuard guard(mu_);
+    for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
+      if (it->name == comp) {
+        if (it->sb->open_files > 0) {
+          return -kEbusy;  // open Files still reference this mount's objects
+        }
+        sb = it->sb;
+        mounts_.erase(it);
+        break;
+      }
+    }
+  }
+  if (sb == nullptr) {
+    return -kEnoent;
+  }
+  if (sb->type->kill_sb != 0) {
+    kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
+        &sb->type->kill_sb, "file_system_type::kill_sb", sb->type, sb);
+  }
+  FreeTree(sb->root);
+  kernel_->slab().Free(sb);
+  return 0;
+}
+
+// --- inode/dcache services (module-facing exports) ----------------------------
+
+Inode* Vfs::Iget(SuperBlock* sb) {
+  if (sb == nullptr) {
+    return nullptr;
+  }
+  void* mem = kernel_->slab().Alloc(sizeof(Inode));
+  KERN_BUG_ON(mem == nullptr);
+  Inode* inode = new (mem) Inode();
+  inode->sb = sb;
+  {
+    lxfi::SpinGuard guard(mu_);
+    inode->ino = sb->next_ino++;
+  }
+  return inode;
+}
+
+void Vfs::Iput(Inode* inode) {
+  if (inode != nullptr) {
+    kernel_->slab().Free(inode);
+  }
+}
+
+Dentry* Vfs::DAlloc(Dentry* parent, const char* name) {
+  if (parent == nullptr || parent->inode == nullptr || (parent->inode->mode & kIfDir) == 0 ||
+      name == nullptr || name[0] == '\0' || std::strlen(name) > kVfsNameMax ||
+      std::strchr(name, '/') != nullptr) {
+    return nullptr;
+  }
+  return NewDentry(parent->sb, parent, name);
+}
+
+int Vfs::DInstantiate(Dentry* dentry, Inode* inode) {
+  if (dentry == nullptr || inode == nullptr || dentry->inode != nullptr ||
+      dentry->sb != inode->sb) {
+    return -kEinval;
+  }
+  lxfi::SpinGuard guard(mu_);
+  if (dentry->parent != nullptr) {
+    if (FindChildLocked(dentry->parent, dentry->name) != nullptr) {
+      return -kEexist;
+    }
+    dentry->inode = inode;
+    ++inode->nlink;
+    LinkChildLocked(dentry->parent, dentry);
+  } else {
+    dentry->inode = inode;
+    ++inode->nlink;
+  }
+  return 0;
+}
+
+// --- syscall surface ----------------------------------------------------------
+
+int Vfs::MakeEntry(const char* path, uint32_t mode, VfsOp op, Dentry** out) {
+  Dentry* parent = nullptr;
+  std::string leaf;
+  int rc = WalkParent(path, &parent, &leaf);
+  if (rc != 0) {
+    return rc;
+  }
+  {
+    lxfi::SpinGuard guard(mu_);
+    if (FindChildLocked(parent, leaf.c_str()) != nullptr) {
+      return -kEexist;
+    }
+  }
+  Inode* dir = parent->inode;
+  const uintptr_t* slot = nullptr;
+  const char* type = nullptr;
+  if (op == VfsOp::kCreate) {
+    slot = dir->i_op != nullptr ? &dir->i_op->create : nullptr;
+    type = "inode_operations::create";
+  } else {
+    slot = dir->i_op != nullptr ? &dir->i_op->mkdir : nullptr;
+    type = "inode_operations::mkdir";
+  }
+  if (slot == nullptr || *slot == 0) {
+    return -kEinval;
+  }
+  Dentry* dentry = NewDentry(parent->sb, parent, leaf.c_str());
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(op);
+  ctx.dir = dir;
+  ctx.dentry = dentry;
+  FilterRun run;
+  rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0) {
+    rc = kernel_->IndirectCall<int, Inode*, Dentry*, uint32_t>(slot, type, dir, dentry, mode);
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  if (rc != 0) {
+    // The module failed the create; if it instantiated (and thereby linked)
+    // the dentry anyway, unlink it — a failed create must not leave a live
+    // namespace entry behind.
+    {
+      lxfi::SpinGuard guard(mu_);
+      if (dentry->inode != nullptr) {
+        UnlinkChildLocked(parent, dentry);
+      }
+    }
+    FreeDentry(dentry);
+    return rc;
+  }
+  if (dentry->inode == nullptr) {
+    // The module claimed success without instantiating; treat as an error.
+    FreeDentry(dentry);
+    return -kEinval;
+  }
+  if (out != nullptr) {
+    *out = dentry;
+  }
+  return 0;
+}
+
+File* Vfs::Open(const char* path, int flags, int* err) {
+  auto fail = [err](int e) -> File* {
+    if (err != nullptr) {
+      *err = e;
+    }
+    return nullptr;
+  };
+  Dentry* dentry = nullptr;
+  int rc = Walk(path, &dentry);
+  if (rc == -kEnoent && (flags & kOCreate) != 0) {
+    rc = MakeEntry(path, kIfReg, VfsOp::kCreate, &dentry);
+    if (rc == -kEexist) {
+      rc = Walk(path, &dentry);  // lost a create race; open the winner
+    }
+  }
+  if (rc != 0) {
+    return fail(rc);
+  }
+  Inode* inode = dentry->inode;
+  if ((inode->mode & kIfDir) != 0) {
+    return fail(-kEisdir);
+  }
+  if (inode->i_fop == nullptr) {
+    return fail(-kEinval);
+  }
+  void* mem = kernel_->slab().Alloc(sizeof(File));
+  KERN_BUG_ON(mem == nullptr);
+  File* file = new (mem) File();
+  file->inode = inode;
+  file->dentry = dentry;
+  file->f_op = inode->i_fop;
+
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kOpen);
+  ctx.file = file;
+  ctx.dentry = dentry;
+  FilterRun run;
+  rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0 && file->f_op->open != 0) {
+    rc = kernel_->IndirectCall<int, Inode*, File*>(&file->f_op->open, "file_operations::open",
+                                                   inode, file);
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  if (rc != 0) {
+    kernel_->slab().Free(file);
+    return fail(rc);
+  }
+  {
+    // Open-file accounting lives in kernel-owned structures (the dentry and
+    // the superblock's kernel-private field), never in the module-writable
+    // inode: Unlink and Unmount consult it before freeing anything.
+    lxfi::SpinGuard guard(mu_);
+    ++dentry->open_count;
+    ++inode->sb->open_files;
+  }
+  open_files_.fetch_add(1, std::memory_order_relaxed);
+  if (err != nullptr) {
+    *err = 0;
+  }
+  return file;
+}
+
+int Vfs::Close(File* file) {
+  if (file == nullptr) {
+    return -kEinval;
+  }
+  int rc = 0;
+  if (file->f_op != nullptr && file->f_op->release != 0) {
+    rc = kernel_->IndirectCall<int, Inode*, File*>(&file->f_op->release,
+                                                   "file_operations::release", file->inode, file);
+  }
+  {
+    lxfi::SpinGuard guard(mu_);
+    if (file->dentry->open_count > 0) {
+      --file->dentry->open_count;
+    }
+    if (file->inode->sb->open_files > 0) {
+      --file->inode->sb->open_files;
+    }
+  }
+  kernel_->slab().Free(file);
+  open_files_.fetch_sub(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int64_t Vfs::Read(File* file, uintptr_t ubuf, uint64_t n) {
+  if (file == nullptr || file->f_op == nullptr || file->f_op->read == 0) {
+    return -kEinval;
+  }
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kRead);
+  ctx.file = file;
+  ctx.dentry = file->dentry;
+  ctx.ubuf = ubuf;
+  ctx.len = n;
+  ctx.pos = file->pos;
+  FilterRun run;
+  int64_t result = chain_.RunPre(&ctx, &run);
+  if (result == 0) {
+    result = kernel_->IndirectCall<int64_t, File*, uintptr_t, uint64_t, uint64_t>(
+        &file->f_op->read, "file_operations::read", file, ubuf, n, file->pos);
+  }
+  ctx.result = result;
+  chain_.RunPost(&ctx, run);
+  if (result > 0) {
+    file->pos += static_cast<uint64_t>(result);
+  }
+  return result;
+}
+
+int64_t Vfs::Write(File* file, uintptr_t ubuf, uint64_t n) {
+  if (file == nullptr || file->f_op == nullptr || file->f_op->write == 0) {
+    return -kEinval;
+  }
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kWrite);
+  ctx.file = file;
+  ctx.dentry = file->dentry;
+  ctx.ubuf = ubuf;
+  ctx.len = n;
+  ctx.pos = file->pos;
+  FilterRun run;
+  int64_t result = chain_.RunPre(&ctx, &run);
+  if (result == 0) {
+    result = kernel_->IndirectCall<int64_t, File*, uintptr_t, uint64_t, uint64_t>(
+        &file->f_op->write, "file_operations::write", file, ubuf, n, file->pos);
+  }
+  ctx.result = result;
+  chain_.RunPost(&ctx, run);
+  if (result > 0) {
+    file->pos += static_cast<uint64_t>(result);
+  }
+  return result;
+}
+
+int Vfs::Seek(File* file, uint64_t pos) {
+  if (file == nullptr) {
+    return -kEinval;
+  }
+  file->pos = pos;
+  return 0;
+}
+
+int Vfs::Mkdir(const char* path) { return MakeEntry(path, kIfDir, VfsOp::kMkdir, nullptr); }
+
+int Vfs::RemoveEntry(const char* path, bool dir) {
+  Dentry* parent = nullptr;
+  std::string leaf;
+  int rc = WalkParent(path, &parent, &leaf);
+  if (rc != 0) {
+    return rc;
+  }
+  Dentry* child;
+  {
+    lxfi::SpinGuard guard(mu_);
+    child = FindChildLocked(parent, leaf.c_str());
+    if (child == nullptr || child->inode == nullptr) {
+      return -kEnoent;
+    }
+    bool is_dir = (child->inode->mode & kIfDir) != 0;
+    if (dir && !is_dir) {
+      return -kEnotdir;
+    }
+    if (!dir && is_dir) {
+      return -kEisdir;
+    }
+    if (dir && child->child != nullptr) {
+      return -kEnotempty;
+    }
+    if (child->open_count > 0) {
+      return -kEbusy;  // open handles reference the dentry and inode
+    }
+  }
+  Inode* dirnode = parent->inode;
+  const uintptr_t* slot =
+      dirnode->i_op != nullptr ? (dir ? &dirnode->i_op->rmdir : &dirnode->i_op->unlink) : nullptr;
+  if (slot == nullptr || *slot == 0) {
+    return -kEinval;
+  }
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(dir ? VfsOp::kRmdir : VfsOp::kUnlink);
+  ctx.dir = dirnode;
+  ctx.dentry = child;
+  FilterRun run;
+  rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0) {
+    rc = kernel_->IndirectCall<int, Inode*, Dentry*>(
+        slot, dir ? "inode_operations::rmdir" : "inode_operations::unlink", dirnode, child);
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  if (rc != 0) {
+    return rc;
+  }
+  {
+    lxfi::SpinGuard guard(mu_);
+    UnlinkChildLocked(parent, child);
+  }
+  FreeDentry(child);
+  return 0;
+}
+
+int Vfs::Rmdir(const char* path) { return RemoveEntry(path, /*dir=*/true); }
+
+int Vfs::Unlink(const char* path) { return RemoveEntry(path, /*dir=*/false); }
+
+int Vfs::Stat(const char* path, VfsStat* out) {
+  Dentry* dentry = nullptr;
+  int rc = Walk(path, &dentry);
+  if (rc != 0) {
+    return rc;
+  }
+  Inode* inode = dentry->inode;
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kStat);
+  ctx.dentry = dentry;
+  FilterRun run;
+  rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0) {
+    if (inode->i_op != nullptr && inode->i_op->getattr != 0) {
+      rc = kernel_->IndirectCall<int, Inode*, VfsStat*>(&inode->i_op->getattr,
+                                                        "inode_operations::getattr", inode, out);
+    } else {
+      out->ino = inode->ino;
+      out->mode = inode->mode;
+      out->nlink = inode->nlink;
+      out->size = inode->size;
+    }
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  return rc;
+}
+
+int Vfs::StatFs(const char* where, VfsStatFs* out) {
+  SuperBlock* sb = SuperAt(where);
+  if (sb == nullptr) {
+    return -kEnodev;
+  }
+  if (sb->s_op == nullptr || sb->s_op->statfs == 0) {
+    return -kEinval;
+  }
+  return kernel_->IndirectCall<int, SuperBlock*, VfsStatFs*>(&sb->s_op->statfs,
+                                                             "super_operations::statfs", sb, out);
+}
+
+Vfs* GetVfs(Kernel* kernel) { return kernel->EnsureSubsystem<Vfs>(kernel); }
+
+}  // namespace kern

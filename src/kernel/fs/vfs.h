@@ -1,0 +1,225 @@
+// Virtual filesystem layer.
+//
+// The second API family after the net stack: a mount table, a kernel-owned
+// dentry cache, inode/file objects, and filesystem modules that register a
+// FileSystemType whose super/inode/file operations the kernel reaches only
+// through the checked indirect-call path (§4.1). Every mounted superblock is
+// one LXFI principal in the annotated modules; inodes and open files alias
+// onto it (lxfi_princ_alias), so a compromise through one mount cannot touch
+// another mount's objects even inside the same module.
+//
+// Object-lifetime capability flow (annotated in src/lxfi/kernel_api.cc,
+// documented in docs/vfs_enforcement.md):
+//   register_filesystem  proves WRITE over the fstype struct (which must
+//                        live in the module's own page-aligned sections —
+//                        its slots are indirect-call home slots) and mints
+//                        a REF as the only unregister ticket.
+//   mount dispatch       grants WRITE over the superblock and REFs for the
+//                        superblock and root dentry to the new principal.
+//   iget / iput          grant / reclaim WRITE over an inode and its
+//                        module-private region.
+//   d_alloc / d_instantiate
+//                        dentries stay kernel-owned; modules hold only REFs
+//                        and mutate the dcache through these exports.
+//   open / release       copy / reclaim WRITE over the File object.
+//
+// Stackable filters (filter.h) interpose pre/post hooks on every operation
+// the syscall surface dispatches, redirfs-style.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/sync.h"
+#include "src/kernel/fs/filter.h"
+#include "src/kernel/types.h"
+
+namespace kern {
+
+class Kernel;
+class Module;
+
+inline constexpr size_t kVfsNameMax = 27;  // component name bytes (+ NUL)
+
+// Inode mode bits (subset of S_IFMT).
+inline constexpr uint32_t kIfReg = 0x8000;
+inline constexpr uint32_t kIfDir = 0x4000;
+
+// Open flags.
+inline constexpr int kOCreate = 1;
+
+struct SuperBlock;
+struct Inode;
+struct Dentry;
+struct File;
+
+// Function-pointer tables. They live in module memory (rodata unless the
+// module opts out), exactly like proto_ops: the kernel dispatches through
+// them with the home-slot indirect-call check.
+struct SuperOperations {
+  uintptr_t statfs = 0;  // int(SuperBlock*, VfsStatFs*)
+};
+
+struct InodeOperations {
+  uintptr_t lookup = 0;   // Inode*(Inode* dir, Dentry* dentry)
+  uintptr_t create = 0;   // int(Inode* dir, Dentry* dentry, uint32_t mode)
+  uintptr_t unlink = 0;   // int(Inode* dir, Dentry* dentry)
+  uintptr_t mkdir = 0;    // int(Inode* dir, Dentry* dentry, uint32_t mode)
+  uintptr_t rmdir = 0;    // int(Inode* dir, Dentry* dentry)
+  uintptr_t getattr = 0;  // int(Inode*, VfsStat*)
+};
+
+struct FileOperations {
+  uintptr_t open = 0;     // int(Inode*, File*)
+  uintptr_t release = 0;  // int(Inode*, File*)
+  uintptr_t read = 0;     // int64_t(File*, uintptr_t ubuf, uint64_t n, uint64_t pos)
+  uintptr_t write = 0;    // int64_t(File*, uintptr_t ubuf, uint64_t n, uint64_t pos)
+};
+
+// Module-provided filesystem type (module kmalloc memory, so the
+// register-time capability transfer moves exactly this allocation).
+struct FileSystemType {
+  const char* name = nullptr;
+  uintptr_t mount = 0;    // int(FileSystemType*, SuperBlock*, Dentry* root)
+  uintptr_t kill_sb = 0;  // void(FileSystemType*, SuperBlock*)
+  Module* module = nullptr;
+};
+
+// The sb_caps grant covers ONLY the s_op/s_fs_info pair (the fields a
+// filesystem module legitimately fills at mount); type/root/next_ino and
+// the open-file count stay kernel-only, so a malicious module cannot forge
+// the root dentry Unmount frees or the type the registry trusts. Keep
+// s_op and s_fs_info adjacent — the iterator emits them as one range.
+struct SuperBlock {
+  FileSystemType* type = nullptr;
+  Dentry* root = nullptr;  // kernel-set; module instantiates its inode
+  const SuperOperations* s_op = nullptr;
+  void* s_fs_info = nullptr;  // module-private per-mount state
+  uint64_t next_ino = 1;      // kernel-managed, under the Vfs lock
+  uint32_t open_files = 0;    // kernel-managed, under the Vfs lock
+  char id[kVfsNameMax + 1] = {};
+};
+
+struct Inode {
+  uint64_t ino = 0;
+  uint32_t mode = 0;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  SuperBlock* sb = nullptr;
+  const InodeOperations* i_op = nullptr;
+  const FileOperations* i_fop = nullptr;
+  void* i_private = nullptr;  // module-private (e.g. the ramfs data buffer)
+};
+
+// Dentries are kernel-owned: modules receive REF capabilities for them and
+// mutate the dcache only through d_alloc/d_instantiate, never by store.
+struct Dentry {
+  char name[kVfsNameMax + 1] = {};
+  Inode* inode = nullptr;  // null => negative dentry
+  Dentry* parent = nullptr;
+  SuperBlock* sb = nullptr;
+  Dentry* child = nullptr;      // first child (directories)
+  Dentry* sibling = nullptr;    // next sibling under parent
+  uint32_t open_count = 0;      // open Files on this entry (under the Vfs lock);
+                                // Unlink refuses with -EBUSY while nonzero
+};
+
+struct File {
+  Inode* inode = nullptr;
+  Dentry* dentry = nullptr;
+  uint64_t pos = 0;
+  const FileOperations* f_op = nullptr;
+  void* private_data = nullptr;
+};
+
+struct VfsStat {
+  uint64_t ino = 0;
+  uint32_t mode = 0;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+};
+
+struct VfsStatFs {
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  char fsname[kVfsNameMax + 1] = {};
+};
+
+class Vfs {
+ public:
+  explicit Vfs(Kernel* kernel);
+
+  FilterChain& filters() { return chain_; }
+
+  // --- filesystem-type registry (register_filesystem export) --------------
+  int RegisterFilesystem(FileSystemType* fstype);
+  int UnregisterFilesystem(FileSystemType* fstype);
+  FileSystemType* FindFilesystem(const char* name);
+
+  // --- mounts --------------------------------------------------------------
+  // Mounts `fsname` at `where` ("/name", one component). Returns null on
+  // failure (unknown type, busy mountpoint, module mount failure).
+  SuperBlock* Mount(const char* fsname, const char* where);
+  int Unmount(const char* where);
+  SuperBlock* SuperAt(const char* where);
+
+  // --- syscall surface (trusted kernel code dispatching into modules) ------
+  File* Open(const char* path, int flags, int* err = nullptr);
+  int Close(File* file);
+  int64_t Read(File* file, uintptr_t ubuf, uint64_t n);
+  int64_t Write(File* file, uintptr_t ubuf, uint64_t n);
+  int Seek(File* file, uint64_t pos);
+  int Mkdir(const char* path);
+  int Rmdir(const char* path);
+  int Unlink(const char* path);
+  int Stat(const char* path, VfsStat* out);
+  int StatFs(const char* where, VfsStatFs* out);
+
+  // --- dcache/inode services backing the module-facing exports -------------
+  Inode* Iget(SuperBlock* sb);
+  void Iput(Inode* inode);
+  Dentry* DAlloc(Dentry* parent, const char* name);
+  int DInstantiate(Dentry* dentry, Inode* inode);
+
+  size_t open_files() const { return open_files_.load(std::memory_order_relaxed); }
+  size_t mount_count() const;
+
+ private:
+  Dentry* NewDentry(SuperBlock* sb, Dentry* parent, const char* name);
+  void FreeDentry(Dentry* dentry);
+  void FreeTree(Dentry* root);
+  Dentry* FindChildLocked(Dentry* parent, const char* name) const;
+  void LinkChildLocked(Dentry* parent, Dentry* child);
+  void UnlinkChildLocked(Dentry* parent, Dentry* child);
+
+  // Resolves one missing component through inode_operations::lookup.
+  Dentry* LookupChild(Dentry* parent, const char* name);
+  // Walks `path` to its dentry (negative results are errors). On success
+  // *out is the dentry. WalkParent stops one component early and reports
+  // the leaf name.
+  int Walk(const char* path, Dentry** out);
+  int WalkParent(const char* path, Dentry** parent_out, std::string* leaf_out);
+
+  // Shared create/mkdir body: dispatches `op` on a fresh negative dentry.
+  int MakeEntry(const char* path, uint32_t mode, VfsOp op, Dentry** out);
+  // Shared unlink/rmdir body.
+  int RemoveEntry(const char* path, bool dir);
+
+  Kernel* kernel_;
+  FilterChain chain_;
+  mutable lxfi::Spinlock mu_;  // guards fstypes_, mounts_, the dcache links
+                               // and superblock ino counters
+  std::vector<FileSystemType*> fstypes_;
+  struct MountEntry {
+    std::string name;  // mountpoint component (no slash)
+    SuperBlock* sb;
+  };
+  std::vector<MountEntry> mounts_;
+  std::atomic<size_t> open_files_{0};
+};
+
+Vfs* GetVfs(Kernel* kernel);
+
+}  // namespace kern

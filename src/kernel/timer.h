@@ -4,6 +4,14 @@
 // module-writable memory and invokes them later from trusted context — the
 // same shape the paper's indirect-call check exists for. The wheel is
 // tick-driven: tests and harnesses advance it explicitly.
+//
+// Pending timers live in a binary min-heap keyed on (expires, arm order), so
+// Advance pops exactly the expired prefix in deadline order (FIFO among
+// equal deadlines) instead of scanning every pending timer per tick. Each
+// pending timer has exactly one heap entry: rearm and delete eagerly remove
+// the old entry (O(n), rare control-plane events), keeping the per-tick pop
+// O(log n) and leaving no stale entries that could dangle after a module
+// frees a cancelled timer.
 #pragma once
 
 #include <cstdint>
@@ -38,15 +46,29 @@ class TimerWheel {
   int DelTimer(TimerList* timer);
 
   // Advances time by `ticks`, firing expired timers through the checked
-  // indirect-call path. Returns the number fired.
+  // indirect-call path in deadline order (arm order among ties). Returns
+  // the number fired.
   int Advance(uint64_t ticks);
 
-  size_t pending_count() const { return pending_.size(); }
+  size_t pending_count() const { return heap_.size(); }
 
  private:
+  struct HeapEntry {
+    uint64_t expires;
+    uint64_t seq;  // arm order: deterministic FIFO among equal deadlines
+    TimerList* timer;
+  };
+  // Max-heap comparator inverted into a min-heap on (expires, seq).
+  static bool Later(const HeapEntry& a, const HeapEntry& b) {
+    return a.expires != b.expires ? a.expires > b.expires : a.seq > b.seq;
+  }
+  // Removes the (single) heap entry of `timer`; restores the heap property.
+  void RemoveEntry(TimerList* timer);
+
   Kernel* kernel_;
   uint64_t now_ = 0;
-  std::vector<TimerList*> pending_;
+  uint64_t next_seq_ = 0;
+  std::vector<HeapEntry> heap_;
 };
 
 TimerWheel* GetTimerWheel(Kernel* kernel);

@@ -17,10 +17,14 @@ inline constexpr int kEperm = 1;
 inline constexpr int kEnoent = 2;
 inline constexpr int kEfault = 14;
 inline constexpr int kEbusy = 16;
+inline constexpr int kEexist = 17;
 inline constexpr int kEnodev = 19;
+inline constexpr int kEnotdir = 20;
+inline constexpr int kEisdir = 21;
 inline constexpr int kEinval = 22;
 inline constexpr int kEnospc = 28;
 inline constexpr int kEnomem = 12;
+inline constexpr int kEnotempty = 39;
 inline constexpr int kEnotconn = 107;
 
 // netdev_tx_t values (include/linux/netdevice.h).

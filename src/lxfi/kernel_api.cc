@@ -1,9 +1,11 @@
 #include "src/lxfi/kernel_api.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "src/base/log.h"
 #include "src/kernel/block/block.h"
+#include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/net/netdevice.h"
 #include "src/kernel/net/skbuff.h"
@@ -163,6 +165,94 @@ void InstallIterators(Runtime* rt) {
       ctx.Emit(Capability::Write(ss->dma_buffer, ss->buffer_bytes));
     }
   });
+
+  // --- VFS object iterators ------------------------------------------------
+  // A filesystem type as the module kmalloc'd it: exactly that allocation,
+  // so the register-time transfer moves the whole ops table and nothing
+  // else (static instances fall back to the struct size).
+  reg.Register("fstype_caps", [](CapIterContext& ctx, uint64_t arg) {
+    const void* t = reinterpret_cast<const void*>(arg);
+    if (t == nullptr) {
+      return;
+    }
+    size_t size = ctx.kernel()->slab().AllocSize(t);
+    ctx.Emit(Capability::Write(t, size > 0 ? size : sizeof(kern::FileSystemType)));
+  });
+
+  // A superblock as handed to mount: ONLY the fields a filesystem fills
+  // (s_op + s_fs_info, adjacent by layout) plus the module-private
+  // s_fs_info region once the module hangs one off it. The kernel-managed
+  // fields around them (type, root, next_ino, open_files) stay
+  // unwritable, so a malicious filesystem cannot forge the root dentry
+  // Unmount frees or the fstype the registry trusts.
+  reg.Register("sb_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* sb = reinterpret_cast<kern::SuperBlock*>(arg);
+    if (sb == nullptr) {
+      return;
+    }
+    static_assert(offsetof(kern::SuperBlock, s_fs_info) ==
+                      offsetof(kern::SuperBlock, s_op) + sizeof(void*),
+                  "sb_caps emits s_op+s_fs_info as one range");
+    ctx.Emit(Capability::Write(&sb->s_op, 2 * sizeof(void*)));
+    if (sb->s_fs_info != nullptr) {
+      size_t size = ctx.kernel()->slab().AllocSize(sb->s_fs_info);
+      if (size > 0) {
+        ctx.Emit(Capability::Write(sb->s_fs_info, size));
+      }
+    }
+  });
+
+  // An inode and its module-private region (the ramfs data buffer).
+  reg.Register("inode_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* inode = reinterpret_cast<kern::Inode*>(arg);
+    if (inode == nullptr) {
+      return;
+    }
+    ctx.Emit(Capability::Write(inode, sizeof(kern::Inode)));
+    if (inode->i_private != nullptr) {
+      size_t size = ctx.kernel()->slab().AllocSize(inode->i_private);
+      if (size > 0) {
+        ctx.Emit(Capability::Write(inode->i_private, size));
+      }
+    }
+  });
+
+  reg.Register("file_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::File)));
+    }
+  });
+
+  reg.Register("filter_caps", [](CapIterContext& ctx, uint64_t arg) {
+    const void* flt = reinterpret_cast<const void*>(arg);
+    if (flt == nullptr) {
+      return;
+    }
+    size_t size = ctx.kernel()->slab().AllocSize(flt);
+    ctx.Emit(Capability::Write(flt, size > 0 ? size : sizeof(kern::VfsFilter)));
+  });
+
+  // Kernel-stack out-params handed to modules (VfsStat/VfsStatFs/FilterCtx):
+  // the dispatch annotations copy WRITE over exactly the struct on the way
+  // in and transfer it back on the way out — never relying on the blanket
+  // kernel-stack grant, so the module's write window closes at return.
+  reg.Register("vfsstat_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::VfsStat)));
+    }
+  });
+
+  reg.Register("vfsstatfs_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::VfsStatFs)));
+    }
+  });
+
+  reg.Register("filterctx_caps", [](CapIterContext& ctx, uint64_t arg) {
+    if (arg != 0) {
+      ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::FilterCtx)));
+    }
+  });
 }
 
 // --- annotations (Figure 4 style) -------------------------------------------
@@ -250,6 +340,41 @@ void InstallAnnotations(Runtime* rt) {
   MustRegister(rt, "snd_card_register", {"card"}, "pre(check(sndcard_caps(card)))");
   MustRegister(rt, "snd_card_unregister", {"card"}, "pre(check(sndcard_caps(card)))");
 
+  // VFS. Registering a filesystem proves WRITE over the fstype struct (it
+  // must live in the module's own sections — its mount/kill_sb slots are
+  // indirect-call home slots) and mints a REF as the only unregister
+  // ticket: that REF check is what blocks a malicious module from
+  // unregistering a filesystem it does not own, and the dispatch-time
+  // annotation-hash check vets every ops pointer the kernel fetches from
+  // the (module-writable) table.
+  MustRegister(rt, "register_filesystem", {"fstype"},
+               "pre(check(fstype_caps(fstype))) "
+               "post(if (return == 0) copy(ref(struct file_system_type), fstype))");
+  MustRegister(rt, "unregister_filesystem", {"fstype"},
+               "pre(transfer(ref(struct file_system_type), fstype)) "
+               "post(if (return != 0) copy(ref(struct file_system_type), fstype))");
+  // Object lifetime: iget hands a fresh inode's WRITE to the calling
+  // principal; iput reclaims the inode and whatever module-private region
+  // still hangs off it. Dentries stay kernel-owned — modules hold REFs and
+  // edit the dcache only through d_alloc/d_instantiate.
+  MustRegister(rt, "iget", {"sb"},
+               "pre(check(ref(struct super_block), sb)) "
+               "post(if (return != 0) transfer(inode_caps(return)))");
+  MustRegister(rt, "iput", {"inode"}, "pre(transfer(inode_caps(inode)))");
+  MustRegister(rt, "d_alloc", {"parent", "name"},
+               "pre(check(ref(struct dentry), parent)) "
+               "post(if (return != 0) copy(ref(struct dentry), return))");
+  MustRegister(rt, "d_instantiate", {"dentry", "inode"},
+               "pre(check(ref(struct dentry), dentry)) pre(check(inode_caps(inode)))");
+  // Filter registration mirrors filesystem registration: prove WRITE over
+  // the registration struct, hold a REF as the unregister ticket.
+  MustRegister(rt, "vfs_register_filter", {"flt"},
+               "pre(check(filter_caps(flt))) "
+               "post(if (return == 0) copy(ref(struct vfs_filter), flt))");
+  MustRegister(rt, "vfs_unregister_filter", {"flt"},
+               "pre(transfer(ref(struct vfs_filter), flt)) "
+               "post(if (return != 0) copy(ref(struct vfs_filter), flt))");
+
   // --- function-pointer types (kernel -> module) ---------------------------
   MustRegister(rt, "pci_driver::probe", {"pcidev"},
                "principal(pcidev) pre(copy(ref(struct pci_dev), pcidev)) "
@@ -288,6 +413,52 @@ void InstallAnnotations(Runtime* rt) {
   MustRegister(rt, "pcm_ops::trigger", {"ss", "cmd"}, "principal(ss)");
   MustRegister(rt, "pcm_ops::pointer", {"ss"}, "principal(ss)");
   MustRegister(rt, "bio_end_io_t", {"bio"}, "");
+
+  // --- VFS function-pointer types ------------------------------------------
+  // Each mounted superblock is one principal; the mount dispatch endows it
+  // with the superblock's WRITE plus the REFs later exports demand. Inodes
+  // and files alias onto the same principal (lxfi_princ_alias in the
+  // module), so "principal(file)" on read/write lands on the mount's
+  // capability set without any extra grants per call.
+  MustRegister(rt, "file_system_type::mount", {"fstype", "sb", "root"},
+               "principal(sb) pre(copy(sb_caps(sb))) pre(copy(ref(struct super_block), sb)) "
+               "pre(copy(ref(struct dentry), root))");
+  MustRegister(rt, "file_system_type::kill_sb", {"fstype", "sb"},
+               "principal(sb) post(transfer(sb_caps(sb))) "
+               "post(transfer(ref(struct super_block), sb))");
+  MustRegister(rt, "super_operations::statfs", {"sb", "out"},
+               "principal(sb) pre(copy(vfsstatfs_caps(out))) "
+               "post(transfer(vfsstatfs_caps(out)))");
+  MustRegister(rt, "inode_operations::lookup", {"dir", "dentry"},
+               "principal(dir) pre(copy(ref(struct dentry), dentry)) "
+               "post(if (return == 0) transfer(ref(struct dentry), dentry))");
+  MustRegister(rt, "inode_operations::create", {"dir", "dentry", "mode"},
+               "principal(dir) pre(copy(ref(struct dentry), dentry))");
+  MustRegister(rt, "inode_operations::mkdir", {"dir", "dentry", "mode"},
+               "principal(dir) pre(copy(ref(struct dentry), dentry))");
+  MustRegister(rt, "inode_operations::unlink", {"dir", "dentry"},
+               "principal(dir) post(if (return == 0) transfer(ref(struct dentry), dentry))");
+  MustRegister(rt, "inode_operations::rmdir", {"dir", "dentry"},
+               "principal(dir) post(if (return == 0) transfer(ref(struct dentry), dentry))");
+  MustRegister(rt, "inode_operations::getattr", {"inode", "out"},
+               "principal(inode) pre(copy(vfsstat_caps(out))) "
+               "post(transfer(vfsstat_caps(out)))");
+  MustRegister(rt, "file_operations::open", {"inode", "file"},
+               "principal(inode) pre(copy(file_caps(file)))");
+  MustRegister(rt, "file_operations::release", {"inode", "file"},
+               "principal(file) post(transfer(file_caps(file)))");
+  MustRegister(rt, "file_operations::read", {"file", "ubuf", "n", "pos"}, "principal(file)");
+  MustRegister(rt, "file_operations::write", {"file", "ubuf", "n", "pos"}, "principal(file)");
+  // Filter hooks: each registered filter is its own principal, so one
+  // compromised filter cannot reach its neighbours' state. The FilterCtx is
+  // granted for the hook's duration only (the chain-position token lives in
+  // it); the objects it points to stay off-limits.
+  MustRegister(rt, "vfs_filter::pre_op", {"flt", "ctx"},
+               "principal(flt) pre(copy(filterctx_caps(ctx))) "
+               "post(transfer(filterctx_caps(ctx)))");
+  MustRegister(rt, "vfs_filter::post_op", {"flt", "ctx"},
+               "principal(flt) pre(copy(filterctx_caps(ctx))) "
+               "post(transfer(filterctx_caps(ctx)))");
 }
 
 }  // namespace
@@ -434,6 +605,34 @@ void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
   k->ExportSymbol<SndCardUnregisterSig>("snd_card_unregister", [k](kern::SoundCard* card) {
     kern::GetSoundCore(k)->UnregisterCard(card);
   });
+
+  // --- vfs -----------------------------------------------------------------------------
+  k->ExportSymbol<RegisterFilesystemSig>("register_filesystem",
+                                         [k](kern::FileSystemType* fstype) -> int {
+                                           return kern::GetVfs(k)->RegisterFilesystem(fstype);
+                                         });
+  k->ExportSymbol<UnregisterFilesystemSig>("unregister_filesystem",
+                                           [k](kern::FileSystemType* fstype) -> int {
+                                             return kern::GetVfs(k)->UnregisterFilesystem(fstype);
+                                           });
+  k->ExportSymbol<IgetSig>(
+      "iget", [k](kern::SuperBlock* sb) -> kern::Inode* { return kern::GetVfs(k)->Iget(sb); });
+  k->ExportSymbol<IputSig>("iput", [k](kern::Inode* inode) { kern::GetVfs(k)->Iput(inode); });
+  k->ExportSymbol<DAllocSig>("d_alloc",
+                             [k](kern::Dentry* parent, const char* name) -> kern::Dentry* {
+                               return kern::GetVfs(k)->DAlloc(parent, name);
+                             });
+  k->ExportSymbol<DInstantiateSig>("d_instantiate",
+                                   [k](kern::Dentry* dentry, kern::Inode* inode) -> int {
+                                     return kern::GetVfs(k)->DInstantiate(dentry, inode);
+                                   });
+  k->ExportSymbol<VfsRegisterFilterSig>("vfs_register_filter", [k](kern::VfsFilter* flt) -> int {
+    return kern::GetVfs(k)->filters().Register(flt);
+  });
+  k->ExportSymbol<VfsUnregisterFilterSig>("vfs_unregister_filter",
+                                          [k](kern::VfsFilter* flt) -> int {
+                                            return kern::GetVfs(k)->filters().Unregister(flt);
+                                          });
 
   if (rt != nullptr) {
     InstallIterators(rt);

@@ -29,6 +29,15 @@ struct SoundCard;
 struct PcmSubstream;
 struct Task;
 struct TimerList;
+struct FileSystemType;
+struct SuperBlock;
+struct Inode;
+struct Dentry;
+struct File;
+struct VfsStat;
+struct VfsStatFs;
+struct VfsFilter;
+struct FilterCtx;
 }  // namespace kern
 
 namespace lxfi {
@@ -81,6 +90,17 @@ using DmGetDeviceSig = kern::BlockDevice*(const char*);
 using SndCardRegisterSig = int(kern::SoundCard*);
 using SndCardUnregisterSig = void(kern::SoundCard*);
 
+// VFS (kernel/fs): filesystem registration, inode/dentry lifetime services
+// and the stackable-filter registry.
+using RegisterFilesystemSig = int(kern::FileSystemType*);
+using UnregisterFilesystemSig = int(kern::FileSystemType*);
+using IgetSig = kern::Inode*(kern::SuperBlock*);
+using IputSig = void(kern::Inode*);
+using DAllocSig = kern::Dentry*(kern::Dentry*, const char*);
+using DInstantiateSig = int(kern::Dentry*, kern::Inode*);
+using VfsRegisterFilterSig = int(kern::VfsFilter*);
+using VfsUnregisterFilterSig = int(kern::VfsFilter*);
+
 // Module-function pointer type signatures (kernel -> module).
 using PciProbeSig = int(kern::PciDev*);
 using PciRemoveSig = void(kern::PciDev*);
@@ -101,6 +121,19 @@ using PcmCloseSig = int(kern::PcmSubstream*);
 using PcmTriggerSig = int(kern::PcmSubstream*, int);
 using PcmPointerSig = uint32_t(kern::PcmSubstream*);
 using BioEndIoSig = void(kern::Bio*);
+
+// VFS function-pointer types (kernel -> filesystem/filter module).
+using FsMountSig = int(kern::FileSystemType*, kern::SuperBlock*, kern::Dentry*);
+using FsKillSbSig = void(kern::FileSystemType*, kern::SuperBlock*);
+using SuperStatfsSig = int(kern::SuperBlock*, kern::VfsStatFs*);
+using InodeLookupSig = kern::Inode*(kern::Inode*, kern::Dentry*);
+using InodeCreateSig = int(kern::Inode*, kern::Dentry*, uint32_t);
+using InodeUnlinkSig = int(kern::Inode*, kern::Dentry*);
+using InodeGetattrSig = int(kern::Inode*, kern::VfsStat*);
+using FileOpenSig = int(kern::Inode*, kern::File*);
+using FileRwSig = int64_t(kern::File*, uintptr_t, uint64_t, uint64_t);
+using FilterPreSig = int(kern::VfsFilter*, kern::FilterCtx*);
+using FilterPostSig = void(kern::VfsFilter*, kern::FilterCtx*);
 
 // Installs exports (always) and annotations + iterators (when rt != null).
 void InstallKernelApi(kern::Kernel* kernel, Runtime* rt);

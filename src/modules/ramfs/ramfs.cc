@@ -1,0 +1,390 @@
+#include "src/modules/ramfs/ramfs.h"
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/types.h"
+#include "src/lxfi/mem.h"
+#include "src/lxfi/wrap.h"
+
+namespace mods {
+namespace {
+
+RamfsData* DataOf(RamfsState& st) { return static_cast<RamfsData*>(st.m->data()); }
+
+// Allocates and initializes an inode under the current (mount) principal,
+// aliasing it onto that principal so later dispatches that name this inode
+// (principal(dir), principal(inode)) land on the mount's capability set.
+kern::Inode* MakeNode(RamfsState& st, const void* principal_name, kern::SuperBlock* sb,
+                      uint32_t mode) {
+  kern::Module& m = *st.m;
+  kern::Inode* ino = st.api.iget(sb);
+  if (ino == nullptr) {
+    return nullptr;
+  }
+  lxfi::Runtime* rt = lxfi::RuntimeOf(m);
+  if (rt != nullptr) {
+    rt->PrincAlias(principal_name, ino);
+  }
+  RamfsData* data = DataOf(st);
+  lxfi::Store(m, &ino->mode, mode);
+  if ((mode & kern::kIfDir) != 0) {
+    lxfi::Store<const kern::InodeOperations*>(m, &ino->i_op, &data->dir_iops);
+    lxfi::Store<const kern::FileOperations*>(m, &ino->i_fop, nullptr);
+  } else {
+    lxfi::Store<const kern::InodeOperations*>(m, &ino->i_op, &data->file_iops);
+    lxfi::Store<const kern::FileOperations*>(m, &ino->i_fop, &data->fops);
+  }
+  return ino;
+}
+
+// Releases an inode's module-private data and returns it to the kernel.
+void DropNode(RamfsState& st, kern::Inode* ino) {
+  kern::Module& m = *st.m;
+  if (ino->i_private != nullptr) {
+    st.api.kfree(ino->i_private);
+    lxfi::Store<void*>(m, &ino->i_private, nullptr);
+  }
+  st.api.iput(ino);
+}
+
+// Per-mount module-private state, hung off sb->s_fs_info (the sb_caps
+// iterator picks the allocation up once it is linked).
+struct RamfsSbInfo {
+  uint64_t magic = 0;
+  uint64_t root_ino = 0;
+};
+
+// Frees every inode still reachable from the dcache (the kernel frees the
+// dentries themselves after kill_sb returns). Reading the dcache is fine —
+// LXFI checks writes, not reads.
+void ReapTree(RamfsState& st, kern::Dentry* dentry) {
+  for (kern::Dentry* c = dentry->child; c != nullptr; c = c->sibling) {
+    ReapTree(st, c);
+  }
+  if (dentry->inode != nullptr) {
+    DropNode(st, dentry->inode);
+  }
+}
+
+int Mount(RamfsState& st, kern::FileSystemType* fstype, kern::SuperBlock* sb,
+          kern::Dentry* root) {
+  kern::Module& m = *st.m;
+  RamfsData* data = DataOf(st);
+  lxfi::Store<const kern::SuperOperations*>(m, &sb->s_op, &data->sops);
+  auto* info = static_cast<RamfsSbInfo*>(st.api.kmalloc(sizeof(RamfsSbInfo)));
+  if (info == nullptr) {
+    return -kern::kEnomem;
+  }
+  lxfi::Store(m, &info->magic, static_cast<uint64_t>(0x52414d4653ull));  // "RAMFS"
+  lxfi::Store<void*>(m, &sb->s_fs_info, info);
+
+  kern::Inode* root_ino = MakeNode(st, sb, sb, kern::kIfDir);
+  if (root_ino == nullptr) {
+    st.api.kfree(info);
+    lxfi::Store<void*>(m, &sb->s_fs_info, nullptr);
+    return -kern::kEnomem;
+  }
+  lxfi::Store(m, &info->root_ino, root_ino->ino);
+  int rc = st.api.d_instantiate(root, root_ino);
+  if (rc != 0) {
+    DropNode(st, root_ino);
+    st.api.kfree(info);
+    lxfi::Store<void*>(m, &sb->s_fs_info, nullptr);
+    return rc;
+  }
+  if (st.prepopulate) {
+    kern::Dentry* keep = st.api.d_alloc(root, ".keep");
+    kern::Inode* keep_ino = keep != nullptr ? MakeNode(st, sb, sb, kern::kIfReg) : nullptr;
+    if (keep_ino == nullptr || st.api.d_instantiate(keep, keep_ino) != 0) {
+      if (keep_ino != nullptr) {
+        DropNode(st, keep_ino);
+      }
+      // Undo the whole mount: the kernel will not call kill_sb after a
+      // failed mount, so reclaim the root inode and per-mount state here.
+      ReapTree(st, root);
+      st.api.kfree(info);
+      lxfi::Store<void*>(m, &sb->s_fs_info, nullptr);
+      return -kern::kEnomem;
+    }
+  }
+  ++st.mounts;
+  return 0;
+}
+
+void KillSb(RamfsState& st, kern::FileSystemType* fstype, kern::SuperBlock* sb) {
+  kern::Module& m = *st.m;
+  ReapTree(st, sb->root);
+  if (sb->s_fs_info != nullptr) {
+    st.api.kfree(sb->s_fs_info);
+    lxfi::Store<void*>(m, &sb->s_fs_info, nullptr);
+  }
+}
+
+int StatFs(RamfsState& st, kern::SuperBlock* sb, kern::VfsStatFs* out) {
+  kern::Module& m = *st.m;
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  // Iterative sweep over the (read-only to us) dcache.
+  struct Walker {
+    static void Count(kern::Dentry* d, uint64_t* files, uint64_t* bytes) {
+      for (kern::Dentry* c = d->child; c != nullptr; c = c->sibling) {
+        Count(c, files, bytes);
+      }
+      if (d->inode != nullptr && (d->inode->mode & kern::kIfReg) != 0) {
+        ++*files;
+        *bytes += d->inode->size;
+      }
+    }
+  };
+  Walker::Count(sb->root, &files, &bytes);
+  lxfi::Store(m, &out->files, files);
+  lxfi::Store(m, &out->bytes, bytes);
+  lxfi::MemCopy(m, out->fsname, "ramfs", 6);
+  return 0;
+}
+
+kern::Inode* Lookup(RamfsState& st, kern::Inode* dir, kern::Dentry* dentry) {
+  // ramfs is dcache-complete: anything not already in the dcache does not
+  // exist. The dispatch still exercises the enforced lookup crossing.
+  return nullptr;
+}
+
+int Create(RamfsState& st, kern::Inode* dir, kern::Dentry* dentry, uint32_t mode) {
+  kern::Inode* ino = MakeNode(st, dir, dir->sb, mode != 0 ? mode : kern::kIfReg);
+  if (ino == nullptr) {
+    return -kern::kEnomem;
+  }
+  int rc = st.api.d_instantiate(dentry, ino);
+  if (rc != 0) {
+    DropNode(st, ino);
+  }
+  return rc;
+}
+
+int Mkdir(RamfsState& st, kern::Inode* dir, kern::Dentry* dentry, uint32_t mode) {
+  return Create(st, dir, dentry, mode | kern::kIfDir);
+}
+
+int Unlink(RamfsState& st, kern::Inode* dir, kern::Dentry* dentry) {
+  if (dentry->inode == nullptr) {
+    return -kern::kEnoent;
+  }
+  DropNode(st, dentry->inode);
+  return 0;
+}
+
+int Getattr(RamfsState& st, kern::Inode* inode, kern::VfsStat* out) {
+  kern::Module& m = *st.m;
+  lxfi::Store(m, &out->ino, inode->ino);
+  lxfi::Store(m, &out->mode, inode->mode);
+  lxfi::Store(m, &out->nlink, inode->nlink);
+  lxfi::Store(m, &out->size, inode->size);
+  return 0;
+}
+
+int Open(RamfsState& st, kern::Inode* inode, kern::File* file) {
+  // Alias the File onto this mount's principal so read/write dispatches
+  // (principal(file)) resolve to the same capability set.
+  lxfi::Runtime* rt = lxfi::RuntimeOf(*st.m);
+  if (rt != nullptr) {
+    rt->PrincAlias(inode, file);
+  }
+  return 0;
+}
+
+int Release(RamfsState& st, kern::Inode* inode, kern::File* file) { return 0; }
+
+int64_t Read(RamfsState& st, kern::File* file, uintptr_t ubuf, uint64_t n, uint64_t pos) {
+  kern::Inode* ino = file->inode;
+  if ((ino->mode & kern::kIfDir) != 0) {
+    return -kern::kEisdir;
+  }
+  if (n == 0 || pos >= ino->size) {
+    return 0;
+  }
+  uint64_t left = ino->size - pos;
+  if (n > left) {
+    n = left;
+  }
+  auto* data = static_cast<const uint8_t*>(ino->i_private);
+  if (data == nullptr) {
+    return 0;
+  }
+  int rc = st.api.copy_to_user(ubuf, data + pos, n);
+  return rc != 0 ? rc : static_cast<int64_t>(n);
+}
+
+// Files are capped well below any overflow of the capacity-doubling loop;
+// a sparse Seek far past the cap fails with -ENOSPC instead of wrapping
+// pos + n or spinning the doubling loop forever.
+constexpr uint64_t kRamfsMaxFileBytes = 1ull << 30;
+
+int64_t Write(RamfsState& st, kern::File* file, uintptr_t ubuf, uint64_t n, uint64_t pos) {
+  kern::Module& m = *st.m;
+  kern::Inode* ino = file->inode;
+  if ((ino->mode & kern::kIfDir) != 0) {
+    return -kern::kEisdir;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  uint64_t end = pos + n;
+  if (end < pos || end > kRamfsMaxFileBytes) {
+    return -kern::kEnospc;
+  }
+  auto* data = static_cast<uint8_t*>(ino->i_private);
+  size_t cap = data != nullptr ? st.api.ksize(data) : 0;
+  if (end > cap) {
+    size_t newcap = cap != 0 ? cap : 64;
+    while (newcap < end) {
+      newcap *= 2;
+    }
+    auto* grown = static_cast<uint8_t*>(st.api.kmalloc(newcap));
+    if (grown == nullptr) {
+      return -kern::kEnomem;
+    }
+    if (data != nullptr && ino->size > 0) {
+      lxfi::MemCopy(m, grown, data, ino->size);
+    }
+    if (data != nullptr) {
+      st.api.kfree(data);
+    }
+    lxfi::Store<void*>(m, &ino->i_private, grown);
+    data = grown;
+  }
+  // The checked uaccess path: copy_from_user's annotation demands WRITE over
+  // [data+pos, data+pos+n) — the capability granted by the kmalloc above.
+  int rc = st.api.copy_from_user(data + pos, ubuf, n);
+  if (rc != 0) {
+    return rc;
+  }
+  if (end > ino->size) {
+    lxfi::Store(m, &ino->size, end);
+  }
+  return static_cast<int64_t>(n);
+}
+
+}  // namespace
+
+kern::ModuleDef RamfsModuleDef(bool prepopulate, const char* fs_name) {
+  auto st = std::make_shared<RamfsState>();
+  st->prepopulate = prepopulate;
+  kern::ModuleDef def;
+  def.name = fs_name;
+  def.data_size = sizeof(RamfsData);
+  def.imports = {
+      "kmalloc", "kfree",         "ksize",
+      "register_filesystem",      "unregister_filesystem",
+      "iget",    "iput",          "d_alloc",
+      "d_instantiate",            "copy_from_user",
+      "copy_to_user",             "printk",
+  };
+  def.functions = {
+      lxfi::DeclareFunction<int, kern::FileSystemType*, kern::SuperBlock*, kern::Dentry*>(
+          "ramfs_mount", "file_system_type::mount",
+          [st](kern::FileSystemType* t, kern::SuperBlock* sb, kern::Dentry* root) {
+            return Mount(*st, t, sb, root);
+          }),
+      lxfi::DeclareFunction<void, kern::FileSystemType*, kern::SuperBlock*>(
+          "ramfs_kill_sb", "file_system_type::kill_sb",
+          [st](kern::FileSystemType* t, kern::SuperBlock* sb) { KillSb(*st, t, sb); }),
+      lxfi::DeclareFunction<int, kern::SuperBlock*, kern::VfsStatFs*>(
+          "ramfs_statfs", "super_operations::statfs",
+          [st](kern::SuperBlock* sb, kern::VfsStatFs* out) { return StatFs(*st, sb, out); }),
+      lxfi::DeclareFunction<kern::Inode*, kern::Inode*, kern::Dentry*>(
+          "ramfs_lookup", "inode_operations::lookup",
+          [st](kern::Inode* dir, kern::Dentry* d) { return Lookup(*st, dir, d); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*, uint32_t>(
+          "ramfs_create", "inode_operations::create",
+          [st](kern::Inode* dir, kern::Dentry* d, uint32_t mode) {
+            return Create(*st, dir, d, mode);
+          }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*>(
+          "ramfs_unlink", "inode_operations::unlink",
+          [st](kern::Inode* dir, kern::Dentry* d) { return Unlink(*st, dir, d); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*, uint32_t>(
+          "ramfs_mkdir", "inode_operations::mkdir",
+          [st](kern::Inode* dir, kern::Dentry* d, uint32_t mode) {
+            return Mkdir(*st, dir, d, mode);
+          }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*>(
+          "ramfs_rmdir", "inode_operations::rmdir",
+          [st](kern::Inode* dir, kern::Dentry* d) { return Unlink(*st, dir, d); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::VfsStat*>(
+          "ramfs_getattr", "inode_operations::getattr",
+          [st](kern::Inode* ino, kern::VfsStat* out) { return Getattr(*st, ino, out); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::File*>(
+          "ramfs_open", "file_operations::open",
+          [st](kern::Inode* ino, kern::File* f) { return Open(*st, ino, f); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::File*>(
+          "ramfs_release", "file_operations::release",
+          [st](kern::Inode* ino, kern::File* f) { return Release(*st, ino, f); }),
+      lxfi::DeclareFunction<int64_t, kern::File*, uintptr_t, uint64_t, uint64_t>(
+          "ramfs_read", "file_operations::read",
+          [st](kern::File* f, uintptr_t ubuf, uint64_t n, uint64_t pos) {
+            return Read(*st, f, ubuf, n, pos);
+          }),
+      lxfi::DeclareFunction<int64_t, kern::File*, uintptr_t, uint64_t, uint64_t>(
+          "ramfs_write", "file_operations::write",
+          [st](kern::File* f, uintptr_t ubuf, uint64_t n, uint64_t pos) {
+            return Write(*st, f, ubuf, n, pos);
+          }),
+  };
+  def.init = [st](kern::Module& m) -> int {
+    st->m = &m;
+    m.state_any() = st;
+    st->api.kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+    st->api.kfree = lxfi::GetImport<void, void*>(m, "kfree");
+    st->api.ksize = lxfi::GetImport<size_t, const void*>(m, "ksize");
+    st->api.register_filesystem =
+        lxfi::GetImport<int, kern::FileSystemType*>(m, "register_filesystem");
+    st->api.unregister_filesystem =
+        lxfi::GetImport<int, kern::FileSystemType*>(m, "unregister_filesystem");
+    st->api.iget = lxfi::GetImport<kern::Inode*, kern::SuperBlock*>(m, "iget");
+    st->api.iput = lxfi::GetImport<void, kern::Inode*>(m, "iput");
+    st->api.d_alloc = lxfi::GetImport<kern::Dentry*, kern::Dentry*, const char*>(m, "d_alloc");
+    st->api.d_instantiate =
+        lxfi::GetImport<int, kern::Dentry*, kern::Inode*>(m, "d_instantiate");
+    st->api.copy_from_user = lxfi::GetImport<int, void*, uintptr_t, size_t>(m, "copy_from_user");
+    st->api.copy_to_user =
+        lxfi::GetImport<int, uintptr_t, const void*, size_t>(m, "copy_to_user");
+
+    auto* data = static_cast<RamfsData*>(m.data());
+    lxfi::Store(m, &data->sops.statfs, m.FuncAddr("ramfs_statfs"));
+    lxfi::Store(m, &data->dir_iops.lookup, m.FuncAddr("ramfs_lookup"));
+    lxfi::Store(m, &data->dir_iops.create, m.FuncAddr("ramfs_create"));
+    lxfi::Store(m, &data->dir_iops.unlink, m.FuncAddr("ramfs_unlink"));
+    lxfi::Store(m, &data->dir_iops.mkdir, m.FuncAddr("ramfs_mkdir"));
+    lxfi::Store(m, &data->dir_iops.rmdir, m.FuncAddr("ramfs_rmdir"));
+    lxfi::Store(m, &data->dir_iops.getattr, m.FuncAddr("ramfs_getattr"));
+    lxfi::Store(m, &data->file_iops.getattr, m.FuncAddr("ramfs_getattr"));
+    lxfi::Store(m, &data->fops.open, m.FuncAddr("ramfs_open"));
+    lxfi::Store(m, &data->fops.release, m.FuncAddr("ramfs_release"));
+    lxfi::Store(m, &data->fops.read, m.FuncAddr("ramfs_read"));
+    lxfi::Store(m, &data->fops.write, m.FuncAddr("ramfs_write"));
+
+    kern::FileSystemType* fstype = &data->fstype;
+    st->fstype = fstype;
+    lxfi::Store(m, &fstype->name, static_cast<const char*>(m.def().name.c_str()));
+    lxfi::Store(m, &fstype->mount, m.FuncAddr("ramfs_mount"));
+    lxfi::Store(m, &fstype->kill_sb, m.FuncAddr("ramfs_kill_sb"));
+    lxfi::Store(m, &fstype->module, &m);
+    int rc = st->api.register_filesystem(fstype);
+    if (rc != 0) {
+      st->fstype = nullptr;
+    }
+    return rc;
+  };
+  def.exit_fn = [st](kern::Module& m) {
+    if (st->fstype != nullptr && st->api.unregister_filesystem(st->fstype) == 0) {
+      st->fstype = nullptr;
+    }
+  };
+  return def;
+}
+
+std::shared_ptr<RamfsState> GetRamfs(kern::Module& m) {
+  auto* sp = std::any_cast<std::shared_ptr<RamfsState>>(&m.state_any());
+  return sp != nullptr ? *sp : nullptr;
+}
+
+}  // namespace mods

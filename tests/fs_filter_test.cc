@@ -1,0 +1,160 @@
+// Stackable VFS filters: three filter modules — three mutually-distrustful
+// principals — interpose on the same ramfs operation stream in priority
+// order, with pre hooks outermost-first and post hooks in reverse, and a
+// veto that short-circuits the rest of the chain.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/lxfi/runtime.h"
+#include "src/modules/fsfilter/fsfilter.h"
+#include "src/modules/ramfs/ramfs.h"
+#include "tests/testbench.h"
+
+namespace {
+
+using lxfitest::Bench;
+
+class FsFilterTest : public ::testing::TestWithParam<bool> {
+ protected:
+  FsFilterTest() : bench_(GetParam()) {
+    vfs_ = kern::GetVfs(bench_.kernel.get());
+    ramfs_ = bench_.kernel->LoadModule(mods::RamfsModuleDef());
+    // Register out of priority order on purpose: the chain must sort.
+    mid_ = Load("fsflt-mid", 20);
+    outer_ = Load("fsflt-outer", 10);
+    inner_ = Load("fsflt-inner", 30);
+    vfs_->Mount("ramfs", "/mnt");
+  }
+
+  kern::Module* Load(const char* name, int priority, const char* veto_prefix = "") {
+    mods::FsFilterConfig config;
+    config.module_name = name;
+    config.filter_name = name;
+    config.priority = priority;
+    config.veto_prefix = veto_prefix;
+    return bench_.kernel->LoadModule(mods::FsFilterModuleDef(config));
+  }
+
+  std::shared_ptr<mods::FsFilterState> St(kern::Module* m) { return mods::GetFsFilter(*m); }
+
+  int Touch(const char* path) {
+    int err = 0;
+    kern::File* f = vfs_->Open(path, kern::kOCreate, &err);
+    if (f == nullptr) {
+      return err;
+    }
+    return vfs_->Close(f);
+  }
+
+  Bench bench_;
+  kern::Vfs* vfs_ = nullptr;
+  kern::Module* ramfs_ = nullptr;
+  kern::Module* outer_ = nullptr;  // priority 10: runs first
+  kern::Module* mid_ = nullptr;    // priority 20
+  kern::Module* inner_ = nullptr;  // priority 30: runs last before the fs
+};
+
+TEST_P(FsFilterTest, ThreeFiltersStackInPriorityOrder) {
+  ASSERT_NE(ramfs_, nullptr);
+  ASSERT_NE(outer_, nullptr);
+  ASSERT_NE(mid_, nullptr);
+  ASSERT_NE(inner_, nullptr);
+  ASSERT_EQ(vfs_->filters().count(), 3u);
+
+  kern::VfsStat st;
+  ASSERT_EQ(Touch("/mnt/f"), 0);
+  ASSERT_EQ(vfs_->Stat("/mnt/f", &st), 0);
+
+  // Every filter saw the create, the open and the stat.
+  for (kern::Module* m : {outer_, mid_, inner_}) {
+    EXPECT_EQ(St(m)->pre_count(kern::VfsOp::kCreate), 1u) << m->name();
+    EXPECT_EQ(St(m)->post_count(kern::VfsOp::kCreate), 1u) << m->name();
+    EXPECT_EQ(St(m)->pre_count(kern::VfsOp::kOpen), 1u) << m->name();
+    EXPECT_EQ(St(m)->pre_count(kern::VfsOp::kStat), 1u) << m->name();
+  }
+  // Chain-position tokens: pre runs outer(0) -> mid(1) -> inner(2); post
+  // unwinds inner(3) -> mid(2) -> outer(1).
+  EXPECT_EQ(St(outer_)->priv->last_pre_token, 0);
+  EXPECT_EQ(St(mid_)->priv->last_pre_token, 1);
+  EXPECT_EQ(St(inner_)->priv->last_pre_token, 2);
+  EXPECT_EQ(St(inner_)->priv->last_post_token, 3);
+  EXPECT_EQ(St(mid_)->priv->last_post_token, 2);
+  EXPECT_EQ(St(outer_)->priv->last_post_token, 1);
+
+  if (GetParam()) {
+    EXPECT_EQ(bench_.rt->violation_count(), 0u);
+  }
+}
+
+TEST_P(FsFilterTest, EachFilterIsItsOwnPrincipal) {
+  if (!GetParam()) {
+    GTEST_SKIP() << "principals exist only under LXFI";
+  }
+  ASSERT_EQ(Touch("/mnt/f"), 0);
+  lxfi::Principal* po = bench_.rt->CtxOf(outer_)->Lookup(
+      reinterpret_cast<uintptr_t>(St(outer_)->flt));
+  lxfi::Principal* pm = bench_.rt->CtxOf(mid_)->Lookup(
+      reinterpret_cast<uintptr_t>(St(mid_)->flt));
+  ASSERT_NE(po, nullptr);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_NE(po->module(), pm->module());
+  // A filter's module owns its own counters, not its neighbour's.
+  lxfi::Principal* shared_outer = bench_.rt->CtxOf(outer_)->shared();
+  EXPECT_TRUE(bench_.rt->Owns(
+      shared_outer, lxfi::Capability::Write(St(outer_)->priv, sizeof(mods::FsFilterPriv))));
+  EXPECT_FALSE(bench_.rt->Owns(
+      shared_outer, lxfi::Capability::Write(St(mid_)->priv, sizeof(mods::FsFilterPriv))));
+}
+
+TEST_P(FsFilterTest, VetoShortCircuitsTheChain) {
+  // A fourth filter between outer and mid vetoes anything named "sec*".
+  kern::Module* veto = Load("fsflt-veto", 15, "sec");
+  ASSERT_NE(veto, nullptr);
+  ASSERT_EQ(vfs_->filters().count(), 4u);
+
+  int err = 0;
+  EXPECT_EQ(vfs_->Open("/mnt/secret", kern::kOCreate, &err), nullptr);
+  EXPECT_EQ(err, -kern::kEperm);
+  EXPECT_EQ(St(veto)->priv->vetoes, 1u);
+  // The outer filter ran; the filters below the veto (and the fs) did not.
+  EXPECT_EQ(St(outer_)->pre_count(kern::VfsOp::kCreate), 1u);
+  EXPECT_EQ(St(mid_)->pre_count(kern::VfsOp::kCreate), 0u);
+  EXPECT_EQ(St(inner_)->pre_count(kern::VfsOp::kCreate), 0u);
+  kern::VfsStat st;
+  EXPECT_EQ(vfs_->Stat("/mnt/secret", &st), -kern::kEnoent) << "the fs never saw the create";
+  // Post hooks of the filters whose pre ran (veto included) still unwound.
+  EXPECT_EQ(St(outer_)->post_count(kern::VfsOp::kCreate), 1u);
+  EXPECT_EQ(St(veto)->post_count(kern::VfsOp::kCreate), 1u);
+  EXPECT_EQ(St(mid_)->post_count(kern::VfsOp::kCreate), 0u);
+
+  // Non-matching names pass through the veto filter untouched.
+  EXPECT_EQ(Touch("/mnt/public"), 0);
+  if (GetParam()) {
+    EXPECT_EQ(bench_.rt->violation_count(), 0u);
+  }
+}
+
+TEST_P(FsFilterTest, UnregisterDropsOutOfTheChain) {
+  ASSERT_EQ(Touch("/mnt/a"), 0);
+  EXPECT_EQ(St(mid_)->pre_count(kern::VfsOp::kCreate), 1u);
+  bench_.kernel->UnloadModule(mid_);
+  ASSERT_EQ(vfs_->filters().count(), 2u);
+  ASSERT_EQ(Touch("/mnt/b"), 0);
+  // Remaining filters keep stacking in order.
+  EXPECT_EQ(St(outer_)->pre_count(kern::VfsOp::kCreate), 2u);
+  EXPECT_EQ(St(outer_)->priv->last_pre_token, 0);
+  EXPECT_EQ(St(inner_)->priv->last_pre_token, 1);
+  if (GetParam()) {
+    EXPECT_EQ(bench_.rt->violation_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndLxfi, FsFilterTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Lxfi" : "Stock";
+                         });
+
+}  // namespace

@@ -82,6 +82,55 @@ TEST(TimerWheel, ModTimerRearmsPending) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(TimerWheel, FiresInDeadlineOrderWithFifoTies) {
+  // Regression for the min-heap rewrite: timers armed out of order fire in
+  // expires order, and equal deadlines fire in arm order.
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  std::vector<int> order;
+  kern::TimerList timers[6];
+  for (int i = 0; i < 6; ++i) {
+    timers[i].function = k.funcs().Register<void(void*)>(
+        kern::TextKind::kKernelText, "ordered" + std::to_string(i),
+        [&order, i](void*) { order.push_back(i); });
+  }
+  // Armed shuffled: deadlines 7, 3, 5, 3, 1, 3. Ties at 3 must fire in the
+  // order they were armed (indices 1, 3, 5).
+  wheel->ModTimer(&timers[0], 7);
+  wheel->ModTimer(&timers[1], 3);
+  wheel->ModTimer(&timers[2], 5);
+  wheel->ModTimer(&timers[3], 3);
+  wheel->ModTimer(&timers[4], 1);
+  wheel->ModTimer(&timers[5], 3);
+  EXPECT_EQ(wheel->pending_count(), 6u);
+  EXPECT_EQ(wheel->Advance(10), 6);
+  EXPECT_EQ(order, (std::vector<int>{4, 1, 3, 5, 2, 0}));
+  EXPECT_EQ(wheel->pending_count(), 0u);
+}
+
+TEST(TimerWheel, PartialAdvanceFiresOnlyTheExpiredPrefix) {
+  kern::Kernel k;
+  kern::TimerWheel* wheel = kern::GetTimerWheel(&k);
+  std::vector<int> order;
+  kern::TimerList timers[3];
+  for (int i = 0; i < 3; ++i) {
+    timers[i].function = k.funcs().Register<void(void*)>(
+        kern::TextKind::kKernelText, "prefix" + std::to_string(i),
+        [&order, i](void*) { order.push_back(i); });
+  }
+  wheel->ModTimer(&timers[0], 9);
+  wheel->ModTimer(&timers[1], 2);
+  wheel->ModTimer(&timers[2], 6);
+  EXPECT_EQ(wheel->Advance(6), 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wheel->pending_count(), 1u);
+  // A rearm of a pending timer replaces its entry (never duplicates it).
+  wheel->ModTimer(&timers[0], 20);
+  EXPECT_EQ(wheel->pending_count(), 1u);
+  EXPECT_EQ(wheel->Advance(20), 1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
 class WatchdogTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(WatchdogTest, E1000WatchdogRunsAndRearms) {
