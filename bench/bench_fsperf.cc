@@ -77,6 +77,19 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
   std::printf("enforced violations on the benign workload: %llu (must be 0)\n",
               static_cast<unsigned long long>(ml.violations));
 
+  // Figure-12-style calibrated model: the measured enforcement delta rides
+  // on real-ramfs stock per-op constants (eval::FsModelFor), yielding
+  // modeled throughput and the CPU% the enforced path needs to sustain the
+  // stock rate.
+  std::printf("\n=== fsperf machine model (measured delta on calibrated stock costs) ===\n");
+  std::printf("%-8s %16s %16s %18s\n", "phase", "stock kops/s", "lxfi kops/s",
+              "lxfi cpu% @stock");
+  for (const PhaseRow& r : rows) {
+    eval::FsModelRow m = eval::ComputeFsModelRow(r.name, r.stock, r.lxfi);
+    std::printf("%-8s %16.1f %16.1f %17.1f%%\n", m.phase, m.stock_kops, m.lxfi_kops,
+                m.lxfi_cpu_pct);
+  }
+
   if (json != nullptr) {
     json->Meta("mode", "overhead");
     json->Meta("files", static_cast<double>(config.files));
@@ -95,8 +108,87 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
         .Set("stock_ns_per_op", stock_total)
         .Set("lxfi_ns_per_op", lxfi_total)
         .Set("overhead_pct", 100.0 * (lxfi_total - stock_total) / stock_total);
+    for (const PhaseRow& r : rows) {
+      eval::FsModelRow m = eval::ComputeFsModelRow(r.name, r.stock, r.lxfi);
+      json->AddRow(std::string("model_") + r.name)
+          .Set("stock_model_kops", m.stock_kops)
+          .Set("lxfi_model_kops", m.lxfi_kops)
+          .Set("lxfi_cpu_pct_at_stock_rate", m.lxfi_cpu_pct);
+    }
   }
   return 0;
+}
+
+// Shared-directory contended scaling: every CPU creates/stats/unlinks its
+// own names in ONE hot directory, so all walks and all dcache writers hit
+// the same parent index. Three configurations per CPU count:
+//   - enforced, RCU-walk dcache (the default)
+//   - enforced, single-lock dcache (the pre-RCU ablation: one global
+//     spinlock + O(n) linear scan per component)
+//   - stock, RCU-walk dcache
+// The rcu/locked ratio is the headline: it is what converting the last
+// global enforcement-path lock into the sharded/epoch architecture buys.
+int RunContended(int max_cpus, const eval::FsContendedConfig& config,
+                 lxfibench::JsonWriter* json) {
+  std::printf("=== fsperf contended: one shared hot directory, all CPUs ===\n");
+  std::printf("(%llu files/cpu x %u stats x %u rounds)\n",
+              static_cast<unsigned long long>(config.files), config.stats_per_file,
+              config.rounds);
+  std::printf("%-5s %16s %18s %12s %16s %12s\n", "cpus", "lxfi rcu ops/s",
+              "lxfi locked ops/s", "rcu/locked", "stock rcu ops/s", "lxfi ns/op");
+  if (json != nullptr) {
+    json->Meta("mode", "contended");
+    json->Meta("files_per_cpu", static_cast<double>(config.files));
+    json->Meta("stats_per_file", static_cast<double>(config.stats_per_file));
+    json->Meta("rounds", static_cast<double>(config.rounds));
+  }
+  int rc = 0;
+  for (int n = 1; n <= max_cpus; ++n) {
+    eval::FsScalingResult rcu;
+    eval::FsScalingResult locked;
+    eval::FsScalingResult stock;
+    uint64_t violations = 0;
+    eval::FsContendedConfig warm = config;
+    warm.rounds = 1;
+    {
+      eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/n);
+      h.RunContended(warm);
+      rcu = h.RunContended(config);
+      violations = h.runtime()->violation_count();
+    }
+    {
+      eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/n, /*locked_dcache=*/true);
+      h.RunContended(warm);
+      locked = h.RunContended(config);
+      violations += h.runtime()->violation_count();
+    }
+    {
+      eval::FsperfHarness h(/*isolated=*/false, /*cpus=*/n);
+      h.RunContended(warm);  // same warm-up the enforced rows get
+      stock = h.RunContended(config);
+    }
+    if (violations != 0) {
+      std::fprintf(stderr, "FAIL: %d-cpu contended enforced run raised %llu violations\n", n,
+                   static_cast<unsigned long long>(violations));
+      rc = 1;
+    }
+    double ratio = locked.ModelOps() > 0 ? rcu.ModelOps() / locked.ModelOps() : 0.0;
+    std::printf("%-5d %16.0f %18.0f %11.2fx %16.0f %12.1f\n", n, rcu.ModelOps(),
+                locked.ModelOps(), ratio, stock.ModelOps(), rcu.PerOpCpuNs());
+    if (json != nullptr) {
+      json->AddRow("contended_cpus=" + std::to_string(n))
+          .Set("cpus", n)
+          .Set("lxfi_rcu_model_ops_per_sec", rcu.ModelOps())
+          .Set("lxfi_rcu_wall_ops_per_sec", rcu.WallOps())
+          .Set("lxfi_rcu_ns_per_op", rcu.PerOpCpuNs())
+          .Set("lxfi_locked_model_ops_per_sec", locked.ModelOps())
+          .Set("lxfi_locked_ns_per_op", locked.PerOpCpuNs())
+          .Set("rcu_over_locked", ratio)
+          .Set("stock_rcu_model_ops_per_sec", stock.ModelOps())
+          .Set("violations", static_cast<double>(violations));
+    }
+  }
+  return rc;
 }
 
 int RunScaling(int max_cpus, const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
@@ -160,13 +252,22 @@ int main(int argc, char** argv) {
   lxfi::SetLogLevel(lxfi::LogLevel::kError);
 
   int cpus = 0;
+  bool contended = false;
   eval::FsperfConfig config;
+  eval::FsContendedConfig ccfg;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
       cpus = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--contended") == 0) {
+      contended = true;
     } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
       config.files = static_cast<uint64_t>(std::atoll(argv[++i]));
+      ccfg.files = config.files;
+    } else if (std::strcmp(argv[i], "--stats-per-file") == 0 && i + 1 < argc) {
+      ccfg.stats_per_file = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      ccfg.rounds = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
       config.file_bytes = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
@@ -175,15 +276,22 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--cpus N] [--files F] [--bytes B] [--chunk C] [--json FILE]\n",
+                   "usage: %s [--cpus N] [--contended] [--files F] [--stats-per-file S] "
+                   "[--rounds R] [--bytes B] [--chunk C] [--json FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (contended && cpus <= 0) {
+    std::fprintf(stderr, "--contended requires --cpus N\n");
+    return 2;
+  }
 
-  lxfibench::JsonWriter json("bench_fsperf");
-  int rc = cpus > 0 ? RunScaling(cpus, config, json_path != nullptr ? &json : nullptr)
-                    : RunOverhead(config, json_path != nullptr ? &json : nullptr);
+  lxfibench::JsonWriter json(contended ? "bench_fsperf_contended" : "bench_fsperf");
+  lxfibench::JsonWriter* jp = json_path != nullptr ? &json : nullptr;
+  int rc = contended  ? RunContended(cpus, ccfg, jp)
+           : cpus > 0 ? RunScaling(cpus, config, jp)
+                      : RunOverhead(config, jp);
   if (json_path != nullptr && rc == 0) {
     json.WriteFile(json_path);
   }

@@ -211,8 +211,11 @@ class FlatTable {
   }
 
   // Lock-free lookup of a pointer-sized trivially copyable value (e.g. the
-  // instance-principal map). Returns false when absent.
-  bool FindValueConcurrent(uint64_t key, V* out) const {
+  // instance-principal map, the dcache per-parent child index). Returns
+  // false when absent. `retries`, when non-null, counts seqlock validation
+  // failures (reads that overlapped a writer and looped) — the dcache storm
+  // test uses it to prove the retry path is actually exercised.
+  bool FindValueConcurrent(uint64_t key, V* out, RelaxedCell* retries = nullptr) const {
     static_assert(std::is_trivially_copyable_v<V> && sizeof(V) == sizeof(uint64_t),
                   "concurrent value loads require word-sized trivially copyable values");
     if (LXFI_UNLIKELY(key == 0)) {
@@ -229,6 +232,9 @@ class FlatTable {
       if (rep == nullptr) {
         if (seq_.ReadValidate(s)) {
           return false;
+        }
+        if (retries != nullptr) {
+          ++*retries;
         }
         continue;
       }
@@ -256,6 +262,9 @@ class FlatTable {
           return true;
         }
         return false;
+      }
+      if (retries != nullptr) {
+        ++*retries;
       }
       CpuRelax();
     }
@@ -532,6 +541,61 @@ class FlatTable {
   SeqCount seq_;
   EpochReclaimer* reclaimer_ = nullptr;
 };
+
+// Same-hash collision chains over FlatTable<T*> values (the dcache child
+// index, the VFS mount table and filesystem-type registry): entries carry
+// an intrusive next pointer, the table maps hash -> chain head. Writers
+// are externally serialized; readers traverse lock-free after a validated
+// FindValueConcurrent probe, so the next links are accessed with relaxed
+// atomics on both sides. The publish ordering is load-bearing: an insert
+// points the new entry at the old head BEFORE the table insert publishes
+// it, so a reader that wins the race still sees a complete chain; an
+// unlinked entry must then be epoch-retired, never freed in place.
+namespace flat_chain {
+
+template <typename T>
+T* Next(T* const* p) {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+
+template <typename T>
+void SetNext(T** p, T* v) {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+
+// NextPtr is the entry type's intrusive next member (e.g.
+// &Dentry::hash_next). Caller holds the table's writer lock.
+template <auto NextPtr, typename T>
+void InsertLocked(FlatTable<T*>& table, uint64_t h, T* e) {
+  T* const* headp = table.Find(h);
+  SetNext(&(e->*NextPtr), headp != nullptr ? *headp : nullptr);
+  table.Insert(h, e);
+}
+
+template <auto NextPtr, typename T>
+void UnlinkLocked(FlatTable<T*>& table, uint64_t h, T* e) {
+  T* const* headp = table.Find(h);
+  if (headp == nullptr) {
+    return;
+  }
+  if (*headp == e) {
+    T* next = Next(&(e->*NextPtr));
+    if (next != nullptr) {
+      table.Insert(h, next);  // head replacement: one seqlock write section
+    } else {
+      table.Erase(h);
+    }
+    return;
+  }
+  for (T* p = *headp; p != nullptr; p = Next(&(p->*NextPtr))) {
+    if (Next(&(p->*NextPtr)) == e) {
+      SetNext(&(p->*NextPtr), Next(&(e->*NextPtr)));
+      return;
+    }
+  }
+}
+
+}  // namespace flat_chain
 
 // Interleaved open-addressing multimap from a key to address ranges
 // [lo, hi), specialized for the WRITE-capability hot path: the key and the

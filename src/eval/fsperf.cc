@@ -31,7 +31,7 @@ struct FsperfHarness::Impl {
   std::unique_ptr<kern::CpuSet> cpus;
 };
 
-FsperfHarness::FsperfHarness(bool isolated, int cpus) : impl_(new Impl()) {
+FsperfHarness::FsperfHarness(bool isolated, int cpus, bool locked_dcache) : impl_(new Impl()) {
   impl_->kernel = std::make_unique<kern::Kernel>(256ull << 20);
   if (isolated) {
     lxfi::RuntimeOptions options;
@@ -42,6 +42,9 @@ FsperfHarness::FsperfHarness(bool isolated, int cpus) : impl_(new Impl()) {
   rt_ = impl_->rt.get();
   lxfi::InstallKernelApi(kernel_, rt_);
   vfs_ = kern::GetVfs(kernel_);
+  if (locked_dcache) {
+    vfs_->dcache().set_locked_mode(true);  // ablation: the pre-RCU dcache
+  }
   if (kernel_->LoadModule(mods::RamfsModuleDef()) == nullptr) {
     kern::Panic("fsperf harness: ramfs failed to load");
   }
@@ -49,9 +52,10 @@ FsperfHarness::FsperfHarness(bool isolated, int cpus) : impl_(new Impl()) {
     kern::Panic("fsperf harness: mount failed");
   }
   // Working directories: /mnt/d0 for the single-threaded runs, /mnt/cpuN
-  // per simulated CPU. Created before any CPU thread runs, so the dcache
-  // spine is stable by the time the parallel phases walk it.
-  if (vfs_->Mkdir("/mnt/d0") != 0) {
+  // per simulated CPU, /mnt/shared for the contended workload. Created
+  // before any CPU thread runs, so the dcache spine is stable by the time
+  // the parallel phases walk it.
+  if (vfs_->Mkdir("/mnt/d0") != 0 || vfs_->Mkdir("/mnt/shared") != 0) {
     kern::Panic("fsperf harness: mkdir failed");
   }
   int workers = cpus > 0 ? cpus : 0;
@@ -232,6 +236,129 @@ FsScalingResult FsperfHarness::RunParallel(const FsperfConfig& config) {
     result.cpu_ns_total += cpu_ns[i];
   }
   return result;
+}
+
+FsScalingResult FsperfHarness::RunContended(const FsContendedConfig& config) {
+  Impl* im = impl_;
+  if (im->cpus == nullptr) {
+    kern::Panic("RunContended requires an SMP harness (cpus > 0)");
+  }
+  const int n = im->cpus->ncpus();
+  std::vector<uint64_t> cpu_ns(n, 0);
+  std::vector<uint64_t> cpu_ops(n, 0);
+  kern::Vfs* vfs = vfs_;
+  uint64_t wall_start = lxfi::MonotonicNowNs();
+  for (int i = 0; i < n; ++i) {
+    uint64_t* out_ns = &cpu_ns[i];
+    uint64_t* out_ops = &cpu_ops[i];
+    FsContendedConfig cfg = config;
+    im->cpus->RunOn(i, [vfs, cfg, i, out_ns, out_ops] {
+      // Per-CPU names in the one shared hot directory: every walk contends
+      // on /mnt/shared's child index, never on individual files (no
+      // cross-CPU open-vs-unlink lifetime races).
+      char path[64];
+      uint64_t ops = 0;
+      uint64_t quiesce_tick = 0;
+      auto quiesce = [&quiesce_tick] {
+        if ((++quiesce_tick & 63) == 0) {
+          kern::CpuSet::QuiescePoint();
+        }
+      };
+      uint64_t t0 = lxfi::ThreadCpuNowNs();
+      for (uint32_t r = 0; r < cfg.rounds; ++r) {
+        for (uint64_t f = 0; f < cfg.files; ++f) {
+          std::snprintf(path, sizeof(path), "/mnt/shared/c%df%llu", i,
+                        static_cast<unsigned long long>(f));
+          int err = 0;
+          kern::File* file = vfs->Open(path, kern::kOCreate, &err);
+          if (file == nullptr) {
+            kern::Panic("fsperf contended: create failed");
+          }
+          vfs->Close(file);
+          ++ops;
+          quiesce();
+        }
+        for (uint32_t s = 0; s < cfg.stats_per_file; ++s) {
+          for (uint64_t f = 0; f < cfg.files; ++f) {
+            std::snprintf(path, sizeof(path), "/mnt/shared/c%df%llu", i,
+                          static_cast<unsigned long long>(f));
+            kern::VfsStat st;
+            if (vfs->Stat(path, &st) != 0) {
+              kern::Panic("fsperf contended: stat failed");
+            }
+            ++ops;
+            quiesce();
+          }
+        }
+        for (uint64_t f = 0; f < cfg.files; ++f) {
+          std::snprintf(path, sizeof(path), "/mnt/shared/c%df%llu", i,
+                        static_cast<unsigned long long>(f));
+          if (vfs->Unlink(path) != 0) {
+            kern::Panic("fsperf contended: unlink failed");
+          }
+          ++ops;
+          quiesce();
+        }
+      }
+      *out_ns = lxfi::ThreadCpuNowNs() - t0;
+      *out_ops = ops;
+      kern::CpuSet::QuiescePoint();
+    });
+  }
+  im->cpus->Barrier();
+  FsScalingResult result;
+  result.cpus = n;
+  result.wall_ns = lxfi::MonotonicNowNs() - wall_start;
+  for (int i = 0; i < n; ++i) {
+    result.ops += cpu_ops[i];
+    result.cpu_ns_total += cpu_ns[i];
+  }
+  return result;
+}
+
+// --- machine model -----------------------------------------------------------
+
+FsMachineModel FsModelFor(const char* phase) {
+  // Stock per-op CPU costs backed out of a real ramfs metadata run on the
+  // paper testbed class (syscall + VFS + tmpfs work per operation): creates
+  // and unlinks pay directory mutation and inode (de)allocation, stats pay
+  // a path walk + getattr, chunked I/O pays the copy. Only these substrate
+  // constants are modeled; the enforcement delta is measured.
+  if (std::strcmp(phase, "create") == 0) {
+    return FsMachineModel{3100.0};
+  }
+  if (std::strcmp(phase, "write") == 0) {
+    return FsMachineModel{650.0};
+  }
+  if (std::strcmp(phase, "read") == 0) {
+    return FsMachineModel{500.0};
+  }
+  if (std::strcmp(phase, "stat") == 0) {
+    return FsMachineModel{1100.0};
+  }
+  if (std::strcmp(phase, "unlink") == 0) {
+    return FsMachineModel{2400.0};
+  }
+  return FsMachineModel{1000.0};
+}
+
+FsModelRow ComputeFsModelRow(const char* phase, const FsperfPhase& stock,
+                             const FsperfPhase& lxfi) {
+  FsMachineModel model = FsModelFor(phase);
+  double delta_ns = lxfi.NsPerOp() - stock.NsPerOp();
+  if (delta_ns < 0) {
+    delta_ns = 0;
+  }
+  double c_stock = model.c_stock_ns;
+  double c_lxfi = model.c_stock_ns + delta_ns;
+  FsModelRow row;
+  row.phase = phase;
+  row.stock_kops = 1e6 / c_stock;  // 1e9 ns/s -> kops
+  row.lxfi_kops = 1e6 / c_lxfi;
+  // CPU% needed to sustain the stock rate: > 100 means the enforced path
+  // saturates below it (the Figure 12 "same throughput, more CPU" view).
+  row.lxfi_cpu_pct = 100.0 * c_lxfi / c_stock;
+  return row;
 }
 
 }  // namespace eval

@@ -28,6 +28,17 @@ struct FsperfConfig {
   uint32_t io_chunk = 512;  // read/write granularity
 };
 
+// The shared-directory contended workload: every CPU creates, stats and
+// unlinks its own file names inside ONE hot directory (/mnt/shared), so all
+// path walks and all dcache writers contend on the same parent index. This
+// is the workload the per-CPU-directory scaling mode deliberately avoids —
+// and the one the RCU-walk dcache exists for.
+struct FsContendedConfig {
+  uint64_t files = 600;         // files per CPU in the shared directory
+  uint32_t stats_per_file = 16; // stat passes between create and unlink
+  uint32_t rounds = 2;          // create/stat/unlink cycles
+};
+
 struct FsperfPhase {
   uint64_t ops = 0;
   uint64_t wall_ns = 0;
@@ -79,10 +90,12 @@ struct FsScalingResult {
 // Owns a kernel (stock or isolated) with ramfs mounted at /mnt; runs the
 // workload against it. cpus > 0 spawns a kern::CpuSet, enables concurrent
 // enforcement and the per-CPU slab cache, and pre-creates one working
-// directory per CPU (/mnt/cpuN).
+// directory per CPU (/mnt/cpuN) plus the shared contended directory
+// (/mnt/shared). locked_dcache reverts the dcache to the pre-RCU global
+// spinlock + linear scan — the ablation baseline for --contended.
 class FsperfHarness {
  public:
-  explicit FsperfHarness(bool isolated, int cpus = 0);
+  explicit FsperfHarness(bool isolated, int cpus = 0, bool locked_dcache = false);
   ~FsperfHarness();
 
   FsperfHarness(const FsperfHarness&) = delete;
@@ -94,6 +107,10 @@ class FsperfHarness {
   // The same five phases on every simulated CPU at once, each CPU in its
   // own directory. Requires cpus > 0 at construction.
   FsScalingResult RunParallel(const FsperfConfig& config);
+
+  // Every CPU runs create/stat/unlink cycles over its own names in the one
+  // shared hot directory. Requires cpus > 0 at construction.
+  FsScalingResult RunContended(const FsContendedConfig& config);
 
   lxfi::Runtime* runtime() const { return rt_; }
   kern::Kernel* kernel() const { return kernel_; }
@@ -107,5 +124,36 @@ class FsperfHarness {
   lxfi::Runtime* rt_ = nullptr;
   kern::Vfs* vfs_ = nullptr;
 };
+
+// --- machine model (the netperf Figure 12 convention, applied to fsperf) -----
+//
+// The simulated stack measures the per-operation *enforcement delta*
+// honestly but runs its substrate (slab, dcache, uaccess) at host speed.
+// Like netperf's MachineModel, the stock per-op CPU cost is a calibrated
+// constant — per-op syscall+VFS+tmpfs costs from a real ramfs metadata run
+// on the testbed class the paper used — and only the measured delta is
+// added on top, so bench_fsperf --json can report modeled throughput and
+// CPU%, not just raw per-op overhead.
+
+struct FsMachineModel {
+  double c_stock_ns;  // stock per-op CPU cost for this phase
+};
+
+// Model constants per phase name ("create", "write", "read", "stat",
+// "unlink").
+FsMachineModel FsModelFor(const char* phase);
+
+struct FsModelRow {
+  const char* phase;
+  double stock_kops;    // modeled stock throughput, k-ops/s (CPU-bound)
+  double lxfi_kops;     // modeled enforced throughput at saturation
+  double lxfi_cpu_pct;  // CPU% the enforced path needs to sustain the
+                        // stock rate (> 100 means it cannot)
+};
+
+// Applies the model to a stock/LXFI phase pair: the measured per-op delta
+// rides on the calibrated stock cost.
+FsModelRow ComputeFsModelRow(const char* phase, const FsperfPhase& stock,
+                             const FsperfPhase& lxfi);
 
 }  // namespace eval

@@ -1,0 +1,171 @@
+#include "src/kernel/fs/dcache.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/panic.h"
+
+namespace kern {
+namespace {
+
+// Same-hash collision links (lxfi::flat_chain: relaxed atomics on both
+// sides, insert-before-publish; writers hold the parent lock).
+Dentry* LoadNext(Dentry* const* p) { return lxfi::flat_chain::Next(p); }
+
+// Packs a component name into the four NUL-padded words of
+// Dentry::name_words.
+void PackName(std::string_view name, uint64_t out[4]) {
+  char buf[sizeof(uint64_t) * 4] = {};
+  std::memcpy(buf, name.data(), name.size());
+  std::memcpy(out, buf, sizeof(buf));
+}
+
+// Word-wise name compare. The loads are relaxed atomics: the words are
+// immutable after NewDentry and every dentry reachable from a validated
+// probe was published (with a release edge) after its name was written, so
+// the only thing the atomics buy is a TSan-visible pairing with the
+// publication — no ordering beyond it is needed.
+bool NameEquals(const Dentry* d, const uint64_t want[4]) {
+  uint64_t x0 = __atomic_load_n(&d->name_words[0], __ATOMIC_RELAXED) ^ want[0];
+  uint64_t x1 = __atomic_load_n(&d->name_words[1], __ATOMIC_RELAXED) ^ want[1];
+  uint64_t x2 = __atomic_load_n(&d->name_words[2], __ATOMIC_RELAXED) ^ want[2];
+  uint64_t x3 = __atomic_load_n(&d->name_words[3], __ATOMIC_RELAXED) ^ want[3];
+  return (x0 | x1 | x2 | x3) == 0;
+}
+
+}  // namespace
+
+Dentry* Dcache::NewDentry(SuperBlock* sb, Dentry* parent, const char* name) {
+  void* mem = kernel_->slab().Alloc(sizeof(Dentry));
+  KERN_BUG_ON(mem == nullptr);
+  Dentry* d = new (mem) Dentry();
+  std::snprintf(d->name, sizeof(d->name), "%s", name);
+  d->name_hash = HashName(d->name);
+  d->parent = parent;
+  d->sb = sb;
+  d->children.SetReclaimer(&lxfi::EpochReclaimer::Global());
+  return d;
+}
+
+void Dcache::FreeNow(Dentry* dentry) {
+  dentry->~Dentry();
+  kernel_->slab().Free(dentry);
+}
+
+void Dcache::Retire(Dentry* dentry) {
+  Kernel* kernel = kernel_;
+  lxfi::EpochReclaimer::Global().Retire([kernel, dentry] {
+    dentry->~Dentry();
+    kernel->slab().Free(dentry);
+  });
+}
+
+void Dcache::RetireTree(Dentry* root) {
+  Dentry* c = root->child;
+  while (c != nullptr) {
+    Dentry* next = c->sibling;
+    RetireTree(c);
+    c = next;
+  }
+  Retire(root);
+}
+
+void Dcache::FreeTreeNow(Dentry* root) {
+  Dentry* c = root->child;
+  while (c != nullptr) {
+    Dentry* next = c->sibling;
+    FreeTreeNow(c);
+    c = next;
+  }
+  FreeNow(root);
+}
+
+Dentry* Dcache::Lookup(Dentry* parent, std::string_view name) {
+  if (name.size() > kVfsNameMax) {
+    return nullptr;
+  }
+  if (LXFI_UNLIKELY(locked_)) {
+    // Ablation baseline: the pre-RCU dcache — every walker serialized on
+    // one global spinlock, O(n) strcmp scan over the child list.
+    lxfi::SpinGuard guard(locked_mu_);
+    for (Dentry* c = parent->child; c != nullptr; c = c->sibling) {
+      if (name == std::string_view(c->name)) {
+        return c;
+      }
+    }
+    return nullptr;
+  }
+  Dentry* d = nullptr;
+  if (!parent->children.FindValueConcurrent(HashName(name), &d,
+                                            &shards_[lxfi::ThisShardIndex()].retries)) {
+    return nullptr;
+  }
+  uint64_t want[4];
+  PackName(name, want);
+  while (d != nullptr && !NameEquals(d, want)) {
+    d = LoadNext(&d->hash_next);
+  }
+  return d;
+}
+
+lxfi::Spinlock& Dcache::writer_lock(Dentry* parent) {
+  return locked_ ? locked_mu_ : parent->child_lock;
+}
+
+Dentry* Dcache::FindChildLocked(Dentry* parent, const char* name) const {
+  std::string_view sv(name);
+  if (sv.size() > kVfsNameMax) {
+    return nullptr;
+  }
+  Dentry* const* head = parent->children.Find(HashName(sv));
+  Dentry* d = head != nullptr ? *head : nullptr;
+  uint64_t want[4];
+  PackName(sv, want);
+  while (d != nullptr && !NameEquals(d, want)) {
+    d = LoadNext(&d->hash_next);
+  }
+  return d;
+}
+
+void Dcache::LinkChildLocked(Dentry* parent, Dentry* child) {
+  lxfi::flat_chain::InsertLocked<&Dentry::hash_next>(parent->children, child->name_hash, child);
+  // Module-visible iteration list (read only under the writer lock or in
+  // single-threaded module contexts: statfs sweeps, kill_sb reaping).
+  child->sibling = parent->child;
+  parent->child = child;
+  if ((FlagsOf(child) & kDentryPositive) != 0) {
+    ++parent->pos_children;
+  } else {
+    ++parent->neg_children;
+  }
+}
+
+void Dcache::UnlinkChildLocked(Dentry* parent, Dentry* child) {
+  lxfi::flat_chain::UnlinkLocked<&Dentry::hash_next>(parent->children, child->name_hash, child);
+  Dentry** link = &parent->child;
+  while (*link != nullptr && *link != child) {
+    link = &(*link)->sibling;
+  }
+  if (*link == child) {
+    *link = child->sibling;
+  }
+  if ((FlagsOf(child) & kDentryPositive) != 0) {
+    --parent->pos_children;
+  } else {
+    --parent->neg_children;
+  }
+}
+
+void Dcache::SetPositive(Dentry* dentry, Inode* inode) {
+  __atomic_store_n(&dentry->inode, inode, __ATOMIC_RELAXED);
+  uint32_t flags =
+      kDentryPositive | ((inode->mode & kIfDir) != 0 ? kDentryDir : 0u);
+  // Release: a walker that acquire-loads kDentryPositive is guaranteed to
+  // see the inode pointer and every inode field the module filled before
+  // d_instantiate.
+  __atomic_store_n(&dentry->flags, flags, __ATOMIC_RELEASE);
+}
+
+}  // namespace kern

@@ -31,30 +31,46 @@ const char* VfsOpName(VfsOp op) {
   return "?";
 }
 
+FilterChain::FilterChain(Kernel* kernel)
+    : kernel_(kernel), snapshot_(new std::vector<VfsFilter*>()) {}
+
+FilterChain::~FilterChain() { delete snapshot_; }
+
+void FilterChain::PublishLocked(std::vector<VfsFilter*>* next) {
+  std::vector<VfsFilter*>* old = snapshot_;
+  __atomic_store_n(&snapshot_, next, __ATOMIC_RELEASE);
+  count_.store(next->size(), std::memory_order_relaxed);
+  lxfi::EpochReclaimer::Global().Retire([old] { delete old; });
+}
+
 int FilterChain::Register(VfsFilter* flt) {
   if (flt == nullptr || flt->name == nullptr) {
     return -kEinval;
   }
   lxfi::SpinGuard guard(mu_);
-  for (VfsFilter* f : filters_) {
+  for (VfsFilter* f : *snapshot_) {
     if (f == flt) {
       return -kEexist;
     }
   }
-  // Stable insert: equal priorities keep registration order.
-  auto it = std::find_if(filters_.begin(), filters_.end(),
+  // Rebuild-and-publish: stable insert, equal priorities keep registration
+  // order. The superseded snapshot is epoch-retired (RunPre copies it
+  // lock-free).
+  auto* next = new std::vector<VfsFilter*>(*snapshot_);
+  auto it = std::find_if(next->begin(), next->end(),
                          [flt](VfsFilter* f) { return f->priority > flt->priority; });
-  filters_.insert(it, flt);
-  count_.store(filters_.size(), std::memory_order_relaxed);
+  next->insert(it, flt);
+  PublishLocked(next);
   return 0;
 }
 
 int FilterChain::Unregister(VfsFilter* flt) {
   lxfi::SpinGuard guard(mu_);
-  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+  for (auto it = snapshot_->begin(); it != snapshot_->end(); ++it) {
     if (*it == flt) {
-      filters_.erase(it);
-      count_.store(filters_.size(), std::memory_order_relaxed);
+      auto* next = new std::vector<VfsFilter*>(*snapshot_);
+      next->erase(next->begin() + (it - snapshot_->begin()));
+      PublishLocked(next);
       return 0;
     }
   }
@@ -66,13 +82,16 @@ int FilterChain::RunPre(FilterCtx* ctx, FilterRun* run) {
   if (count_.load(std::memory_order_relaxed) == 0) {
     return 0;  // the common unfiltered case: no lock, no snapshot
   }
-  // Snapshot under the lock, dispatch outside it: hooks are module code and
-  // may re-enter the kernel. The snapshot travels to RunPost, so the unwind
-  // always matches the filters whose pre actually ran even if the chain
-  // mutates mid-operation.
+  // Acquire-load the published snapshot and copy it out lock-free: dispatch
+  // happens outside any lock (hooks are module code and may re-enter the
+  // kernel), and the copy travels to RunPost, so the unwind always matches
+  // the filters whose pre actually ran even if the chain mutates
+  // mid-operation. The vector is immutable once published and epoch-retired
+  // on mutation, so this copy stays consistent with the lock-free walk it
+  // rides on.
   {
-    lxfi::SpinGuard guard(mu_);
-    for (VfsFilter* f : filters_) {
+    const std::vector<VfsFilter*>* snap = __atomic_load_n(&snapshot_, __ATOMIC_ACQUIRE);
+    for (VfsFilter* f : *snap) {
       run->snap.push_back(f);
     }
   }

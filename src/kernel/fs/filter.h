@@ -89,7 +89,8 @@ struct FilterRun {
 
 class FilterChain {
  public:
-  explicit FilterChain(Kernel* kernel) : kernel_(kernel) {}
+  explicit FilterChain(Kernel* kernel);
+  ~FilterChain();
 
   int Register(VfsFilter* flt);
   int Unregister(VfsFilter* flt);
@@ -98,16 +99,24 @@ class FilterChain {
   // Snapshots the chain into `run` and dispatches pre hooks in priority
   // order. Returns 0 when every hook passed, or the first veto value;
   // run->ran counts the pre hooks that executed (vetoing hook included).
-  // The empty chain is a single relaxed load — no lock, no copy.
+  // The empty chain is a single relaxed load; a populated chain is one
+  // acquire load of the published snapshot — no lock either way, so the
+  // chain read path matches the lock-free walk it sits on top of.
   int RunPre(FilterCtx* ctx, FilterRun* run);
   // Runs the post hooks of the first run.ran snapshot entries in reverse.
   void RunPost(FilterCtx* ctx, const FilterRun& run);
 
  private:
+  // (Un)registration publishes a rebuilt immutable vector and retires the
+  // superseded one through the epoch reclaimer, so a RunPre copying the
+  // old snapshot never touches freed memory.
+  void PublishLocked(std::vector<VfsFilter*>* next);
+
   Kernel* kernel_;
-  mutable lxfi::Spinlock mu_;  // guards filters_
-  std::vector<VfsFilter*> filters_;  // sorted by (priority, registration order)
-  std::atomic<size_t> count_{0};     // lock-free emptiness probe for RunPre
+  mutable lxfi::Spinlock mu_;  // serializes (un)registration
+  std::vector<VfsFilter*>* snapshot_;  // sorted by (priority, registration
+                                       // order); atomically published
+  std::atomic<size_t> count_{0};       // lock-free emptiness probe for RunPre
 };
 
 }  // namespace kern

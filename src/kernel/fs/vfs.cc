@@ -3,6 +3,7 @@
 #include <cstring>
 #include <new>
 
+#include "src/base/hash.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/panic.h"
 
@@ -34,9 +35,53 @@ int NextComponent(const char** p, char* out) {
   return 0;
 }
 
+// Same-hash chain links of the registry/mount entries follow the shared
+// lxfi::flat_chain protocol (relaxed atomics on both sides; writers are
+// serialized by the respective spinlock; unlinked entries epoch-retire).
+template <typename T>
+T* LoadChain(T* const* p) {
+  return lxfi::flat_chain::Next(p);
+}
+
+uint64_t NameHash(std::string_view name) { return lxfi::Fnv1a64(name); }
+
+uint32_t SbOpenFiles(const SuperBlock* sb) {
+  return __atomic_load_n(&sb->open_files, __ATOMIC_RELAXED);
+}
+
 }  // namespace
 
-Vfs::Vfs(Kernel* kernel) : kernel_(kernel), chain_(kernel) {}
+Vfs::Vfs(Kernel* kernel) : kernel_(kernel), chain_(kernel), dcache_(kernel) {
+  mounts_.SetReclaimer(&lxfi::EpochReclaimer::Global());
+  fstypes_.SetReclaimer(&lxfi::EpochReclaimer::Global());
+}
+
+Vfs::~Vfs() {
+  // Subsystem teardown: no concurrent walker can exist (CPU sets are torn
+  // down before their kernel). Drain every deleter retired during the
+  // session first — they capture this kernel's slab — then free what is
+  // still mounted immediately.
+  lxfi::EpochReclaimer::Global().Synchronize();
+  mounts_.ForEach([this](uint64_t, MountEntry* const& head) {
+    for (MountEntry* m = head; m != nullptr;) {
+      MountEntry* next = m->next;
+      dcache_.FreeTreeNow(m->sb->root);
+      kernel_->slab().Free(m->sb);
+      delete m;
+      m = next;
+    }
+  });
+  fstypes_.ForEach([](uint64_t, FsTypeEntry* const& head) {
+    for (FsTypeEntry* e = head; e != nullptr;) {
+      FsTypeEntry* next = e->next;
+      delete e;
+      e = next;
+    }
+  });
+  // The frees above retired the dentries' index arrays; drain those too
+  // while the process is still in a known-quiet state.
+  lxfi::EpochReclaimer::Global().Synchronize();
+}
 
 // --- filesystem-type registry -------------------------------------------------
 
@@ -44,113 +89,118 @@ int Vfs::RegisterFilesystem(FileSystemType* fstype) {
   if (fstype == nullptr || fstype->name == nullptr || fstype->mount == 0) {
     return -kEinval;
   }
-  lxfi::SpinGuard guard(mu_);
-  for (FileSystemType* t : fstypes_) {
-    if (t == fstype || std::strcmp(t->name, fstype->name) == 0) {
-      return -kEexist;
+  uint64_t h = NameHash(fstype->name);
+  lxfi::SpinGuard guard(fstype_mu_);
+  bool dup = false;
+  fstypes_.ForEach([&](uint64_t, FsTypeEntry* const& head) {
+    for (FsTypeEntry* e = head; e != nullptr; e = e->next) {
+      dup = dup || e->type == fstype || std::strcmp(e->type->name, fstype->name) == 0;
     }
+  });
+  if (dup) {
+    return -kEexist;
   }
-  fstypes_.push_back(fstype);
+  lxfi::flat_chain::InsertLocked<&FsTypeEntry::next>(fstypes_, h,
+                                                    new FsTypeEntry{fstype, h, nullptr});
   return 0;
 }
 
 int Vfs::UnregisterFilesystem(FileSystemType* fstype) {
-  lxfi::SpinGuard guard(mu_);
-  for (const MountEntry& m : mounts_) {
-    if (m.sb->type == fstype) {
-      return -kEbusy;
-    }
+  lxfi::SpinGuard guard(fstype_mu_);
+  bool busy = false;
+  {
+    lxfi::SpinGuard mg(mount_mu_);
+    ForEachMountLocked([&](MountEntry* m) { busy = busy || m->sb->type == fstype; });
   }
-  for (auto it = fstypes_.begin(); it != fstypes_.end(); ++it) {
-    if (*it == fstype) {
-      fstypes_.erase(it);
-      return 0;
-    }
+  if (busy) {
+    return -kEbusy;
   }
-  return -kEnoent;
+  FsTypeEntry* victim = nullptr;
+  fstypes_.ForEach([&](uint64_t, FsTypeEntry* const& head) {
+    for (FsTypeEntry* e = head; e != nullptr; e = e->next) {
+      if (e->type == fstype) {
+        victim = e;
+      }
+    }
+  });
+  if (victim == nullptr) {
+    return -kEnoent;
+  }
+  lxfi::flat_chain::UnlinkLocked<&FsTypeEntry::next>(fstypes_, victim->hash, victim);
+  lxfi::EpochReclaimer::Global().Retire([victim] { delete victim; });
+  return 0;
 }
 
 FileSystemType* Vfs::FindFilesystem(const char* name) {
-  lxfi::SpinGuard guard(mu_);
-  for (FileSystemType* t : fstypes_) {
-    if (std::strcmp(t->name, name) == 0) {
-      return t;
+  FsTypeEntry* e = nullptr;
+  if (!fstypes_.FindValueConcurrent(NameHash(name), &e)) {
+    return nullptr;
+  }
+  for (; e != nullptr; e = LoadChain(&e->next)) {
+    if (std::strcmp(e->type->name, name) == 0) {
+      return e->type;
     }
   }
   return nullptr;
-}
-
-// --- dcache primitives --------------------------------------------------------
-
-Dentry* Vfs::NewDentry(SuperBlock* sb, Dentry* parent, const char* name) {
-  void* mem = kernel_->slab().Alloc(sizeof(Dentry));
-  KERN_BUG_ON(mem == nullptr);
-  Dentry* d = new (mem) Dentry();
-  std::snprintf(d->name, sizeof(d->name), "%s", name);
-  d->parent = parent;
-  d->sb = sb;
-  return d;
-}
-
-void Vfs::FreeDentry(Dentry* dentry) { kernel_->slab().Free(dentry); }
-
-void Vfs::FreeTree(Dentry* root) {
-  Dentry* c = root->child;
-  while (c != nullptr) {
-    Dentry* next = c->sibling;
-    FreeTree(c);
-    c = next;
-  }
-  FreeDentry(root);
-}
-
-Dentry* Vfs::FindChildLocked(Dentry* parent, const char* name) const {
-  for (Dentry* c = parent->child; c != nullptr; c = c->sibling) {
-    if (std::strcmp(c->name, name) == 0) {
-      return c;
-    }
-  }
-  return nullptr;
-}
-
-void Vfs::LinkChildLocked(Dentry* parent, Dentry* child) {
-  child->sibling = parent->child;
-  parent->child = child;
-}
-
-void Vfs::UnlinkChildLocked(Dentry* parent, Dentry* child) {
-  Dentry** link = &parent->child;
-  while (*link != nullptr && *link != child) {
-    link = &(*link)->sibling;
-  }
-  if (*link == child) {
-    *link = child->sibling;
-  }
-}
-
-Dentry* Vfs::LookupChild(Dentry* parent, const char* name) {
-  Inode* dir = parent->inode;
-  if (dir->i_op == nullptr || dir->i_op->lookup == 0) {
-    return nullptr;
-  }
-  Dentry* probe = NewDentry(parent->sb, parent, name);
-  Inode* found = kernel_->IndirectCall<Inode*, Inode*, Dentry*>(
-      &dir->i_op->lookup, "inode_operations::lookup", dir, probe);
-  if (found == nullptr) {
-    FreeDentry(probe);
-    return nullptr;
-  }
-  if (DInstantiate(probe, found) != 0) {
-    // Lost a race (or the module lied about the inode); the existing child
-    // wins on the retry in the caller.
-    FreeDentry(probe);
-    lxfi::SpinGuard guard(mu_);
-    return FindChildLocked(parent, name);
-  }
-  return probe;
 }
 
 // --- path walk ----------------------------------------------------------------
+
+Dentry* Vfs::LookupChild(Dentry* parent, const char* name) {
+  {
+    // Re-check under the lock: the lock-free miss may have raced a
+    // concurrent link of the same name (or a chain edit that briefly hid
+    // it); the locked probe is authoritative. A dying parent (rmdir in
+    // flight — its inode may already be freed by the module) must not be
+    // dispatched into at all.
+    lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+    if ((Dcache::FlagsOf(parent) & kDentryDying) != 0) {
+      return nullptr;
+    }
+    Dentry* d = dcache_.FindChildLocked(parent, name);
+    if (d != nullptr) {
+      return d;
+    }
+  }
+  Inode* dir = Dcache::InodeOf(parent);
+  if (dir == nullptr || dir->i_op == nullptr || dir->i_op->lookup == 0) {
+    return nullptr;
+  }
+  Dentry* probe = dcache_.NewDentry(parent->sb, parent, name);
+  lookup_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  Inode* found = kernel_->IndirectCall<Inode*, Inode*, Dentry*>(
+      &dir->i_op->lookup, "inode_operations::lookup", dir, probe);
+  if (found != nullptr) {
+    if (DInstantiate(probe, found) != 0) {
+      // Lost a race (or the module lied about the inode); the existing
+      // child wins. The probe was never published — free it immediately.
+      dcache_.FreeNow(probe);
+      lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+      return dcache_.FindChildLocked(parent, name);
+    }
+    return probe;
+  }
+  // Miss: cache the probe as a bounded negative dentry so the next miss on
+  // this name is answered lock-free with zero module dispatches. The
+  // module's lookup annotation transferred the dentry REF back on the null
+  // return, so the kernel owns the probe outright.
+  lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+  if ((Dcache::FlagsOf(parent) & kDentryDying) != 0) {
+    dcache_.FreeNow(probe);  // the parent's rmdir is committing: caching
+    return nullptr;          // here would leak the probe past RetireTree
+  }
+  Dentry* winner = dcache_.FindChildLocked(parent, name);
+  if (winner != nullptr) {
+    dcache_.FreeNow(probe);
+    return winner;
+  }
+  if (parent->neg_children < Dcache::kMaxNegativePerDir) {
+    dcache_.LinkChildLocked(parent, probe);
+    return probe;
+  }
+  dcache_.FreeNow(probe);
+  return nullptr;  // over the bound: an uncached miss
+}
 
 int Vfs::Walk(const char* path, Dentry** out) {
   if (path == nullptr || path[0] != '/') {
@@ -167,25 +217,39 @@ int Vfs::Walk(const char* path, Dentry** out) {
     return -kEnodev;
   }
   Dentry* cur = sb->root;
+  uint32_t cur_flags = Dcache::FlagsOf(cur);
   while ((rc = NextComponent(&p, comp)) == 0) {
-    if (cur->inode == nullptr) {
+    if ((cur_flags & kDentryPositive) == 0 || (cur_flags & kDentryDying) != 0) {
       return -kEnoent;
     }
-    if ((cur->inode->mode & kIfDir) == 0) {
+    if ((cur_flags & kDentryDir) == 0) {
       return -kEnotdir;
     }
-    Dentry* next;
-    {
-      lxfi::SpinGuard guard(mu_);
-      next = FindChildLocked(cur, comp);
+    // Hit path: one lock-free seqlock-validated probe, no allocation.
+    Dentry* next = dcache_.Lookup(cur, comp);
+    if (next != nullptr) {
+      uint32_t f = Dcache::FlagsOf(next);
+      if ((f & kDentryDying) != 0) {
+        return -kEnoent;  // unlink in flight: the name is going away
+      }
+      if ((f & kDentryPositive) == 0) {
+        dcache_.CountNegativeHit();
+        return -kEnoent;  // cached negative: zero module dispatches
+      }
+      cur = next;
+      cur_flags = f;
+      continue;
     }
+    next = LookupChild(cur, comp);
     if (next == nullptr) {
-      next = LookupChild(cur, comp);
+      return -kEnoent;
     }
-    if (next == nullptr || next->inode == nullptr) {
+    uint32_t f = Dcache::FlagsOf(next);
+    if ((f & kDentryPositive) == 0 || (f & kDentryDying) != 0) {
       return -kEnoent;
     }
     cur = next;
+    cur_flags = f;
   }
   if (rc != -kEnoent) {
     return rc;  // oversize component
@@ -219,7 +283,7 @@ int Vfs::WalkParent(const char* path, Dentry** parent_out, std::string* leaf_out
   if (rc != 0) {
     return rc;
   }
-  if (parent->inode == nullptr || (parent->inode->mode & kIfDir) == 0) {
+  if ((Dcache::FlagsOf(parent) & kDentryDir) == 0) {
     return -kEnotdir;
   }
   *parent_out = parent;
@@ -228,24 +292,46 @@ int Vfs::WalkParent(const char* path, Dentry** parent_out, std::string* leaf_out
 
 // --- mounts -------------------------------------------------------------------
 
-SuperBlock* Vfs::SuperAt(const char* where) {
-  const char* p = where;
-  char comp[kVfsNameMax + 1];
-  if (NextComponent(&p, comp) != 0) {
-    return nullptr;
-  }
-  lxfi::SpinGuard guard(mu_);
-  for (const MountEntry& m : mounts_) {
-    if (m.name == comp) {
-      return m.sb;
+Vfs::MountEntry* Vfs::FindMountLocked(std::string_view name) const {
+  MountEntry* const* headp = mounts_.Find(NameHash(name));
+  for (MountEntry* m = headp != nullptr ? *headp : nullptr; m != nullptr; m = m->next) {
+    if (name == std::string_view(m->name)) {
+      return m;
     }
   }
   return nullptr;
 }
 
-size_t Vfs::mount_count() const {
-  lxfi::SpinGuard guard(mu_);
-  return mounts_.size();
+template <typename Fn>
+void Vfs::ForEachMountLocked(Fn&& fn) const {
+  mounts_.ForEach([&](uint64_t, MountEntry* const& head) {
+    for (MountEntry* m = head; m != nullptr; m = m->next) {
+      fn(m);
+    }
+  });
+}
+
+SuperBlock* Vfs::SuperAt(const char* where) {
+  if (where == nullptr) {
+    return nullptr;
+  }
+  const char* p = where;
+  char comp[kVfsNameMax + 1];
+  if (NextComponent(&p, comp) != 0) {
+    return nullptr;
+  }
+  // Lock-free: one FNV-keyed probe plus an immutable-name chain compare —
+  // the first component of every Walk resolves without a lock.
+  MountEntry* m = nullptr;
+  if (!mounts_.FindValueConcurrent(NameHash(comp), &m)) {
+    return nullptr;
+  }
+  for (; m != nullptr; m = LoadChain(&m->next)) {
+    if (std::strcmp(m->name, comp) == 0) {
+      return m->sb;
+    }
+  }
+  return nullptr;
 }
 
 SuperBlock* Vfs::Mount(const char* fsname, const char* where) {
@@ -270,28 +356,34 @@ SuperBlock* Vfs::Mount(const char* fsname, const char* where) {
   SuperBlock* sb = new (mem) SuperBlock();
   sb->type = fstype;
   std::snprintf(sb->id, sizeof(sb->id), "%s", comp);
-  Dentry* root = NewDentry(sb, nullptr, "/");
+  Dentry* root = dcache_.NewDentry(sb, nullptr, "/");
 
   int rc = kernel_->IndirectCall<int, FileSystemType*, SuperBlock*, Dentry*>(
       &fstype->mount, "file_system_type::mount", fstype, sb, root);
-  if (rc != 0 || root->inode == nullptr || (root->inode->mode & kIfDir) == 0) {
+  bool root_ok = rc == 0 && (Dcache::FlagsOf(root) & kDentryPositive) != 0 &&
+                 (Dcache::FlagsOf(root) & kDentryDir) != 0;
+  if (!root_ok) {
     if (rc == 0 && fstype->kill_sb != 0) {
       kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
           &fstype->kill_sb, "file_system_type::kill_sb", fstype, sb);
     }
-    FreeTree(root);
+    // The tree was never reachable by a walker (the mount is unpublished).
+    dcache_.FreeTreeNow(root);
     kernel_->slab().Free(sb);
     return nullptr;
   }
   sb->root = root;
   bool lost_race = false;
   {
-    lxfi::SpinGuard guard(mu_);
-    for (const MountEntry& m : mounts_) {
-      lost_race = lost_race || m.name == comp;
-    }
+    lxfi::SpinGuard guard(mount_mu_);
+    lost_race = FindMountLocked(comp) != nullptr;
     if (!lost_race) {
-      mounts_.push_back(MountEntry{comp, sb});
+      auto* entry = new MountEntry();
+      std::snprintf(entry->name, sizeof(entry->name), "%s", comp);
+      entry->hash = NameHash(comp);
+      entry->sb = sb;
+      lxfi::flat_chain::InsertLocked<&MountEntry::next>(mounts_, entry->hash, entry);
+      mount_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (lost_race) {
@@ -301,7 +393,7 @@ SuperBlock* Vfs::Mount(const char* fsname, const char* where) {
       kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
           &fstype->kill_sb, "file_system_type::kill_sb", fstype, sb);
     }
-    FreeTree(root);
+    dcache_.FreeTreeNow(root);
     kernel_->slab().Free(sb);
     return nullptr;
   }
@@ -315,28 +407,32 @@ int Vfs::Unmount(const char* where) {
     return -kEinval;
   }
   SuperBlock* sb = nullptr;
+  MountEntry* victim = nullptr;
   {
-    lxfi::SpinGuard guard(mu_);
-    for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
-      if (it->name == comp) {
-        if (it->sb->open_files > 0) {
-          return -kEbusy;  // open Files still reference this mount's objects
-        }
-        sb = it->sb;
-        mounts_.erase(it);
-        break;
-      }
+    lxfi::SpinGuard guard(mount_mu_);
+    victim = FindMountLocked(comp);
+    if (victim == nullptr) {
+      return -kEnoent;
     }
-  }
-  if (sb == nullptr) {
-    return -kEnoent;
+    if (SbOpenFiles(victim->sb) > 0) {
+      return -kEbusy;  // open Files still reference this mount's objects
+    }
+    sb = victim->sb;
+    lxfi::flat_chain::UnlinkLocked<&MountEntry::next>(mounts_, victim->hash, victim);
+    mount_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (sb->type->kill_sb != 0) {
     kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
         &sb->type->kill_sb, "file_system_type::kill_sb", sb->type, sb);
   }
-  FreeTree(sb->root);
-  kernel_->slab().Free(sb);
+  // A walker that resolved the mount entry before the unlink may still be
+  // inside the tree: everything goes through the reclaimer's grace period.
+  dcache_.RetireTree(sb->root);
+  Kernel* kernel = kernel_;
+  lxfi::EpochReclaimer::Global().Retire([kernel, sb, victim] {
+    kernel->slab().Free(sb);
+    delete victim;
+  });
   return 0;
 }
 
@@ -350,45 +446,57 @@ Inode* Vfs::Iget(SuperBlock* sb) {
   KERN_BUG_ON(mem == nullptr);
   Inode* inode = new (mem) Inode();
   inode->sb = sb;
-  {
-    lxfi::SpinGuard guard(mu_);
-    inode->ino = sb->next_ino++;
-  }
+  inode->ino = __atomic_fetch_add(&sb->next_ino, 1, __ATOMIC_RELAXED);
   return inode;
 }
 
 void Vfs::Iput(Inode* inode) {
-  if (inode != nullptr) {
-    kernel_->slab().Free(inode);
+  if (inode == nullptr) {
+    return;
   }
+  // Grace-period free: a lock-free walker that resolved a dentry just
+  // before its unlink may still dereference the inode's fields.
+  Kernel* kernel = kernel_;
+  lxfi::EpochReclaimer::Global().Retire([kernel, inode] { kernel->slab().Free(inode); });
 }
 
 Dentry* Vfs::DAlloc(Dentry* parent, const char* name) {
-  if (parent == nullptr || parent->inode == nullptr || (parent->inode->mode & kIfDir) == 0 ||
-      name == nullptr || name[0] == '\0' || std::strlen(name) > kVfsNameMax ||
-      std::strchr(name, '/') != nullptr) {
+  if (parent == nullptr || (Dcache::FlagsOf(parent) & kDentryPositive) == 0 ||
+      (Dcache::FlagsOf(parent) & kDentryDir) == 0 || name == nullptr || name[0] == '\0' ||
+      std::strlen(name) > kVfsNameMax || std::strchr(name, '/') != nullptr) {
     return nullptr;
   }
-  return NewDentry(parent->sb, parent, name);
+  return dcache_.NewDentry(parent->sb, parent, name);
 }
 
 int Vfs::DInstantiate(Dentry* dentry, Inode* inode) {
-  if (dentry == nullptr || inode == nullptr || dentry->inode != nullptr ||
+  if (dentry == nullptr || inode == nullptr || Dcache::InodeOf(dentry) != nullptr ||
       dentry->sb != inode->sb) {
     return -kEinval;
   }
-  lxfi::SpinGuard guard(mu_);
-  if (dentry->parent != nullptr) {
-    if (FindChildLocked(dentry->parent, dentry->name) != nullptr) {
-      return -kEexist;
-    }
-    dentry->inode = inode;
+  if (dentry->parent == nullptr) {
+    Dcache::SetPositive(dentry, inode);
     ++inode->nlink;
-    LinkChildLocked(dentry->parent, dentry);
-  } else {
-    dentry->inode = inode;
-    ++inode->nlink;
+    return 0;
   }
+  lxfi::SpinGuard guard(dcache_.writer_lock(dentry->parent));
+  if ((Dcache::FlagsOf(dentry->parent) & kDentryDying) != 0) {
+    return -kEnoent;  // the parent directory's rmdir is committing: nothing
+                      // may be linked into it anymore
+  }
+  Dentry* existing = dcache_.FindChildLocked(dentry->parent, dentry->name);
+  if (existing != nullptr) {
+    if ((Dcache::FlagsOf(existing) & kDentryPositive) != 0) {
+      return -kEexist;  // includes dying entries: the name exists until the
+                        // in-flight unlink commits
+    }
+    // Displace the cached negative for this name.
+    dcache_.UnlinkChildLocked(dentry->parent, existing);
+    dcache_.Retire(existing);
+  }
+  Dcache::SetPositive(dentry, inode);
+  ++inode->nlink;
+  dcache_.LinkChildLocked(dentry->parent, dentry);
   return 0;
 }
 
@@ -402,12 +510,18 @@ int Vfs::MakeEntry(const char* path, uint32_t mode, VfsOp op, Dentry** out) {
     return rc;
   }
   {
-    lxfi::SpinGuard guard(mu_);
-    if (FindChildLocked(parent, leaf.c_str()) != nullptr) {
+    lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+    if ((Dcache::FlagsOf(parent) & kDentryDying) != 0) {
+      return -kEnoent;  // raced an rmdir of the parent after WalkParent
+    }
+    Dentry* existing = dcache_.FindChildLocked(parent, leaf.c_str());
+    if (existing != nullptr && (Dcache::FlagsOf(existing) & kDentryPositive) != 0) {
       return -kEexist;
     }
+    // A cached negative stays linked: DInstantiate displaces it under the
+    // same lock when the module instantiates the new entry.
   }
-  Inode* dir = parent->inode;
+  Inode* dir = Dcache::InodeOf(parent);
   const uintptr_t* slot = nullptr;
   const char* type = nullptr;
   if (op == VfsOp::kCreate) {
@@ -420,7 +534,7 @@ int Vfs::MakeEntry(const char* path, uint32_t mode, VfsOp op, Dentry** out) {
   if (slot == nullptr || *slot == 0) {
     return -kEinval;
   }
-  Dentry* dentry = NewDentry(parent->sb, parent, leaf.c_str());
+  Dentry* dentry = dcache_.NewDentry(parent->sb, parent, leaf.c_str());
   FilterCtx ctx;
   ctx.op = static_cast<int>(op);
   ctx.dir = dir;
@@ -436,18 +550,24 @@ int Vfs::MakeEntry(const char* path, uint32_t mode, VfsOp op, Dentry** out) {
     // The module failed the create; if it instantiated (and thereby linked)
     // the dentry anyway, unlink it — a failed create must not leave a live
     // namespace entry behind.
+    bool published = false;
     {
-      lxfi::SpinGuard guard(mu_);
-      if (dentry->inode != nullptr) {
-        UnlinkChildLocked(parent, dentry);
+      lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+      if (Dcache::InodeOf(dentry) != nullptr) {
+        dcache_.UnlinkChildLocked(parent, dentry);
+        published = true;
       }
     }
-    FreeDentry(dentry);
+    if (published) {
+      dcache_.Retire(dentry);
+    } else {
+      dcache_.FreeNow(dentry);
+    }
     return rc;
   }
-  if (dentry->inode == nullptr) {
+  if (Dcache::InodeOf(dentry) == nullptr) {
     // The module claimed success without instantiating; treat as an error.
-    FreeDentry(dentry);
+    dcache_.FreeNow(dentry);
     return -kEinval;
   }
   if (out != nullptr) {
@@ -474,7 +594,7 @@ File* Vfs::Open(const char* path, int flags, int* err) {
   if (rc != 0) {
     return fail(rc);
   }
-  Inode* inode = dentry->inode;
+  Inode* inode = Dcache::InodeOf(dentry);
   if ((inode->mode & kIfDir) != 0) {
     return fail(-kEisdir);
   }
@@ -504,14 +624,11 @@ File* Vfs::Open(const char* path, int flags, int* err) {
     kernel_->slab().Free(file);
     return fail(rc);
   }
-  {
-    // Open-file accounting lives in kernel-owned structures (the dentry and
-    // the superblock's kernel-private field), never in the module-writable
-    // inode: Unlink and Unmount consult it before freeing anything.
-    lxfi::SpinGuard guard(mu_);
-    ++dentry->open_count;
-    ++inode->sb->open_files;
-  }
+  // Open-file accounting lives in kernel-owned structures (the dentry and
+  // the superblock's kernel-private counter), never in the module-writable
+  // inode: Unlink and Unmount consult it before freeing anything.
+  Dcache::AddOpenCount(dentry, 1);
+  __atomic_add_fetch(&inode->sb->open_files, 1u, __ATOMIC_RELAXED);
   open_files_.fetch_add(1, std::memory_order_relaxed);
   if (err != nullptr) {
     *err = 0;
@@ -528,15 +645,8 @@ int Vfs::Close(File* file) {
     rc = kernel_->IndirectCall<int, Inode*, File*>(&file->f_op->release,
                                                    "file_operations::release", file->inode, file);
   }
-  {
-    lxfi::SpinGuard guard(mu_);
-    if (file->dentry->open_count > 0) {
-      --file->dentry->open_count;
-    }
-    if (file->inode->sb->open_files > 0) {
-      --file->inode->sb->open_files;
-    }
-  }
+  Dcache::AddOpenCount(file->dentry, -1);
+  __atomic_sub_fetch(&file->inode->sb->open_files, 1u, __ATOMIC_RELAXED);
   kernel_->slab().Free(file);
   open_files_.fetch_sub(1, std::memory_order_relaxed);
   return rc;
@@ -609,32 +719,50 @@ int Vfs::RemoveEntry(const char* path, bool dir) {
   if (rc != 0) {
     return rc;
   }
+  Inode* dirnode = Dcache::InodeOf(parent);
+  const uintptr_t* slot =
+      dirnode->i_op != nullptr ? (dir ? &dirnode->i_op->rmdir : &dirnode->i_op->unlink) : nullptr;
+  if (slot == nullptr || *slot == 0) {
+    return -kEinval;
+  }
   Dentry* child;
   {
-    lxfi::SpinGuard guard(mu_);
-    child = FindChildLocked(parent, leaf.c_str());
-    if (child == nullptr || child->inode == nullptr) {
+    lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+    child = dcache_.FindChildLocked(parent, leaf.c_str());
+    uint32_t f = child != nullptr ? Dcache::FlagsOf(child) : 0;
+    if (child == nullptr || (f & kDentryPositive) == 0 || (f & kDentryDying) != 0) {
       return -kEnoent;
     }
-    bool is_dir = (child->inode->mode & kIfDir) != 0;
+    bool is_dir = (f & kDentryDir) != 0;
     if (dir && !is_dir) {
       return -kEnotdir;
     }
     if (!dir && is_dir) {
       return -kEisdir;
     }
-    if (dir && child->child != nullptr) {
-      return -kEnotempty;
-    }
-    if (child->open_count > 0) {
+    if (Dcache::OpenCount(child) > 0) {
       return -kEbusy;  // open handles reference the dentry and inode
     }
-  }
-  Inode* dirnode = parent->inode;
-  const uintptr_t* slot =
-      dirnode->i_op != nullptr ? (dir ? &dirnode->i_op->rmdir : &dirnode->i_op->unlink) : nullptr;
-  if (slot == nullptr || *slot == 0) {
-    return -kEinval;
+    // Hide the entry from lock-free walkers for the duration of the module
+    // dispatch: no new stat/open can reach the inode the module is about
+    // to free, and no lookup re-instantiates the name meanwhile.
+    if (dir) {
+      // The empty check and the dying mark must be one atomic step with
+      // respect to links INTO the victim, and those are guarded by the
+      // victim's own child_lock — not the parent lock this block holds. A
+      // concurrent create inside the directory either commits first (we
+      // see pos_children > 0 here) or observes the dying mark under the
+      // same lock in DInstantiate/LookupChild and fails. Parent -> child
+      // is the tree order, so the nesting cannot deadlock; in locked mode
+      // both locks are the single global one, already held.
+      lxfi::OptionalSpinGuard child_guard(child->child_lock, !dcache_.locked_mode());
+      if (child->pos_children > 0) {
+        return -kEnotempty;
+      }
+      Dcache::SetDying(child, true);
+    } else {
+      Dcache::SetDying(child, true);
+    }
   }
   FilterCtx ctx;
   ctx.op = static_cast<int>(dir ? VfsOp::kRmdir : VfsOp::kUnlink);
@@ -649,13 +777,16 @@ int Vfs::RemoveEntry(const char* path, bool dir) {
   ctx.result = rc;
   chain_.RunPost(&ctx, run);
   if (rc != 0) {
+    Dcache::SetDying(child, false);  // the entry lives on
     return rc;
   }
   {
-    lxfi::SpinGuard guard(mu_);
-    UnlinkChildLocked(parent, child);
+    lxfi::SpinGuard guard(dcache_.writer_lock(parent));
+    dcache_.UnlinkChildLocked(parent, child);
   }
-  FreeDentry(child);
+  // The child (plus, for rmdir, any cached negatives below it) may still be
+  // referenced by a walker that resolved it before the dying mark.
+  dcache_.RetireTree(child);
   return 0;
 }
 
@@ -669,7 +800,7 @@ int Vfs::Stat(const char* path, VfsStat* out) {
   if (rc != 0) {
     return rc;
   }
-  Inode* inode = dentry->inode;
+  Inode* inode = Dcache::InodeOf(dentry);
   FilterCtx ctx;
   ctx.op = static_cast<int>(VfsOp::kStat);
   ctx.dentry = dentry;

@@ -25,14 +25,23 @@
 //
 // Stackable filters (filter.h) interpose pre/post hooks on every operation
 // the syscall surface dispatches, redirfs-style.
+//
+// Path walk is lock-free (RCU-walk): per-parent child indexes with
+// seqlock-validated probes and epoch-reclaimed dentries (dcache.h), a
+// lock-free mount-table probe for the first component, and bounded
+// negative-dentry caching so repeated misses cost zero module dispatches.
+// Writers serialize per parent directory, never globally.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/base/flat_table.h"
 #include "src/base/sync.h"
+#include "src/kernel/fs/dcache.h"
 #include "src/kernel/fs/filter.h"
 #include "src/kernel/types.h"
 
@@ -40,8 +49,6 @@ namespace kern {
 
 class Kernel;
 class Module;
-
-inline constexpr size_t kVfsNameMax = 27;  // component name bytes (+ NUL)
 
 // Inode mode bits (subset of S_IFMT).
 inline constexpr uint32_t kIfReg = 0x8000;
@@ -97,8 +104,8 @@ struct SuperBlock {
   Dentry* root = nullptr;  // kernel-set; module instantiates its inode
   const SuperOperations* s_op = nullptr;
   void* s_fs_info = nullptr;  // module-private per-mount state
-  uint64_t next_ino = 1;      // kernel-managed, under the Vfs lock
-  uint32_t open_files = 0;    // kernel-managed, under the Vfs lock
+  uint64_t next_ino = 1;      // kernel-managed, atomic fetch-add in Iget
+  uint32_t open_files = 0;    // kernel-managed, atomic; gates Unmount
   char id[kVfsNameMax + 1] = {};
 };
 
@@ -113,18 +120,8 @@ struct Inode {
   void* i_private = nullptr;  // module-private (e.g. the ramfs data buffer)
 };
 
-// Dentries are kernel-owned: modules receive REF capabilities for them and
-// mutate the dcache only through d_alloc/d_instantiate, never by store.
-struct Dentry {
-  char name[kVfsNameMax + 1] = {};
-  Inode* inode = nullptr;  // null => negative dentry
-  Dentry* parent = nullptr;
-  SuperBlock* sb = nullptr;
-  Dentry* child = nullptr;      // first child (directories)
-  Dentry* sibling = nullptr;    // next sibling under parent
-  uint32_t open_count = 0;      // open Files on this entry (under the Vfs lock);
-                                // Unlink refuses with -EBUSY while nonzero
-};
+// Dentry lives in dcache.h (the lock-free RCU-walk child index is its
+// core); it is re-exported here for the API surface below.
 
 struct File {
   Inode* inode = nullptr;
@@ -150,8 +147,10 @@ struct VfsStatFs {
 class Vfs {
  public:
   explicit Vfs(Kernel* kernel);
+  ~Vfs();
 
   FilterChain& filters() { return chain_; }
+  Dcache& dcache() { return dcache_; }
 
   // --- filesystem-type registry (register_filesystem export) --------------
   int RegisterFilesystem(FileSystemType* fstype);
@@ -184,21 +183,23 @@ class Vfs {
   int DInstantiate(Dentry* dentry, Inode* inode);
 
   size_t open_files() const { return open_files_.load(std::memory_order_relaxed); }
-  size_t mount_count() const;
+  size_t mount_count() const { return mount_count_.load(std::memory_order_relaxed); }
+
+  // Module lookup dispatches actually performed (misses that were not
+  // answered by a cached negative dentry). Tests use it to prove that a
+  // repeated miss costs zero module crossings.
+  uint64_t lookup_dispatches() const {
+    return lookup_dispatches_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Dentry* NewDentry(SuperBlock* sb, Dentry* parent, const char* name);
-  void FreeDentry(Dentry* dentry);
-  void FreeTree(Dentry* root);
-  Dentry* FindChildLocked(Dentry* parent, const char* name) const;
-  void LinkChildLocked(Dentry* parent, Dentry* child);
-  void UnlinkChildLocked(Dentry* parent, Dentry* child);
-
-  // Resolves one missing component through inode_operations::lookup.
+  // Resolves one missing component through inode_operations::lookup;
+  // caches bounded negative results in the parent index.
   Dentry* LookupChild(Dentry* parent, const char* name);
-  // Walks `path` to its dentry (negative results are errors). On success
-  // *out is the dentry. WalkParent stops one component early and reports
-  // the leaf name.
+  // Walks `path` to its dentry. The hit path — every component already in
+  // the dcache, positively or negatively — takes no lock and performs no
+  // allocation. Negative/dying components report -ENOENT without a module
+  // dispatch. WalkParent stops one component early and reports the leaf.
   int Walk(const char* path, Dentry** out);
   int WalkParent(const char* path, Dentry** parent_out, std::string* leaf_out);
 
@@ -209,15 +210,35 @@ class Vfs {
 
   Kernel* kernel_;
   FilterChain chain_;
-  mutable lxfi::Spinlock mu_;  // guards fstypes_, mounts_, the dcache links
-                               // and superblock ino counters
-  std::vector<FileSystemType*> fstypes_;
+  Dcache dcache_;
+
+  // Registry + mount table: FNV-1a-keyed FlatTables (same pattern as the
+  // annotation registry), so SuperAt on the walk fast path is one lock-free
+  // O(1) probe. Same-hash collisions chain through the entries; entry names
+  // are immutable and entries are epoch-retired, so the chains are safe to
+  // traverse after a validated probe.
   struct MountEntry {
-    std::string name;  // mountpoint component (no slash)
-    SuperBlock* sb;
+    char name[kVfsNameMax + 1] = {};  // mountpoint component (no slash)
+    uint64_t hash = 0;
+    SuperBlock* sb = nullptr;
+    MountEntry* next = nullptr;  // same-hash chain (atomic)
   };
-  std::vector<MountEntry> mounts_;
+  struct FsTypeEntry {
+    FileSystemType* type = nullptr;
+    uint64_t hash = 0;
+    FsTypeEntry* next = nullptr;  // same-hash chain (atomic)
+  };
+  MountEntry* FindMountLocked(std::string_view name) const;
+  template <typename Fn>
+  void ForEachMountLocked(Fn&& fn) const;
+
+  mutable lxfi::Spinlock mount_mu_;   // writers of mounts_
+  mutable lxfi::Spinlock fstype_mu_;  // writers of fstypes_
+  lxfi::FlatTable<MountEntry*> mounts_;    // name hash -> chain head
+  lxfi::FlatTable<FsTypeEntry*> fstypes_;  // name hash -> chain head
+  std::atomic<size_t> mount_count_{0};
   std::atomic<size_t> open_files_{0};
+  std::atomic<uint64_t> lookup_dispatches_{0};
 };
 
 Vfs* GetVfs(Kernel* kernel);

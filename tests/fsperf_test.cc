@@ -55,4 +55,29 @@ TEST(FsperfSmp, ThreeCpuStockRunIsClean) {
   EXPECT_EQ(r.ops, 3 * kSmall.files * kOpsPerFile);
 }
 
+// The shared-hot-directory workload: all CPUs create/stat/unlink their own
+// names in /mnt/shared, contending on one parent index through the RCU
+// walk. Runs under TSan in CI.
+TEST(FsperfContended, ThreeCpuSharedDirectoryEnforcedRunIsClean) {
+  constexpr eval::FsContendedConfig kCfg{/*files=*/60, /*stats_per_file=*/3, /*rounds=*/2};
+  eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/3);
+  eval::FsScalingResult r = h.RunContended(kCfg);
+  EXPECT_EQ(r.ops, 3ull * kCfg.rounds * kCfg.files * (1 + kCfg.stats_per_file + 1));
+  EXPECT_EQ(h.runtime()->violation_count(), 0u);
+  // Repeatable: the unlink phase really emptied the shared directory.
+  r = h.RunContended(kCfg);
+  EXPECT_EQ(r.ops, 3ull * kCfg.rounds * kCfg.files * (1 + kCfg.stats_per_file + 1));
+  EXPECT_EQ(h.runtime()->violation_count(), 0u);
+}
+
+// Same workload against the single-lock (pre-RCU) dcache ablation: results
+// must match, only the locking discipline differs.
+TEST(FsperfContended, LockedDcacheAblationIsCleanToo) {
+  constexpr eval::FsContendedConfig kCfg{/*files=*/40, /*stats_per_file=*/2, /*rounds=*/1};
+  eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/3, /*locked_dcache=*/true);
+  eval::FsScalingResult r = h.RunContended(kCfg);
+  EXPECT_EQ(r.ops, 3ull * kCfg.rounds * kCfg.files * (1 + kCfg.stats_per_file + 1));
+  EXPECT_EQ(h.runtime()->violation_count(), 0u);
+}
+
 }  // namespace

@@ -252,6 +252,104 @@ TEST_P(VfsTest, ZeroViolationsOnBenignWorkload) {
   }
 }
 
+TEST_P(VfsTest, SecondMissCostsZeroModuleDispatches) {
+  ASSERT_NE(mod_, nullptr);
+  ASSERT_NE(vfs_->Mount("ramfs", "/mnt"), nullptr);
+  kern::VfsStat st;
+  uint64_t base = vfs_->lookup_dispatches();
+  EXPECT_EQ(vfs_->Stat("/mnt/nothere", &st), -kern::kEnoent);
+  EXPECT_EQ(vfs_->lookup_dispatches(), base + 1);  // first miss dispatches
+  uint64_t neg_hits = vfs_->dcache().negative_hits();
+  EXPECT_EQ(vfs_->Stat("/mnt/nothere", &st), -kern::kEnoent);
+  EXPECT_EQ(vfs_->Stat("/mnt/nothere", &st), -kern::kEnoent);
+  // The repeats were answered by the cached negative dentry: zero further
+  // module dispatches, two negative-cache hits.
+  EXPECT_EQ(vfs_->lookup_dispatches(), base + 1);
+  EXPECT_EQ(vfs_->dcache().negative_hits(), neg_hits + 2);
+  if (GetParam()) {
+    EXPECT_EQ(bench_.rt->violation_count(), 0u);
+  }
+}
+
+TEST_P(VfsTest, CreateInvalidatesCachedNegative) {
+  ASSERT_NE(mod_, nullptr);
+  ASSERT_NE(vfs_->Mount("ramfs", "/mnt"), nullptr);
+  kern::VfsStat st;
+  ASSERT_EQ(vfs_->Stat("/mnt/f", &st), -kern::kEnoent);  // cache the negative
+  ASSERT_EQ(WriteFile("/mnt/f", "data", 4), 0);          // displaces it
+  ASSERT_EQ(vfs_->Stat("/mnt/f", &st), 0);
+  EXPECT_EQ(st.size, 4u);
+  // Same story for mkdir over a cached negative.
+  ASSERT_EQ(vfs_->Stat("/mnt/d", &st), -kern::kEnoent);
+  ASSERT_EQ(vfs_->Mkdir("/mnt/d"), 0);
+  ASSERT_EQ(vfs_->Stat("/mnt/d", &st), 0);
+  EXPECT_NE(st.mode & kern::kIfDir, 0u);
+  // And unlinking brings the name back to (dispatching) miss behavior.
+  ASSERT_EQ(vfs_->Unlink("/mnt/f"), 0);
+  uint64_t base = vfs_->lookup_dispatches();
+  EXPECT_EQ(vfs_->Stat("/mnt/f", &st), -kern::kEnoent);
+  EXPECT_EQ(vfs_->lookup_dispatches(), base + 1);
+}
+
+TEST_P(VfsTest, DyingDirectoryRefusesNewEntriesAndWalks) {
+  // Simulates the rmdir-in-flight window: once a directory is marked
+  // dying, nothing may be linked into it (the rmdir's ENOTEMPTY check has
+  // already run) and walkers treat it as gone.
+  ASSERT_NE(mod_, nullptr);
+  kern::SuperBlock* sb = vfs_->Mount("ramfs", "/mnt");
+  ASSERT_NE(sb, nullptr);
+  ASSERT_EQ(vfs_->Mkdir("/mnt/d"), 0);
+  kern::Dentry* d = nullptr;
+  for (kern::Dentry* c = sb->root->child; c != nullptr; c = c->sibling) {
+    if (std::strcmp(c->name, "d") == 0) {
+      d = c;
+    }
+  }
+  ASSERT_NE(d, nullptr);
+  kern::Dcache::SetDying(d, true);
+  kern::VfsStat st;
+  EXPECT_EQ(vfs_->Stat("/mnt/d", &st), -kern::kEnoent);
+  EXPECT_EQ(vfs_->Stat("/mnt/d/x", &st), -kern::kEnoent);
+  int err = 0;
+  EXPECT_EQ(vfs_->Open("/mnt/d/f", kern::kOCreate, &err), nullptr);
+  EXPECT_EQ(err, -kern::kEnoent);
+  // The DInstantiate guard itself: a racing create that resolved the
+  // directory before the dying mark must fail to link into it.
+  kern::Dentry* child = vfs_->DAlloc(d, "f");
+  ASSERT_NE(child, nullptr);
+  kern::Inode* ino = vfs_->Iget(sb);
+  ino->mode = kern::kIfReg;
+  EXPECT_EQ(vfs_->DInstantiate(child, ino), -kern::kEnoent);
+  vfs_->Iput(ino);
+  kern::Dcache::SetDying(d, false);
+  EXPECT_EQ(vfs_->Stat("/mnt/d", &st), 0);
+  ASSERT_EQ(vfs_->Mkdir("/mnt/d/sub"), 0);
+  EXPECT_EQ(vfs_->Rmdir("/mnt/d"), -kern::kEnotempty);
+  EXPECT_EQ(vfs_->Rmdir("/mnt/d/sub"), 0);
+  EXPECT_EQ(vfs_->Rmdir("/mnt/d"), 0);
+}
+
+TEST_P(VfsTest, NegativeDentryCacheIsBounded) {
+  ASSERT_NE(mod_, nullptr);
+  ASSERT_NE(vfs_->Mount("ramfs", "/mnt"), nullptr);
+  kern::VfsStat st;
+  constexpr int kProbes = 40;  // > kMaxNegativePerDir
+  for (int i = 0; i < kProbes; ++i) {
+    std::string path = "/mnt/m" + std::to_string(i);
+    ASSERT_EQ(vfs_->Stat(path.c_str(), &st), -kern::kEnoent);
+  }
+  EXPECT_EQ(vfs_->SuperAt("/mnt")->root->neg_children, kern::Dcache::kMaxNegativePerDir);
+  // Second pass: the first kMaxNegativePerDir misses are free, the rest
+  // dispatch again (bounded cache, not unbounded growth).
+  uint64_t base = vfs_->lookup_dispatches();
+  for (int i = 0; i < kProbes; ++i) {
+    std::string path = "/mnt/m" + std::to_string(i);
+    ASSERT_EQ(vfs_->Stat(path.c_str(), &st), -kern::kEnoent);
+  }
+  EXPECT_EQ(vfs_->lookup_dispatches(),
+            base + (kProbes - kern::Dcache::kMaxNegativePerDir));
+}
+
 INSTANTIATE_TEST_SUITE_P(StockAndLxfi, VfsTest, ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Lxfi" : "Stock";
