@@ -40,18 +40,26 @@ struct PhaseRow {
 int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
   eval::FsperfHarness stock(/*isolated=*/false);
   eval::FsperfHarness isolated(/*isolated=*/true);
-  // Warm both paths (slab magazines, dcache spine, memo shards), then
+  // Enforced with partitioned heaps: the ramfs modules' kmallocs (file data
+  // buffers, filter state) land in their own arena slots, so the write
+  // guards on the copy loops resolve with the span compare instead of the
+  // memo/cap-table probe.
+  eval::FsperfHarness arena(/*isolated=*/true);
+  arena.runtime()->EnablePartitionedHeaps();
+  // Warm all paths (slab magazines, dcache spine, memo shards), then
   // measure.
   eval::FsperfConfig warm = config;
   warm.files = config.files / 10 + 1;
   stock.Run(warm);
   isolated.Run(warm);
+  arena.Run(warm);
   eval::FsperfMeasurement ms = stock.Run(config);
   eval::FsperfMeasurement ml = isolated.Run(config);
+  eval::FsperfMeasurement ma = arena.Run(config);
 
-  if (ml.violations != 0) {
+  if (ml.violations != 0 || ma.violations != 0) {
     std::fprintf(stderr, "FAIL: enforced benign workload raised %llu violations\n",
-                 static_cast<unsigned long long>(ml.violations));
+                 static_cast<unsigned long long>(ml.violations + ma.violations));
     return 1;
   }
 
@@ -90,6 +98,27 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
                 m.lxfi_cpu_pct);
   }
 
+  // Enforced arena delta: same workload, same runtime, partitioned heaps on
+  // vs off. PhaseRow reused with "stock" = plain LXFI so OverheadPct() is
+  // the arena-relative delta (negative = the arena fast path won).
+  std::vector<PhaseRow> arena_rows = {
+      {"create", ms.create, ma.create}, {"write", ms.write, ma.write},
+      {"read", ms.read, ma.read},       {"stat", ms.stat, ma.stat},
+      {"unlink", ms.unlink, ma.unlink},
+  };
+  std::printf("\n=== fsperf enforced arena delta (LXFI + partitioned heaps) ===\n");
+  std::printf("%-8s %14s %16s %14s\n", "phase", "lxfi ns/op", "lxfi+arena ns/op",
+              "vs stock");
+  for (size_t i = 0; i < arena_rows.size(); ++i) {
+    std::printf("%-8s %14.1f %16.1f %13.1f%%\n", arena_rows[i].name, rows[i].lxfi.NsPerOp(),
+                arena_rows[i].lxfi.NsPerOp(), arena_rows[i].OverheadPct());
+  }
+  double arena_total = static_cast<double>(ma.total_wall_ns()) / ma.total_ops();
+  std::printf("%-8s %14.1f %16.1f %13.1f%%\n", "all", lxfi_total, arena_total,
+              100.0 * (arena_total - stock_total) / stock_total);
+  std::printf("(vs stock: enforcement overhead with arenas; compare the lxfi columns\n"
+              "for what the span fast path takes off the plain enforced path)\n");
+
   if (json != nullptr) {
     json->Meta("mode", "overhead");
     json->Meta("files", static_cast<double>(config.files));
@@ -115,6 +144,16 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
           .Set("lxfi_model_kops", m.lxfi_kops)
           .Set("lxfi_cpu_pct_at_stock_rate", m.lxfi_cpu_pct);
     }
+    for (size_t i = 0; i < arena_rows.size(); ++i) {
+      json->AddRow(std::string("arena_") + arena_rows[i].name)
+          .Set("lxfi_ns_per_op", rows[i].lxfi.NsPerOp())
+          .Set("lxfi_arena_ns_per_op", arena_rows[i].lxfi.NsPerOp())
+          .Set("arena_overhead_vs_stock_pct", arena_rows[i].OverheadPct());
+    }
+    json->AddRow("arena_all")
+        .Set("lxfi_ns_per_op", lxfi_total)
+        .Set("lxfi_arena_ns_per_op", arena_total)
+        .Set("arena_overhead_vs_stock_pct", 100.0 * (arena_total - stock_total) / stock_total);
   }
   return 0;
 }

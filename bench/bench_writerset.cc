@@ -7,8 +7,11 @@
 //     starts with, on the open-addressing WriterSet vs the node-based
 //     std::unordered_map layout it replaced (bench/std_baseline.h).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "bench/json_out.h"
 #include "bench/std_baseline.h"
 #include "src/base/clock.h"
 #include "src/base/log.h"
@@ -20,7 +23,7 @@
 namespace {
 
 // Probe-throughput ablation: same pages, same probe stream, flat vs std.
-void RunEmptyProbeAblation() {
+void RunEmptyProbeAblation(lxfibench::JsonWriter* json) {
   constexpr int kPages = 4096;
   constexpr uintptr_t kBase = 0x7f0000000000ull;
   constexpr uint64_t kProbes = 4u << 20;
@@ -84,13 +87,101 @@ void RunEmptyProbeAblation() {
   std::printf("%-22s %16.2f %16llu\n", "std::unordered_map", node_ns,
               static_cast<unsigned long long>(node_empties));
   std::printf("\nflat page map is %.2fx faster on the hot Empty() probe\n\n", node_ns / flat_ns);
+  if (json != nullptr) {
+    json->AddRow("empty_probe_flat").Set("ns_per_probe", flat_ns);
+    json->AddRow("empty_probe_std").Set("ns_per_probe", node_ns);
+  }
+}
+
+// Arena teardown ablation: clearing a dying module's write provenance from
+// the writer set, per-object vs per-arena. Pre-partition unload walked every
+// live allocation and issued one ClearRange per object (the kfree path) —
+// and because clearing is page-granular-conservative, a sub-page object
+// never covers a full page, so those 10k calls also leave every tracked
+// page stale (costing a full check on each later indirect call that hits
+// one). With partitioned heaps the whole arena slot is one contiguous span:
+// unload issues a single arena-range ClearRange that is both faster and
+// actually empties the pages.
+void RunTeardownAblation(lxfibench::JsonWriter* json) {
+  constexpr int kObjects = 10000;
+  constexpr size_t kObjBytes = 64;
+  constexpr uintptr_t kArenaLo = 0x7f5000000000ull;
+  constexpr uintptr_t kArenaHi = kArenaLo + (1u << 20);
+  auto* writer = reinterpret_cast<lxfi::Principal*>(0x1000);
+
+  // The module wrote every one of its 10k live objects, packed in its arena
+  // span the way the slot allocator lays them out.
+  auto obj_addr = [](int i) { return kArenaLo + static_cast<uintptr_t>(i) * kObjBytes; };
+  auto populate = [&](lxfi::WriterSet& ws) {
+    for (int i = 0; i < kObjects; ++i) {
+      ws.AddRange(writer, obj_addr(i), kObjBytes);
+    }
+  };
+
+  lxfi::WriterSet per_object;
+  populate(per_object);
+  uint64_t t0 = lxfi::MonotonicNowNs();
+  for (int i = 0; i < kObjects; ++i) {
+    per_object.ClearRange(obj_addr(i), kObjBytes);
+  }
+  uint64_t per_object_ns = lxfi::MonotonicNowNs() - t0;
+
+  lxfi::WriterSet per_arena;
+  populate(per_arena);
+  t0 = lxfi::MonotonicNowNs();
+  per_arena.ClearRange(kArenaLo, kArenaHi - kArenaLo);
+  uint64_t per_arena_ns = lxfi::MonotonicNowNs() - t0;
+
+  // The arena-span clear must leave no stale provenance behind (the
+  // per-object strategy demonstrably does — that is the stale_pages column).
+  for (int i = 0; i < kObjects; i += 97) {
+    if (!per_arena.Empty(obj_addr(i))) {
+      std::fprintf(stderr, "FAILED: stale writer-set pages after arena teardown\n");
+      std::exit(1);
+    }
+  }
+
+  double ratio = per_arena_ns > 0 ? static_cast<double>(per_object_ns) / per_arena_ns : 0.0;
+  std::printf("=== Ablation: unload teardown, %d live objects ===\n", kObjects);
+  std::printf("%-28s %16s %14s\n", "strategy", "total ns", "stale pages");
+  std::printf("%-28s %16llu %14zu\n", "per-object ClearRange",
+              static_cast<unsigned long long>(per_object_ns), per_object.TrackedPages());
+  std::printf("%-28s %16llu %14zu\n", "one arena-span ClearRange",
+              static_cast<unsigned long long>(per_arena_ns), per_arena.TrackedPages());
+  std::printf("\nbulk arena teardown is %.1fx faster than the per-object revoke storm and\n"
+              "leaves zero stale pages\n\n",
+              ratio);
+  if (json != nullptr) {
+    json->AddRow("teardown_per_object")
+        .Set("objects", kObjects)
+        .Set("total_ns", static_cast<double>(per_object_ns))
+        .Set("stale_pages", static_cast<double>(per_object.TrackedPages()));
+    json->AddRow("teardown_arena_span")
+        .Set("objects", kObjects)
+        .Set("total_ns", static_cast<double>(per_arena_ns))
+        .Set("stale_pages", static_cast<double>(per_arena.TrackedPages()))
+        .Set("speedup_vs_per_object", ratio);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   lxfi::SetLogLevel(lxfi::LogLevel::kError);
-  RunEmptyProbeAblation();
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  lxfibench::JsonWriter json("bench_writerset");
+  lxfibench::JsonWriter* jp = json_path != nullptr ? &json : nullptr;
+
+  RunEmptyProbeAblation(jp);
+  RunTeardownAblation(jp);
   constexpr uint64_t kPackets = 40000;
 
   eval::NetperfHarness with_ws(/*isolated=*/true);
@@ -121,5 +212,19 @@ int main() {
                                 : 100.0 * (1.0 - static_cast<double>(full(m_on)) /
                                                      static_cast<double>(all(m_on)));
   std::printf("\nwriter-set tracking skipped %.0f%% of full checks (paper: ~2/3)\n", saved);
+  if (jp != nullptr) {
+    jp->AddRow("writer_set_on")
+        .Set("indcalls", static_cast<double>(all(m_on)))
+        .Set("full_checks", static_cast<double>(full(m_on)))
+        .Set("ns_per_packet", m_on.PathNsPerPacket());
+    jp->AddRow("writer_set_off")
+        .Set("indcalls", static_cast<double>(all(m_off)))
+        .Set("full_checks", static_cast<double>(full(m_off)))
+        .Set("ns_per_packet", m_off.PathNsPerPacket());
+    jp->Meta("full_checks_skipped_pct", saved);
+  }
+  if (json_path != nullptr) {
+    json.WriteFile(json_path);
+  }
   return 0;
 }

@@ -26,16 +26,181 @@ int SlabAllocator::ClassIndexFor(size_t size) {
   return -1;
 }
 
-void* SlabAllocator::Alloc(size_t size) {
+// --- partitions ---------------------------------------------------------------
+
+bool SlabAllocator::EnablePartitions(size_t region_bytes, size_t slot_bytes, uint64_t seed) {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (region_lo_ != 0) {
+    return true;
+  }
+  if (slot_bytes == 0 || slot_bytes % kPageSize != 0 || region_bytes < slot_bytes) {
+    return false;
+  }
+  void* region = arena_->Allocate(region_bytes, kPageSize);
+  if (region == nullptr) {
+    return false;
+  }
+  region_lo_ = reinterpret_cast<uintptr_t>(region);
+  region_hi_ = region_lo_ + (region_bytes / slot_bytes) * slot_bytes;
+  slot_bytes_ = slot_bytes;
+  size_t nslots = (region_hi_ - region_lo_) / slot_bytes;
+  slot_owner_.assign(nslots, nullptr);
+  // Hand-out order is (i + seed) % nslots for the i-th CreatePartition: push
+  // in reverse so pop_back yields ascending creation order. The layout is a
+  // pure function of (nslots, seed) — never of the mapping address.
+  free_slots_.clear();
+  free_slots_.reserve(nslots);
+  for (size_t i = nslots; i > 0; --i) {
+    free_slots_.push_back((i - 1 + seed) % nslots);
+  }
+  return true;
+}
+
+int SlabAllocator::CreatePartition() {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (region_lo_ == 0 || free_slots_.empty()) {
+    return kNoPartition;
+  }
+  size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  auto part = std::make_unique<Partition>();
+  part->id = static_cast<int>(partitions_.size());
+  part->slot = slot;
+  part->lo = region_lo_ + slot * slot_bytes_;
+  part->hi = part->lo + slot_bytes_;
+  part->bump = part->lo;
+  slot_owner_[slot] = part.get();
+  partitions_.push_back(std::move(part));
+  return partitions_.back()->id;
+}
+
+bool SlabAllocator::PartitionSpan(int id, uintptr_t* lo, uintptr_t* hi) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (id < 0 || static_cast<size_t>(id) >= partitions_.size() || partitions_[id]->torn_down) {
+    return false;
+  }
+  *lo = partitions_[id]->lo;
+  *hi = partitions_[id]->hi;
+  return true;
+}
+
+bool SlabAllocator::SealPartition(int id) {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (id < 0 || static_cast<size_t>(id) >= partitions_.size() || partitions_[id]->torn_down) {
+    return false;
+  }
+  partitions_[id]->sealed = true;
+  return true;
+}
+
+int SlabAllocator::PartitionOf(const void* ptr) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  Partition* part = PartitionOfLocked(reinterpret_cast<uintptr_t>(ptr));
+  return part == nullptr ? kNoPartition : part->id;
+}
+
+SlabAllocator::Partition* SlabAllocator::PartitionOfLocked(uintptr_t addr) const {
+  if (addr < region_lo_ || addr >= region_hi_) {
+    return nullptr;
+  }
+  return slot_owner_[(addr - region_lo_) / slot_bytes_];
+}
+
+size_t SlabAllocator::partition_live_objects(int id) const {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (id < 0 || static_cast<size_t>(id) >= partitions_.size()) {
+    return 0;
+  }
+  return partitions_[id]->live;
+}
+
+void* SlabAllocator::SlotPages(Partition* part, size_t bytes) {
+  if (part->bump + bytes > part->hi) {
+    return nullptr;
+  }
+  void* p = reinterpret_cast<void*>(part->bump);
+  part->bump += bytes;
+  return p;
+}
+
+size_t SlabAllocator::TeardownPartition(int id) {
+  lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
+  if (id < 0 || static_cast<size_t>(id) >= partitions_.size()) {
+    return 0;
+  }
+  Partition* part = partitions_[id].get();
+  if (part->torn_down) {
+    return 0;
+  }
+  // Purge every CPU's magazine of objects in the slot: whole bins keyed to
+  // this partition, plus in-circulation records for recycled objects. Safe
+  // only because teardown runs from a quiescent context.
+  for (CpuCache& cache : caches_) {
+    for (CpuCache::Bin& bin : cache.bins) {
+      if (bin.requested != 0 && bin.pid == id) {
+        for (void* obj : bin.objs) {
+          cache.cached_size.Erase(reinterpret_cast<uintptr_t>(obj));
+        }
+        bin.objs.clear();
+        bin.requested = 0;
+        bin.pid = kNoPartition;
+      }
+    }
+    std::vector<uint64_t> stale;
+    cache.cached_size.ForEach([&](uint64_t key, uint64_t) {
+      if (key >= part->lo && key < part->hi) {
+        stale.push_back(key);
+      }
+    });
+    for (uint64_t key : stale) {
+      cache.cached_size.Erase(key);
+    }
+  }
+  // Drop live objects and slab pages in one range sweep — the bulk analogue
+  // of a per-object kfree storm.
+  size_t reclaimed = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->first >= part->lo && it->first < part->hi) {
+      it = live_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  for (uintptr_t base = part->lo; base < part->hi; base += kPageSize) {
+    auto pit = page_of_.find(base);
+    if (pit != page_of_.end()) {
+      delete pit->second;
+      page_of_.erase(pit);
+    }
+  }
+  for (auto& list : part->partial) {
+    list.clear();
+  }
+  part->live = 0;
+  part->torn_down = true;
+  // LIFO slot recycle keeps the layout deterministic: the next partition
+  // reuses this exact span.
+  slot_owner_[part->slot] = nullptr;
+  free_slots_.push_back(part->slot);
+  return reclaimed;
+}
+
+// --- allocation ---------------------------------------------------------------
+
+void* SlabAllocator::Alloc(size_t size) { return AllocIn(kNoPartition, size); }
+
+void* SlabAllocator::AllocIn(int id, size_t size) {
   if (size == 0) {
     return nullptr;
   }
   if (smp_cache_) {
     // Per-CPU magazine hit: the object is already recorded live with this
-    // exact requested size, so no global state changes at all.
+    // exact requested size (and partition), so no global state changes at
+    // all.
     CpuCache& cache = caches_[lxfi::ThisShardIndex()];
     for (CpuCache::Bin& bin : cache.bins) {
-      if (bin.requested == size && !bin.objs.empty()) {
+      if (bin.requested == size && bin.pid == id && !bin.objs.empty()) {
         void* p = bin.objs.back();
         bin.objs.pop_back();
         if (uint64_t* rec = cache.cached_size.Find(reinterpret_cast<uintptr_t>(p))) {
@@ -50,7 +215,23 @@ void* SlabAllocator::Alloc(size_t size) {
   void* p;
   {
     lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
-    p = ci >= 0 ? AllocFromClass(static_cast<size_t>(ci), size) : AllocLarge(size);
+    Partition* part = nullptr;
+    if (id != kNoPartition) {
+      if (id < 0 || static_cast<size_t>(id) >= partitions_.size() || partitions_[id]->torn_down) {
+        return nullptr;
+      }
+      part = partitions_[id].get();
+      if (part->sealed) {
+        return nullptr;  // a quarantined principal gets no fresh memory
+      }
+    }
+    p = ci >= 0 ? AllocFromClass(part, static_cast<size_t>(ci), size) : AllocLarge(part, size);
+    if (p == nullptr && part != nullptr) {
+      // Slot exhausted: fall back to the shared heap. The object is simply
+      // outside the partition span, so only per-object capabilities cover it.
+      p = ci >= 0 ? AllocFromClass(nullptr, static_cast<size_t>(ci), size)
+                  : AllocLarge(nullptr, size);
+    }
   }
   if (p != nullptr) {
     std::memset(p, 0, size);
@@ -58,15 +239,16 @@ void* SlabAllocator::Alloc(size_t size) {
   return p;
 }
 
-void* SlabAllocator::AllocFromClass(size_t class_index, size_t requested) {
-  auto& partial = partial_[class_index];
+void* SlabAllocator::AllocFromClass(Partition* part, size_t class_index, size_t requested) {
+  auto& partial = part != nullptr ? part->partial[class_index] : partial_[class_index];
   if (partial.empty()) {
-    void* page = arena_->Allocate(kPageSize, kPageSize);
+    void* page =
+        part != nullptr ? SlotPages(part, kPageSize) : arena_->Allocate(kPageSize, kPageSize);
     if (page == nullptr) {
       return nullptr;
     }
     ++pages_allocated_;
-    auto* slab = new SlabPage{class_index, {}};
+    auto* slab = new SlabPage{class_index, {}, part};
     size_t object_size = kClassSizes[class_index];
     size_t count = kPageSize / object_size;
     // Populate the freelist back-to-front so allocations come out in
@@ -84,17 +266,24 @@ void* SlabAllocator::AllocFromClass(size_t class_index, size_t requested) {
     partial.pop_back();
   }
   live_[reinterpret_cast<uintptr_t>(obj)] = LiveObject{requested, class_index, 0};
+  if (part != nullptr) {
+    ++part->live;
+  }
   return obj;
 }
 
-void* SlabAllocator::AllocLarge(size_t size) {
+void* SlabAllocator::AllocLarge(Partition* part, size_t size) {
   size_t pages = (size + kPageSize - 1) / kPageSize;
-  void* p = arena_->Allocate(pages * kPageSize, kPageSize);
+  void* p = part != nullptr ? SlotPages(part, pages * kPageSize)
+                            : arena_->Allocate(pages * kPageSize, kPageSize);
   if (p == nullptr) {
     return nullptr;
   }
   pages_allocated_ += pages;
   live_[reinterpret_cast<uintptr_t>(p)] = LiveObject{size, SIZE_MAX, pages * kPageSize};
+  if (part != nullptr) {
+    ++part->live;
+  }
   return p;
 }
 
@@ -107,17 +296,18 @@ void SlabAllocator::Free(void* ptr) {
     // Recycled object this shard has seen before: return it to the bin with
     // no global work. (The live_ entry persists with the same requested
     // size, which is exactly what the next same-size Alloc will hand out.)
-    if (uint64_t* requested = cache.cached_size.Find(reinterpret_cast<uintptr_t>(ptr))) {
-      if ((*requested & kCacheInBin) != 0) {
+    if (uint64_t* rec = cache.cached_size.Find(reinterpret_cast<uintptr_t>(ptr))) {
+      if ((*rec & kCacheInBin) != 0) {
         // The pointer is sitting in the magazine right now: this is the
         // double-kfree the uncached path panics on; preserve that.
         Panic("kfree of pointer already free in the per-CPU slab cache (double free)");
       }
-      uint64_t size_only = *requested & ~kCacheInBin;
+      size_t size_only = static_cast<size_t>(*rec & kCacheSizeMask);
+      int pid = static_cast<int>((*rec & ~kCacheInBin) >> kCachePidShift) - 1;
       for (CpuCache::Bin& bin : cache.bins) {
-        if (bin.requested == size_only && bin.objs.size() < kCacheBinCap) {
+        if (bin.requested == size_only && bin.pid == pid && bin.objs.size() < kCacheBinCap) {
           bin.objs.push_back(ptr);
-          *requested |= kCacheInBin;
+          *rec |= kCacheInBin;
           return;
         }
       }
@@ -130,6 +320,7 @@ void SlabAllocator::Free(void* ptr) {
     // First sighting on this shard: stash class-backed objects, keeping the
     // live_ entry (same requested size) so introspection stays truthful.
     size_t stash_requested = 0;
+    int stash_pid = kNoPartition;
     {
       lxfi::OptionalSpinGuard guard(mu_, smp_lock_);
       auto it = live_.find(reinterpret_cast<uintptr_t>(ptr));
@@ -138,16 +329,21 @@ void SlabAllocator::Free(void* ptr) {
       }
       if (it->second.class_index != SIZE_MAX && it->second.requested > 0) {
         stash_requested = it->second.requested;
+        Partition* part = PartitionOfLocked(reinterpret_cast<uintptr_t>(ptr));
+        stash_pid = part == nullptr ? kNoPartition : part->id;
       }
     }
     if (stash_requested != 0) {
       for (CpuCache::Bin& bin : cache.bins) {
-        if ((bin.requested == stash_requested || bin.requested == 0) &&
+        if (((bin.requested == stash_requested && bin.pid == stash_pid) || bin.requested == 0) &&
             bin.objs.size() < kCacheBinCap) {
           bin.requested = stash_requested;
+          bin.pid = stash_pid;
           bin.objs.push_back(ptr);
           cache.cached_size.Insert(reinterpret_cast<uintptr_t>(ptr),
-                                   stash_requested | kCacheInBin);
+                                   stash_requested |
+                                       (static_cast<uint64_t>(stash_pid + 1) << kCachePidShift) |
+                                       kCacheInBin);
           return;
         }
       }
@@ -166,10 +362,15 @@ void SlabAllocator::FreeGlobal(void* ptr) {
   }
   LiveObject obj = it->second;
   live_.erase(it);
+  Partition* part = PartitionOfLocked(reinterpret_cast<uintptr_t>(ptr));
+  if (part != nullptr && part->live > 0) {
+    --part->live;
+  }
   if (obj.class_index == SIZE_MAX) {
     // Large allocation: pages are returned to the arena only on arena reset;
     // a bump arena cannot reclaim. This mirrors a leaky __get_free_pages and
-    // is fine for bounded test/benchmark lifetimes.
+    // is fine for bounded test/benchmark lifetimes. (Partition slot pages
+    // come back wholesale at TeardownPartition.)
     return;
   }
   uintptr_t page_base = reinterpret_cast<uintptr_t>(ptr) & ~(kPageSize - 1);
@@ -177,7 +378,9 @@ void SlabAllocator::FreeGlobal(void* ptr) {
   KERN_BUG_ON(pit == page_of_.end());
   SlabPage* slab = pit->second;
   if (slab->freelist.empty()) {
-    partial_[slab->class_index].push_back(slab);
+    auto& partial = slab->part != nullptr ? slab->part->partial[slab->class_index]
+                                          : partial_[slab->class_index];
+    partial.push_back(slab);
   }
   slab->freelist.push_back(ptr);
 }

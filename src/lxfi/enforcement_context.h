@@ -66,6 +66,9 @@ struct alignas(kCacheLineSize) EnforcementContext {
   // Guard counters (always on; single-writer per shard, race-free reads).
   RelaxedCell write_checks;
   RelaxedCell write_memo_hits;
+  // Store guards satisfied by the principal's own heap-partition span (the
+  // partitioned-heaps fast path, resolved before the memo).
+  RelaxedCell arena_span_hits;
   RelaxedCell call_checks;
   RelaxedCell call_memo_hits;
   RelaxedCell pre_checks;

@@ -261,6 +261,8 @@ void InstallAnnotations(Runtime* rt) {
   // Memory allocator.
   MustRegister(rt, "kmalloc", {"size"}, "post(if (return != 0) transfer(write, return, size))");
   MustRegister(rt, "kzalloc", {"size"}, "post(if (return != 0) transfer(write, return, size))");
+  MustRegister(rt, "krealloc", {"ptr", "size"},
+               "pre(transfer(alloc_caps(ptr))) post(if (return != 0) transfer(write, return, size))");
   MustRegister(rt, "kfree", {"ptr"}, "pre(transfer(alloc_caps(ptr)))");
   MustRegister(rt, "ksize", {"ptr"}, "pre(check(alloc_caps(ptr)))");
   MustRegister(rt, "dma_alloc_coherent", {"size"},
@@ -467,8 +469,12 @@ void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
   kern::Kernel* k = kernel;
 
   // --- memory ---------------------------------------------------------------
+  // Allocation routes through the caller's heap partition when partitioned
+  // heaps are on (PartitionedAlloc recovers the module caller from the
+  // shadow stack — the import wrapper already dropped to kernel privilege);
+  // otherwise it is the plain shared-heap slab path.
   auto kmalloc_impl = [k, rt](size_t size) -> void* {
-    void* p = k->slab().Alloc(size);
+    void* p = rt != nullptr ? rt->PartitionedAlloc(size) : k->slab().Alloc(size);
     if (p != nullptr && rt != nullptr) {
       // Fresh allocations are zeroed; zeroing resets writer attribution (§5).
       rt->writer_set().ClearRange(reinterpret_cast<uintptr_t>(p), size);
@@ -478,6 +484,27 @@ void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
   k->ExportSymbol<KmallocSig>("kmalloc", kmalloc_impl);
   k->ExportSymbol<KmallocSig>("kzalloc", kmalloc_impl);
   k->ExportSymbol<KmallocSig>("dma_alloc_coherent", kmalloc_impl);
+  k->ExportSymbol<KreallocSig>("krealloc", [k, kmalloc_impl](void* old_p, size_t size) -> void* {
+    // Always move (and stay in the caller's partition): the fresh requested
+    // size keeps AllocSize/alloc_caps truthful, and the annotation's
+    // pre-transfer already revoked the old object's capabilities.
+    if (size == 0) {
+      if (old_p != nullptr) {
+        k->slab().Free(old_p);
+      }
+      return nullptr;
+    }
+    void* np = kmalloc_impl(size);
+    if (np == nullptr) {
+      return nullptr;
+    }
+    if (old_p != nullptr) {
+      size_t old_size = k->slab().AllocSize(old_p);
+      std::memcpy(np, old_p, old_size < size ? old_size : size);
+      k->slab().Free(old_p);
+    }
+    return np;
+  });
   k->ExportSymbol<KfreeSig>("kfree", [k](void* p) { k->slab().Free(p); });
   k->ExportSymbol<KfreeSig>("dma_free_coherent", [k](void* p) { k->slab().Free(p); });
   k->ExportSymbol<KsizeSig>("ksize",

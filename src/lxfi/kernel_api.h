@@ -48,6 +48,7 @@ class Runtime;
 // std::function types match exactly across ExportSymbol / GetImport /
 // IndirectCall.
 using KmallocSig = void*(size_t);
+using KreallocSig = void*(void*, size_t);
 using KfreeSig = void(void*);
 using KsizeSig = size_t(const void*);
 using SpinlockSig = void(uintptr_t*);

@@ -180,14 +180,61 @@ bool ModuleCtx::OwnsChainConcurrent(const Principal* p, Probe&& probe) const {
   return false;
 }
 
+// Heap-partition span as a chain step, with a definitive answer either way:
+// a principal's unsealed partition span satisfies WRITE queries exactly like
+// a granted range would (reported as the memo-fillable range [*lo, *hi)),
+// and a *sealed* span denies without consulting the principal's table — the
+// quarantined heap fails closed even where per-object kmalloc grants still
+// sit in the table. Folding the span into the chain (not just the
+// store-guard fast path) keeps the cap-table slow path and the arena fast
+// path giving identical allow/deny answers by construction — the slow path
+// is the differential reference.
+enum class ArenaAnswer { kAllow, kDeny, kNotMine };
+
+static ArenaAnswer ArenaWriteProbe(const Principal& q, uintptr_t addr, size_t size, uintptr_t* lo,
+                                   uintptr_t* hi) {
+  if (!q.ArenaContains(addr, size)) {
+    return ArenaAnswer::kNotMine;
+  }
+  if (q.arena_sealed()) {
+    return ArenaAnswer::kDeny;
+  }
+  if (lo != nullptr) {
+    *lo = q.arena_lo();
+    *hi = q.arena_hi();
+  }
+  return ArenaAnswer::kAllow;
+}
+
 bool ModuleCtx::Owns(const Principal* p, const Capability& cap) const {
-  return OwnsChain(p, [&cap](const Principal& q) { return q.caps().Check(cap); });
+  return OwnsChain(p, [&cap](const Principal& q) {
+    if (cap.kind == CapKind::kWrite) {
+      switch (ArenaWriteProbe(q, cap.addr, cap.size, nullptr, nullptr)) {
+        case ArenaAnswer::kAllow:
+          return true;
+        case ArenaAnswer::kDeny:
+          return false;
+        case ArenaAnswer::kNotMine:
+          break;
+      }
+    }
+    return q.caps().Check(cap);
+  });
 }
 
 bool ModuleCtx::OwnsWrite(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
                           uintptr_t* hi) const {
-  return OwnsChain(
-      p, [&](const Principal& q) { return q.caps().FindWriteRange(addr, size, lo, hi); });
+  return OwnsChain(p, [&](const Principal& q) {
+    switch (ArenaWriteProbe(q, addr, size, lo, hi)) {
+      case ArenaAnswer::kAllow:
+        return true;
+      case ArenaAnswer::kDeny:
+        return false;
+      case ArenaAnswer::kNotMine:
+        break;
+    }
+    return q.caps().FindWriteRange(addr, size, lo, hi);
+  });
 }
 
 bool ModuleCtx::OwnsCall(const Principal* p, uintptr_t target) const {
@@ -195,13 +242,32 @@ bool ModuleCtx::OwnsCall(const Principal* p, uintptr_t target) const {
 }
 
 bool ModuleCtx::OwnsConcurrent(const Principal* p, const Capability& cap) const {
-  return OwnsChainConcurrent(p,
-                             [&cap](const Principal& q) { return q.caps().CheckConcurrent(cap); });
+  return OwnsChainConcurrent(p, [&cap](const Principal& q) {
+    if (cap.kind == CapKind::kWrite) {
+      switch (ArenaWriteProbe(q, cap.addr, cap.size, nullptr, nullptr)) {
+        case ArenaAnswer::kAllow:
+          return true;
+        case ArenaAnswer::kDeny:
+          return false;
+        case ArenaAnswer::kNotMine:
+          break;
+      }
+    }
+    return q.caps().CheckConcurrent(cap);
+  });
 }
 
 bool ModuleCtx::OwnsWriteConcurrent(const Principal* p, uintptr_t addr, size_t size, uintptr_t* lo,
                                     uintptr_t* hi) const {
   return OwnsChainConcurrent(p, [&](const Principal& q) {
+    switch (ArenaWriteProbe(q, addr, size, lo, hi)) {
+      case ArenaAnswer::kAllow:
+        return true;
+      case ArenaAnswer::kDeny:
+        return false;
+      case ArenaAnswer::kNotMine:
+        break;
+    }
     return q.caps().FindWriteRangeConcurrent(addr, size, lo, hi);
   });
 }

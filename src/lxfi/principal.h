@@ -20,6 +20,7 @@
 // principals) are reclaimed through the quiescent-state EpochReclaimer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -78,12 +79,55 @@ class Principal {
   const EnforcementContext& ctx() const { return shards_[ThisShardIndex()]; }
   EnforcementContext& ctx(int shard) { return shards_[shard]; }
 
+  // --- partitioned-heap span -------------------------------------------------
+  // The principal's heap-partition span [arena_lo_, arena_hi_): ownership of
+  // the principal's own allocations as a pure address-range property. The
+  // store guard reads both bounds with relaxed loads (same discipline as
+  // RevocationEpoch::CurrentRelaxed); the three-compare form below is safe
+  // against any publish interleaving, because a half-published span — one
+  // bound still at its at-rest sentinel (lo=~0, hi=0) — can only *shrink*
+  // the accepted range to empty, never widen it.
+  static constexpr int kNoHeap = -1;
+
+  void PublishArena(int partition, uintptr_t lo, uintptr_t hi) {
+    heap_partition_ = partition;
+    arena_lo_.store(lo, std::memory_order_release);
+    arena_hi_.store(hi, std::memory_order_release);
+  }
+  // Sealing fails the span check closed; the caller (Runtime) bumps the
+  // revocation epoch so memoized allows covering the span die with it.
+  void SealArena() { arena_sealed_.store(true, std::memory_order_release); }
+  void ResetArena() {
+    heap_partition_ = kNoHeap;
+    arena_hi_.store(0, std::memory_order_release);
+    arena_lo_.store(UINTPTR_MAX, std::memory_order_release);
+    arena_sealed_.store(false, std::memory_order_release);
+  }
+
+  bool ArenaContains(uintptr_t addr, size_t size) const {
+    uintptr_t lo = arena_lo_.load(std::memory_order_relaxed);
+    uintptr_t hi = arena_hi_.load(std::memory_order_relaxed);
+    return addr >= lo && addr < hi && size <= hi - addr;
+  }
+  bool arena_sealed() const { return arena_sealed_.load(std::memory_order_relaxed); }
+  bool has_arena() const { return arena_hi_.load(std::memory_order_relaxed) != 0; }
+  uintptr_t arena_lo() const { return arena_lo_.load(std::memory_order_relaxed); }
+  uintptr_t arena_hi() const { return arena_hi_.load(std::memory_order_relaxed); }
+  int heap_partition() const { return heap_partition_; }
+
   std::string DebugName() const;
 
  private:
   ModuleCtx* module_;
   PrincipalKind kind_;
   uintptr_t name_;  // primary name (0 for shared/global)
+  // Heap-partition span, read on the store-guard fast path (sentinel values
+  // fail every contains check). heap_partition_ is written once at publish
+  // time from the allocating context.
+  std::atomic<uintptr_t> arena_lo_{UINTPTR_MAX};
+  std::atomic<uintptr_t> arena_hi_{0};
+  std::atomic<bool> arena_sealed_{false};
+  int heap_partition_ = kNoHeap;
   CapTable caps_;
   Spinlock lock_;
   FlatSet writer_pages_;
@@ -169,6 +213,36 @@ class ModuleCtx {
   // revoked under its own lock, pre-filtered by a lock-free probe.
   bool RevokeEverywhere(const Capability& cap);
 
+  // --- heap-partition bookkeeping -------------------------------------------
+  // Partitions carved for this module's principals. Records outlive dropped
+  // instance principals (a socket that dies with live allocations orphans
+  // its slot), so module unload can sweep every slot the module ever owned
+  // in bulk.
+  struct HeapPartitionRecord {
+    int id;
+    uintptr_t lo;
+    uintptr_t hi;
+  };
+  void RecordHeapPartition(int id, uintptr_t lo, uintptr_t hi) {
+    SpinGuard guard(mu_);
+    heap_partitions_.push_back(HeapPartitionRecord{id, lo, hi});
+  }
+  void ForgetHeapPartition(int id) {
+    SpinGuard guard(mu_);
+    for (auto it = heap_partitions_.begin(); it != heap_partitions_.end(); ++it) {
+      if (it->id == id) {
+        heap_partitions_.erase(it);
+        return;
+      }
+    }
+  }
+  std::vector<HeapPartitionRecord> TakeHeapPartitions() {
+    SpinGuard guard(mu_);
+    std::vector<HeapPartitionRecord> out;
+    out.swap(heap_partitions_);
+    return out;
+  }
+
  private:
   struct InstanceSnapshot {
     std::vector<Principal*> items;
@@ -190,6 +264,7 @@ class ModuleCtx {
   FlatTable<Principal*> by_name_;
   InstanceSnapshot* inst_snapshot_ = nullptr;
   EpochReclaimer* reclaimer_ = nullptr;
+  std::vector<HeapPartitionRecord> heap_partitions_;  // guarded by mu_
 };
 
 }  // namespace lxfi

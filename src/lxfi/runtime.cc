@@ -73,6 +73,9 @@ Runtime::Runtime(kern::Kernel* kernel, RuntimeOptions options)
   if (options_.concurrent_enforcement) {
     writer_set_.EnableConcurrent(&EpochReclaimer::Global());
   }
+  if (options_.partitioned_heaps) {
+    EnablePartitionedHeaps();
+  }
   // The registration-time compile pass resolves iterator-func names against
   // this runtime's iterator registry.
   annotations_.BindIterators(&iterators_);
@@ -191,6 +194,14 @@ void Runtime::OnModuleUnload(kern::Module* module) {
       kernel_->funcs().Unregister(addr);
     }
   }
+  // Bulk arena teardown: one writer-set range clear plus one slab sweep per
+  // partition the module's principals ever owned — batched at arena-chunk
+  // granularity, never a per-object revoke storm (the capability tables die
+  // wholesale with the principals below).
+  for (const auto& rec : mc->TakeHeapPartitions()) {
+    writer_set_.ClearRange(rec.lo, rec.hi - rec.lo);
+    kernel_->slab().TeardownPartition(rec.id);
+  }
   // Drop writer attribution for the module's principals. (A real kernel
   // would also have to treat still-reachable module-written pointers as
   // poisoned; unloading with live references is already a bug upstream.)
@@ -260,6 +271,65 @@ ShadowStack* Runtime::CurrentShadow() {
 }
 
 Principal* Runtime::CurrentPrincipal() { return CurrentShadow()->current; }
+
+Principal* Runtime::CallerPrincipal() {
+  ShadowStack* shadow = CurrentShadow();
+  if (shadow->current != nullptr) {
+    return shadow->current;
+  }
+  // Inside a module->kernel wrapper the FrameGuard already switched to
+  // kernel privilege; the module caller sits in the saved frame.
+  return shadow->TopSavedPrincipal();
+}
+
+// --- partitioned heaps --------------------------------------------------------
+
+void Runtime::EnablePartitionedHeaps(size_t region_bytes, size_t slot_bytes, uint64_t seed) {
+  options_.partitioned_heaps = true;
+  kernel_->slab().EnablePartitions(region_bytes, slot_bytes, seed);
+}
+
+void* Runtime::PartitionedAlloc(size_t size) {
+  kern::SlabAllocator& slab = kernel_->slab();
+  if (!options_.partitioned_heaps || !slab.partitions_enabled()) {
+    return slab.Alloc(size);
+  }
+  Principal* caller = CallerPrincipal();
+  if (caller == nullptr) {
+    return slab.Alloc(size);  // trusted context: shared heap, as before
+  }
+  if (caller->arena_sealed()) {
+    return nullptr;  // quarantined principals get no fresh memory
+  }
+  int pid = caller->heap_partition();
+  if (pid == Principal::kNoHeap) {
+    // First allocation by this principal: carve its slot and publish the
+    // span. A failed carve (all slots taken) degrades to the shared heap
+    // with per-object capabilities, exactly the pre-partition behavior.
+    pid = slab.CreatePartition();
+    if (pid != kern::SlabAllocator::kNoPartition) {
+      uintptr_t lo = 0, hi = 0;
+      slab.PartitionSpan(pid, &lo, &hi);
+      caller->PublishArena(pid, lo, hi);
+      caller->module()->RecordHeapPartition(pid, lo, hi);
+    }
+  }
+  return pid == kern::SlabAllocator::kNoPartition ? slab.Alloc(size) : slab.AllocIn(pid, size);
+}
+
+void Runtime::SealPrincipalHeap(Principal* p) {
+  if (p == nullptr) {
+    return;
+  }
+  p->SealArena();
+  if (p->heap_partition() != Principal::kNoHeap) {
+    kernel_->slab().SealPartition(p->heap_partition());
+  }
+  // Memoized allows covering the span (and pre-check memos) die here; the
+  // span check itself runs before the memo, so the fast path is already
+  // closed on every CPU that observes the seal.
+  RevocationEpoch::Bump();
+}
 
 void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
   SpinGuard guard(shadows_mu_);
@@ -360,6 +430,7 @@ bool Runtime::Owns(Principal* p, const Capability& cap) const {
 }
 
 void Runtime::RevokeEverywhere(const Capability& cap) {
+  revoke_everywhere_count_.fetch_add(1, std::memory_order_relaxed);
   for (auto& [kmod, mc] : ctxs_) {
     mc->RevokeEverywhere(cap);
   }
@@ -418,6 +489,25 @@ LXFI_ALWAYS_INLINE bool Runtime::WriteTableProbe(Principal* p, EnforcementContex
 
 void Runtime::CheckWriteBody(Principal* p, uintptr_t addr, size_t size) {
   EnforcementContext& ec = p->ctx();
+  // Partitioned-heap fast path: the overwhelmingly common store — a module
+  // writing memory it kmalloc'd itself — resolves on the principal's own
+  // span before the memo and any table probe. Two relaxed loads and a
+  // flag-combining compare chain; when partitions are off both bounds sit
+  // at their at-rest sentinels and the first compare falls through. Sealing
+  // turns the same compare into an immediate violation attributed to the
+  // sealed principal: its own heap fails closed without consulting the
+  // table (which may still hold per-object grants).
+  if (p->ArenaContains(addr, size)) {
+    ++ec.write_checks;
+    if (LXFI_LIKELY(!p->arena_sealed())) {
+      ++ec.arena_span_hits;
+      return;
+    }
+    RaiseViolation(ViolationKind::kWrite,
+                   StrFormat("%s attempted %zu-byte store to %p in its sealed heap partition",
+                             p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)));
+    return;
+  }
   if (WriteMemoProbe(ec, addr, size)) {
     return;
   }
@@ -436,6 +526,11 @@ void Runtime::CheckWriteBody(Principal* p, uintptr_t addr, size_t size) {
 }
 
 bool Runtime::OwnsWriteFast(Principal* p, uintptr_t addr, size_t size) {
+  // Same ordering as the store guard: span (sealed fails closed, before the
+  // memo can resurrect a stale allow), then memo, then tables.
+  if (p->ArenaContains(addr, size)) {
+    return !p->arena_sealed();
+  }
   EnforcementContext& ec = p->ctx();
   return WriteMemoProbe(ec, addr, size) || WriteTableProbe(p, ec, addr, size);
 }
@@ -652,6 +747,16 @@ void Runtime::DropPrincipal(kern::Module* module, const void* name) {
   }
   Principal* p = mc->Lookup(reinterpret_cast<uintptr_t>(name));
   if (p != nullptr) {
+    // An instance that dies with an empty slot gives it straight back (one
+    // range clear, one bulk sweep); a slot with live objects — the kernel
+    // may still reference them — stays orphaned until module unload.
+    int pid = p->heap_partition();
+    if (pid != Principal::kNoHeap && kernel_->slab().partition_live_objects(pid) == 0) {
+      writer_set_.ClearRange(p->arena_lo(), p->arena_hi() - p->arena_lo());
+      kernel_->slab().TeardownPartition(pid);
+      mc->ForgetHeapPartition(pid);
+      p->ResetArena();
+    }
     writer_set_.RemoveWriter(p);
     mc->DropInstance(reinterpret_cast<uintptr_t>(name));
   }
@@ -678,6 +783,16 @@ std::string Runtime::DumpState() const {
     auto describe = [&](const Principal* p) {
       out += StrFormat("  %-28s WRITE=%zu CALL=%zu REF=%zu\n", p->DebugName().c_str(),
                        p->caps().write_count(), p->caps().call_count(), p->caps().ref_count());
+      if (p->has_arena()) {
+        // Spans print as offsets from the partition region base, so golden
+        // DumpState output reproduces across runs regardless of where the
+        // OS mapped the arena.
+        uintptr_t base = kernel_->slab().region_base();
+        out += StrFormat("    heap partition: [+%#llx, +%#llx)%s\n",
+                         static_cast<unsigned long long>(p->arena_lo() - base),
+                         static_cast<unsigned long long>(p->arena_hi() - base),
+                         p->arena_sealed() ? " sealed" : "");
+      }
     };
     describe(mc->shared());
     describe(mc->global());

@@ -47,6 +47,16 @@ struct RuntimeOptions {
   // simulated CPUs (kern::CpuSet) can run concurrently. Off by default:
   // single-threaded configurations keep the PR 1 flat probe untouched.
   bool concurrent_enforcement = false;
+  // Per-principal partitioned heaps (IA2-style): each principal's kmalloc
+  // allocations come from its own arena slot, so the store guard's common
+  // case — a module writing memory it allocated itself — collapses to a
+  // span compare checked before the memo and any table probe, sealing a
+  // principal quarantines its heap, and module unload tears arenas down in
+  // bulk. Off by default: the shared heap keeps the slab adjacency the
+  // exploit suite (and the stock-kernel baseline) depends on. The trade-off
+  // is IA2's: a module can still corrupt *its own* heap objects without a
+  // violation; cross-principal writes keep needing explicit grants.
+  bool partitioned_heaps = false;
 };
 
 // Bound arguments of one wrapped call, for annotation-expression evaluation.
@@ -97,6 +107,34 @@ class Runtime : public kern::IsolationHooks {
   Principal* CurrentPrincipal();
   ShadowStack* CurrentShadow();
   ModuleCtx* CtxOf(kern::Module* module);
+  // The principal a kernel-side import implementation acts on behalf of:
+  // the current principal, or — when a wrapper already dropped to kernel
+  // privilege (current == nullptr) — the caller its frame saved.
+  Principal* CallerPrincipal();
+
+  // --- partitioned heaps ---------------------------------------------------
+  // Default arena geometry: 16 slots of 1 MiB carved from the kernel arena.
+  static constexpr size_t kHeapRegionBytes = 16ull << 20;
+  static constexpr size_t kHeapSlotBytes = 1ull << 20;
+  // Turns the option on and carves the slab partition region (idempotent;
+  // callable after construction, e.g. by benches flipping the ablation on a
+  // live harness). `seed` deterministically rotates slot placement.
+  void EnablePartitionedHeaps(size_t region_bytes = kHeapRegionBytes,
+                              size_t slot_bytes = kHeapSlotBytes, uint64_t seed = 0);
+  // kmalloc-path allocation: routes through the calling principal's heap
+  // partition (carving one on first use), falling back to the shared heap
+  // for trusted contexts, exhausted slots, or when the option is off.
+  void* PartitionedAlloc(size_t size);
+  // Quarantine: seals the principal's arena. The store-guard fast path then
+  // fails closed on the span (violations attributed to the sealed
+  // principal), fresh allocations fail, and the revocation epoch bump kills
+  // every memoized allow that covered the span.
+  void SealPrincipalHeap(Principal* p);
+  // Per-object RevokeEverywhere calls since construction; the bulk-teardown
+  // tests assert module unload leaves this untouched.
+  uint64_t revoke_everywhere_count() const {
+    return revoke_everywhere_count_.load(std::memory_order_relaxed);
+  }
 
   // --- capability operations ----------------------------------------------
   void Grant(Principal* p, const Capability& cap);
@@ -267,6 +305,7 @@ class Runtime : public kern::IsolationHooks {
   std::vector<ViolationRecord> violations_;
   uintptr_t stack_lo_ = 0;
   uintptr_t stack_hi_ = 0;
+  std::atomic<uint64_t> revoke_everywhere_count_{0};
 };
 
 // RAII principal switch for module code that must run as global/shared or as

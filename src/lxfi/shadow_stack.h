@@ -59,6 +59,14 @@ class ShadowStack {
 
   size_t depth() const { return frames_.size(); }
 
+  // The principal saved by the innermost frame: the caller a kernel-side
+  // import implementation (running with `current == nullptr` after its
+  // wrapper dropped privilege) acts on behalf of. Null when no frame is
+  // live.
+  Principal* TopSavedPrincipal() const {
+    return frames_.empty() ? nullptr : frames_.back().saved_principal;
+  }
+
   // The principal the current innermost execution runs as.
   Principal* current = nullptr;
 

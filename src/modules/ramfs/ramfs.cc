@@ -238,21 +238,18 @@ int64_t Write(RamfsState& st, kern::File* file, uintptr_t ubuf, uint64_t n, uint
     while (newcap < end) {
       newcap *= 2;
     }
-    auto* grown = static_cast<uint8_t*>(st.api.kmalloc(newcap));
+    // krealloc moves the buffer inside the kernel (and, under partitioned
+    // heaps, inside this mount's own heap partition): the old object's
+    // capabilities transfer away and [grown, grown+newcap) transfers in.
+    auto* grown = static_cast<uint8_t*>(st.api.krealloc(data, newcap));
     if (grown == nullptr) {
       return -kern::kEnomem;
-    }
-    if (data != nullptr && ino->size > 0) {
-      lxfi::MemCopy(m, grown, data, ino->size);
-    }
-    if (data != nullptr) {
-      st.api.kfree(data);
     }
     lxfi::Store<void*>(m, &ino->i_private, grown);
     data = grown;
   }
   // The checked uaccess path: copy_from_user's annotation demands WRITE over
-  // [data+pos, data+pos+n) — the capability granted by the kmalloc above.
+  // [data+pos, data+pos+n) — the capability granted by the krealloc above.
   int rc = st.api.copy_from_user(data + pos, ubuf, n);
   if (rc != 0) {
     return rc;
@@ -272,7 +269,8 @@ kern::ModuleDef RamfsModuleDef(bool prepopulate, const char* fs_name) {
   def.name = fs_name;
   def.data_size = sizeof(RamfsData);
   def.imports = {
-      "kmalloc", "kfree",         "ksize",
+      "kmalloc", "krealloc",      "kfree",
+      "ksize",
       "register_filesystem",      "unregister_filesystem",
       "iget",    "iput",          "d_alloc",
       "d_instantiate",            "copy_from_user",
@@ -333,6 +331,7 @@ kern::ModuleDef RamfsModuleDef(bool prepopulate, const char* fs_name) {
     st->m = &m;
     m.state_any() = st;
     st->api.kmalloc = lxfi::GetImport<void*, size_t>(m, "kmalloc");
+    st->api.krealloc = lxfi::GetImport<void*, void*, size_t>(m, "krealloc");
     st->api.kfree = lxfi::GetImport<void, void*>(m, "kfree");
     st->api.ksize = lxfi::GetImport<size_t, const void*>(m, "ksize");
     st->api.register_filesystem =

@@ -30,6 +30,7 @@ struct RamfsData {
 
 struct RamfsImports {
   std::function<void*(size_t)> kmalloc;
+  std::function<void*(void*, size_t)> krealloc;
   std::function<void(void*)> kfree;
   std::function<size_t(const void*)> ksize;
   std::function<int(kern::FileSystemType*)> register_filesystem;

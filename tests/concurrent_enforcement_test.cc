@@ -208,6 +208,118 @@ TEST(ConcurrentEnforcement, GrantRevokeInstanceStorm) {
   }
 }
 
+// Partitioned-heap storm: the mutator churns per-instance heap arenas —
+// carve, allocate, free, seal, drain, teardown+recycle — while every CPU
+// hammers the arena-span fast path (OwnsWriteFast's first compare) on the
+// live principal. The assertions are (a) nothing crashes or races under
+// TSan (torn span publishes must be harmless: the sentinel protocol makes a
+// half-visible span fail every contains check), and (b) once a walker has
+// observed — through the phase release/acquire edge — that the seal
+// returned, no span check may still answer yes: the quarantine fails closed
+// across CPUs, memos included (the seal bumps the revocation epoch).
+TEST(ConcurrentEnforcement, ArenaAllocSealTeardownStorm) {
+  ConcurrentRig rig;
+  rig.rt()->EnablePartitionedHeaps();
+  constexpr int kCpus = 3;
+  constexpr uint64_t kRounds = 60;
+  kern::CpuSet cpus(rig.bench->kernel.get(), kCpus);
+
+  std::atomic<uint64_t> phase{0};
+  std::atomic<lxfi::Principal*> target{nullptr};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> stale_passes{0};
+  std::atomic<uint64_t> span_probes{0};
+  std::atomic<uint64_t> acked[kCpus] = {};
+
+  for (int c = 0; c < kCpus; ++c) {
+    cpus.RunOn(c, [&, c] {
+      uint64_t iters = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t ph = phase.load(std::memory_order_acquire);
+        uint64_t state = ph == 0 ? 2 : (ph - 1) % 3;
+        if (state == 2) {  // parked: the principal may be mid-teardown
+          acked[c].store(ph, std::memory_order_release);
+          kern::CpuSet::QuiescePoint();
+          continue;
+        }
+        lxfi::Principal* p = target.load(std::memory_order_acquire);
+        if (p == nullptr) {
+          kern::CpuSet::QuiescePoint();
+          continue;
+        }
+        uintptr_t addr = p->arena_lo() + (iters % 1024) * 64;
+        bool wok = rig.rt()->OwnsWriteFast(p, addr, 8);
+        span_probes.fetch_add(1, std::memory_order_relaxed);
+        if (state == 0) {  // live: the span must satisfy the fast path
+          if (wok) {
+            acked[c].store(ph, std::memory_order_release);
+          }
+        } else {  // sealed before we loaded ph: must fail closed
+          if (wok) {
+            stale_passes.fetch_add(1);
+          }
+          acked[c].store(ph, std::memory_order_release);
+        }
+        if ((++iters & 127) == 0) {
+          kern::CpuSet::QuiescePoint();
+        }
+      }
+    });
+  }
+
+  auto wait_all_acked = [&](uint64_t want) {
+    for (int c = 0; c < kCpus; ++c) {
+      while (acked[c].load(std::memory_order_acquire) < want) {
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  for (uint64_t round = 0; round < kRounds; ++round) {
+    uintptr_t name = 0xa11c0000 + round;
+    lxfi::Principal* inst = rig.mc->GetOrCreate(name);
+    std::vector<void*> objs;
+    {
+      lxfi::ScopedPrincipal as_inst(rig.rt(), inst);
+      for (int i = 0; i < 16; ++i) {
+        void* p = rig.rt()->PartitionedAlloc(64);
+        ASSERT_NE(p, nullptr);
+        objs.push_back(p);
+      }
+    }
+    ASSERT_TRUE(inst->has_arena());
+    target.store(inst, std::memory_order_release);
+    phase.store(3 * round + 1, std::memory_order_release);
+    wait_all_acked(3 * round + 1);  // every CPU hit the live span
+    // Alloc/free churn racing the walkers' span probes.
+    {
+      lxfi::ScopedPrincipal as_inst(rig.rt(), inst);
+      for (int i = 0; i < 8; ++i) {
+        rig.bench->kernel->slab().Free(objs[i]);
+        objs[i] = rig.rt()->PartitionedAlloc(48);
+        ASSERT_NE(objs[i], nullptr);
+      }
+    }
+    rig.rt()->SealPrincipalHeap(inst);
+    phase.store(3 * round + 2, std::memory_order_release);
+    wait_all_acked(3 * round + 2);  // every CPU observed fail-closed
+    // Park the walkers, then drain and tear down (recycles the slot).
+    target.store(nullptr, std::memory_order_release);
+    phase.store(3 * round + 3, std::memory_order_release);
+    wait_all_acked(3 * round + 3);
+    for (void* p : objs) {
+      rig.bench->kernel->slab().Free(p);
+    }
+    rig.rt()->DropPrincipal(rig.module, reinterpret_cast<const void*>(name));
+  }
+  stop.store(true, std::memory_order_release);
+  cpus.Barrier();
+  EXPECT_EQ(stale_passes.load(), 0u);
+  EXPECT_GT(span_probes.load(), 0u);
+  // Every slot went back on the free list: a fresh partition still carves.
+  EXPECT_NE(rig.bench->kernel->slab().CreatePartition(), kern::SlabAllocator::kNoPartition);
+}
+
 // Memo-specific regression: a memo filled by a probe that raced a revoke
 // must be born stale. Driven deterministically here (the fence test above
 // covers it statistically): fill happens with an epoch read before the

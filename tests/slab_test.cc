@@ -133,4 +133,118 @@ TEST_P(SlabClassSweep, FillFreeRefillWholePage) {
 INSTANTIATE_TEST_SUITE_P(Classes, SlabClassSweep,
                          ::testing::Values(32, 64, 128, 256, 512, 1024, 2048, 4096));
 
+// --- partitioned heaps (allocator level) -------------------------------------
+
+class SlabPartitionTest : public ::testing::Test {
+ protected:
+  SlabPartitionTest() : arena_(16 << 20), slab_(&arena_) {
+    EXPECT_TRUE(slab_.EnablePartitions(/*region_bytes=*/4 << 20, /*slot_bytes=*/1 << 20));
+  }
+
+  lxfi::Arena arena_;
+  kern::SlabAllocator slab_;
+};
+
+TEST_F(SlabPartitionTest, PartitionObjectsStayInsideSlotSpan) {
+  int id = slab_.CreatePartition();
+  ASSERT_NE(id, kern::SlabAllocator::kNoPartition);
+  uintptr_t lo = 0, hi = 0;
+  ASSERT_TRUE(slab_.PartitionSpan(id, &lo, &hi));
+  EXPECT_EQ(hi - lo, 1u << 20);
+  for (size_t size : {16, 100, 2048, 5000}) {
+    auto addr = reinterpret_cast<uintptr_t>(slab_.AllocIn(id, size));
+    ASSERT_NE(addr, 0u);
+    EXPECT_GE(addr, lo);
+    EXPECT_LT(addr + size, hi);
+    EXPECT_EQ(slab_.PartitionOf(reinterpret_cast<void*>(addr)), id);
+  }
+  // Shared-heap allocations classify as no partition.
+  void* shared_obj = slab_.Alloc(64);
+  EXPECT_EQ(slab_.PartitionOf(shared_obj), kern::SlabAllocator::kNoPartition);
+}
+
+TEST_F(SlabPartitionTest, PartitionsDoNotShareSlabPages) {
+  int a = slab_.CreatePartition();
+  int b = slab_.CreatePartition();
+  // Same size class, different partitions: never the same page, even though
+  // a shared heap would pack them adjacently.
+  auto* pa = static_cast<char*>(slab_.AllocIn(a, 24));
+  auto* pb = static_cast<char*>(slab_.AllocIn(b, 24));
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(reinterpret_cast<uintptr_t>(pa) / 4096, reinterpret_cast<uintptr_t>(pb) / 4096);
+  // And a freed slot in one partition is never recycled into the other.
+  slab_.Free(pa);
+  auto* pb2 = static_cast<char*>(slab_.AllocIn(b, 24));
+  EXPECT_NE(pb2, pa);
+  // While the partition's own freelist is LIFO, like the shared heap.
+  auto* pa2 = static_cast<char*>(slab_.AllocIn(a, 24));
+  EXPECT_EQ(pa2, pa);
+}
+
+TEST_F(SlabPartitionTest, SealedPartitionRefusesAllocButAllowsFree) {
+  int id = slab_.CreatePartition();
+  void* p = slab_.AllocIn(id, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(slab_.SealPartition(id));
+  EXPECT_EQ(slab_.AllocIn(id, 64), nullptr);
+  slab_.Free(p);  // quarantine still drains
+  EXPECT_EQ(slab_.partition_live_objects(id), 0u);
+}
+
+TEST_F(SlabPartitionTest, TeardownReclaimsEverythingAndRecyclesSlotLifo) {
+  int id = slab_.CreatePartition();
+  uintptr_t lo = 0, hi = 0;
+  ASSERT_TRUE(slab_.PartitionSpan(id, &lo, &hi));
+  size_t live_before = slab_.live_objects();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_NE(slab_.AllocIn(id, 48), nullptr);
+  }
+  EXPECT_EQ(slab_.partition_live_objects(id), 500u);
+  EXPECT_EQ(slab_.TeardownPartition(id), 500u) << "teardown reports reclaimed objects";
+  EXPECT_EQ(slab_.live_objects(), live_before);
+  EXPECT_FALSE(slab_.PartitionSpan(id, &lo, &hi)) << "torn-down id no longer resolves";
+  // The slot goes back LIFO: the next partition reuses the same span.
+  int next = slab_.CreatePartition();
+  uintptr_t nlo = 0, nhi = 0;
+  ASSERT_TRUE(slab_.PartitionSpan(next, &nlo, &nhi));
+  EXPECT_EQ(nlo, lo);
+  EXPECT_EQ(nhi, hi);
+  // And the recycled slot allocates from scratch (no stale freelist).
+  void* p = slab_.AllocIn(next, 32);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(slab_.partition_live_objects(next), 1u);
+}
+
+TEST_F(SlabPartitionTest, ExhaustedSlotFallsBackToSharedHeap) {
+  int id = slab_.CreatePartition();
+  uintptr_t lo = 0, hi = 0;
+  ASSERT_TRUE(slab_.PartitionSpan(id, &lo, &hi));
+  // Burn through the 1 MiB slot with large objects, then keep going.
+  bool overflowed = false;
+  for (int i = 0; i < 300; ++i) {
+    auto addr = reinterpret_cast<uintptr_t>(slab_.AllocIn(id, 8192));
+    ASSERT_NE(addr, 0u) << "fallback must serve allocation " << i;
+    overflowed = overflowed || addr < lo || addr >= hi;
+  }
+  EXPECT_TRUE(overflowed) << "slot exhaustion must degrade to the shared heap";
+}
+
+TEST(SlabPartitionSeed, SeedRotatesSlotHandOutDeterministically) {
+  for (uint64_t seed : {0ull, 5ull}) {
+    lxfi::Arena arena(16 << 20);
+    kern::SlabAllocator slab(&arena);
+    ASSERT_TRUE(slab.EnablePartitions(4 << 20, 1 << 20, seed));
+    uintptr_t base = slab.region_base();
+    for (int i = 0; i < 4; ++i) {
+      int id = slab.CreatePartition();
+      uintptr_t lo = 0, hi = 0;
+      ASSERT_TRUE(slab.PartitionSpan(id, &lo, &hi));
+      EXPECT_EQ((lo - base) >> 20, (i + seed) % 4) << "seed " << seed << " partition " << i;
+    }
+    // All four slots claimed: the next creation fails cleanly.
+    EXPECT_EQ(slab.CreatePartition(), kern::SlabAllocator::kNoPartition);
+  }
+}
+
 }  // namespace
