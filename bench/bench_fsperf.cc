@@ -158,6 +158,104 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
   return 0;
 }
 
+// Block-backed mode: the same workload (plus fsync and rename phases) over
+// jexfs — the extent-based journaling filesystem module — mounted on a RAM
+// BlockDevice through the kernel page cache. Three kernels: stock, enforced,
+// and enforced with the mount stacked over a dm-crypt target, proving the
+// same filesystem image runs unchanged over an enforced dm device.
+int RunBlock(const eval::FsperfConfig& base, lxfibench::JsonWriter* json) {
+  eval::FsperfConfig config = base;
+  // jexfs has a 32-slot inode table: clamp the default file count.
+  if (config.files > 24) {
+    config.files = 24;
+  }
+  config.fsync_phase = true;
+  config.rename_phase = true;
+
+  eval::FsperfHarnessOptions stock_opts;
+  stock_opts.block_backing = true;
+  eval::FsperfHarnessOptions lxfi_opts = stock_opts;
+  lxfi_opts.isolated = true;
+  eval::FsperfHarnessOptions crypt_opts = lxfi_opts;
+  crypt_opts.dm_crypt = true;
+  eval::FsperfHarness stock(stock_opts);
+  eval::FsperfHarness isolated(lxfi_opts);
+  eval::FsperfHarness crypt(crypt_opts);
+
+  eval::FsperfConfig warm = config;
+  warm.files = config.files / 4 + 1;
+  stock.Run(warm);
+  isolated.Run(warm);
+  crypt.Run(warm);
+  eval::FsperfMeasurement ms = stock.Run(config);
+  eval::FsperfMeasurement ml = isolated.Run(config);
+  eval::FsperfMeasurement mc = crypt.Run(config);
+
+  if (ml.violations != 0 || mc.violations != 0) {
+    std::fprintf(stderr, "FAIL: enforced block workload raised %llu violations\n",
+                 static_cast<unsigned long long>(ml.violations + mc.violations));
+    return 1;
+  }
+
+  struct BlockRow {
+    const char* name;
+    eval::FsperfPhase stock;
+    eval::FsperfPhase lxfi;
+    eval::FsperfPhase crypt;
+  };
+  std::vector<BlockRow> rows = {
+      {"create", ms.create, ml.create, mc.create}, {"write", ms.write, ml.write, mc.write},
+      {"fsync", ms.fsync, ml.fsync, mc.fsync},     {"read", ms.read, ml.read, mc.read},
+      {"stat", ms.stat, ml.stat, mc.stat},         {"rename", ms.rename, ml.rename, mc.rename},
+      {"unlink", ms.unlink, ml.unlink, mc.unlink},
+  };
+  std::printf("=== fsperf --backing=block: jexfs over page cache, %llu files x %u bytes ===\n",
+              static_cast<unsigned long long>(config.files), config.file_bytes);
+  std::printf("%-8s %8s %14s %14s %10s %16s\n", "phase", "ops", "stock ns/op", "lxfi ns/op",
+              "overhead", "lxfi+crypt ns/op");
+  for (const BlockRow& r : rows) {
+    double over = r.stock.NsPerOp() == 0
+                      ? 0.0
+                      : 100.0 * (r.lxfi.NsPerOp() - r.stock.NsPerOp()) / r.stock.NsPerOp();
+    std::printf("%-8s %8llu %14.1f %14.1f %9.1f%% %16.1f\n", r.name,
+                static_cast<unsigned long long>(r.stock.ops), r.stock.NsPerOp(), r.lxfi.NsPerOp(),
+                over, r.crypt.NsPerOp());
+  }
+  double stock_total = static_cast<double>(ms.total_wall_ns()) / ms.total_ops();
+  double lxfi_total = static_cast<double>(ml.total_wall_ns()) / ml.total_ops();
+  double crypt_total = static_cast<double>(mc.total_wall_ns()) / mc.total_ops();
+  std::printf("%-8s %8llu %14.1f %14.1f %9.1f%% %16.1f\n", "all",
+              static_cast<unsigned long long>(ms.total_ops()), stock_total, lxfi_total,
+              100.0 * (lxfi_total - stock_total) / stock_total, crypt_total);
+  std::printf("enforced violations on the benign block workload: %llu (must be 0)\n",
+              static_cast<unsigned long long>(ml.violations + mc.violations));
+
+  if (json != nullptr) {
+    json->Meta("mode", "block");
+    json->Meta("files", static_cast<double>(config.files));
+    json->Meta("file_bytes", static_cast<double>(config.file_bytes));
+    json->Meta("lxfi_violations", static_cast<double>(ml.violations + mc.violations));
+    for (const BlockRow& r : rows) {
+      double over = r.stock.NsPerOp() == 0
+                        ? 0.0
+                        : 100.0 * (r.lxfi.NsPerOp() - r.stock.NsPerOp()) / r.stock.NsPerOp();
+      json->AddRow(r.name)
+          .Set("ops", static_cast<double>(r.stock.ops))
+          .Set("stock_ns_per_op", r.stock.NsPerOp())
+          .Set("lxfi_ns_per_op", r.lxfi.NsPerOp())
+          .Set("overhead_pct", over)
+          .Set("lxfi_dmcrypt_ns_per_op", r.crypt.NsPerOp());
+    }
+    json->AddRow("all")
+        .Set("ops", static_cast<double>(ms.total_ops()))
+        .Set("stock_ns_per_op", stock_total)
+        .Set("lxfi_ns_per_op", lxfi_total)
+        .Set("overhead_pct", 100.0 * (lxfi_total - stock_total) / stock_total)
+        .Set("lxfi_dmcrypt_ns_per_op", crypt_total);
+  }
+  return 0;
+}
+
 // Shared-directory contended scaling: every CPU creates/stats/unlinks its
 // own names in ONE hot directory, so all walks and all dcache writers hit
 // the same parent index. Three configurations per CPU count:
@@ -292,6 +390,7 @@ int main(int argc, char** argv) {
 
   int cpus = 0;
   bool contended = false;
+  bool block = false;
   eval::FsperfConfig config;
   eval::FsContendedConfig ccfg;
   const char* json_path = nullptr;
@@ -300,6 +399,23 @@ int main(int argc, char** argv) {
       cpus = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--contended") == 0) {
       contended = true;
+    } else if (std::strcmp(argv[i], "--backing") == 0 ||
+               std::strncmp(argv[i], "--backing=", 10) == 0) {
+      const char* b;
+      if (argv[i][9] == '=') {
+        b = argv[i] + 10;
+      } else if (i + 1 < argc) {
+        b = argv[++i];
+      } else {
+        std::fprintf(stderr, "--backing needs a value (ram|block)\n");
+        return 2;
+      }
+      if (std::strcmp(b, "block") == 0) {
+        block = true;
+      } else if (std::strcmp(b, "ram") != 0) {
+        std::fprintf(stderr, "--backing must be ram or block\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
       config.files = static_cast<uint64_t>(std::atoll(argv[++i]));
       ccfg.files = config.files;
@@ -315,8 +431,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--cpus N] [--contended] [--files F] [--stats-per-file S] "
-                   "[--rounds R] [--bytes B] [--chunk C] [--json FILE]\n",
+                   "usage: %s [--cpus N] [--contended] [--backing ram|block] [--files F] "
+                   "[--stats-per-file S] [--rounds R] [--bytes B] [--chunk C] [--json FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -325,12 +441,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--contended requires --cpus N\n");
     return 2;
   }
+  if (block && (contended || cpus > 0)) {
+    std::fprintf(stderr, "--backing=block is single-threaded (jexfs is one principal per sb)\n");
+    return 2;
+  }
 
-  lxfibench::JsonWriter json(contended ? "bench_fsperf_contended" : "bench_fsperf");
+  lxfibench::JsonWriter json(block       ? "bench_fsperf_block"
+                             : contended ? "bench_fsperf_contended"
+                                         : "bench_fsperf");
   lxfibench::JsonWriter* jp = json_path != nullptr ? &json : nullptr;
-  int rc = contended  ? RunContended(cpus, ccfg, jp)
-           : cpus > 0 ? RunScaling(cpus, config, jp)
-                      : RunOverhead(config, jp);
+  int rc = block       ? RunBlock(config, jp)
+           : contended ? RunContended(cpus, ccfg, jp)
+           : cpus > 0  ? RunScaling(cpus, config, jp)
+                       : RunOverhead(config, jp);
   if (json_path != nullptr && rc == 0) {
     json.WriteFile(json_path);
   }

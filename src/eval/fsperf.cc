@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/kernel/block/block.h"
 #include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/ksymtab.h"
@@ -13,6 +14,9 @@
 #include "src/kernel/smp.h"
 #include "src/lxfi/kernel_api.h"
 #include "src/lxfi/runtime.h"
+#include "src/modules/dm/dm_modules.h"
+#include "src/modules/jexfs/jexfs.h"
+#include "src/modules/jexfs/jexfs_format.h"
 #include "src/modules/ramfs/ramfs.h"
 
 namespace eval {
@@ -23,6 +27,32 @@ namespace {
 constexpr uintptr_t kUserWindow = 0x8000;
 uintptr_t UserBase(int worker) { return 0x1000 + static_cast<uintptr_t>(worker) * kUserWindow; }
 
+// The block backing: a small RAM disk formatted with jexfs. 1024 blocks give
+// ~950 data blocks past the fixed metadata/journal area — plenty for the
+// 32-inode workload the block-mode config drives.
+constexpr uint64_t kFsDiskBlocks = 1024;
+
+// mkfs from trusted harness code: format a host image and write it through
+// the TOP device with plain end_io-less bios, so a dm-crypt-stacked mount
+// sees a correctly encrypted disk.
+void MkfsThroughDevice(kern::Kernel* kernel, kern::BlockDevice* top) {
+  std::vector<uint8_t> img(kFsDiskBlocks * mods::kJexBlockSize);
+  if (!mods::JexMkfs(img.data(), kFsDiskBlocks)) {
+    kern::Panic("fsperf harness: mkfs failed");
+  }
+  kern::BlockLayer* block = kern::GetBlockLayer(kernel);
+  for (uint64_t s = 0; s < kFsDiskBlocks; ++s) {
+    kern::Bio bio;
+    bio.sector = s;
+    bio.size = mods::kJexBlockSize;
+    bio.data = img.data() + s * mods::kJexBlockSize;
+    bio.write = true;
+    if (block->SubmitBio(top, &bio) != 0 || bio.status != 0) {
+      kern::Panic("fsperf harness: mkfs write failed");
+    }
+  }
+}
+
 }  // namespace
 
 struct FsperfHarness::Impl {
@@ -31,25 +61,64 @@ struct FsperfHarness::Impl {
   std::unique_ptr<kern::CpuSet> cpus;
 };
 
-FsperfHarness::FsperfHarness(bool isolated, int cpus, bool locked_dcache) : impl_(new Impl()) {
+FsperfHarness::FsperfHarness(bool isolated, int cpus, bool locked_dcache)
+    : FsperfHarness(FsperfHarnessOptions{isolated, cpus, locked_dcache}) {}
+
+FsperfHarness::FsperfHarness(const FsperfHarnessOptions& options) : impl_(new Impl()) {
+  const int cpus = options.cpus;
+  if (options.block_backing && cpus > 0) {
+    kern::Panic("fsperf harness: jexfs is single-threaded per superblock (cpus must be 0)");
+  }
   impl_->kernel = std::make_unique<kern::Kernel>(256ull << 20);
-  if (isolated) {
-    lxfi::RuntimeOptions options;
-    options.concurrent_enforcement = cpus > 0;
-    impl_->rt = std::make_unique<lxfi::Runtime>(impl_->kernel.get(), options);
+  if (options.isolated) {
+    lxfi::RuntimeOptions rt_options;
+    rt_options.concurrent_enforcement = cpus > 0;
+    impl_->rt = std::make_unique<lxfi::Runtime>(impl_->kernel.get(), rt_options);
   }
   kernel_ = impl_->kernel.get();
   rt_ = impl_->rt.get();
   lxfi::InstallKernelApi(kernel_, rt_);
+  if (rt_ != nullptr && options.block_backing) {
+    // Block mode stacks two modules (jexfs over dm-crypt). Per-principal
+    // heap partitions keep their allocations on disjoint pages, so the
+    // page-granular writer-set check on jexfs's bio end_io slot never sees
+    // a foreign principal that merely shares a slab page. Must run before
+    // any module allocates.
+    rt_->EnablePartitionedHeaps();
+  }
   vfs_ = kern::GetVfs(kernel_);
-  if (locked_dcache) {
+  if (options.locked_dcache) {
     vfs_->dcache().set_locked_mode(true);  // ablation: the pre-RCU dcache
   }
-  if (kernel_->LoadModule(mods::RamfsModuleDef()) == nullptr) {
-    kern::Panic("fsperf harness: ramfs failed to load");
-  }
-  if (vfs_->Mount("ramfs", "/mnt") == nullptr) {
-    kern::Panic("fsperf harness: mount failed");
+  if (options.block_backing) {
+    kern::BlockLayer* block = kern::GetBlockLayer(kernel_);
+    kern::BlockDevice* top = block->CreateRamDisk("fsdisk0", kFsDiskBlocks);
+    if (top == nullptr) {
+      kern::Panic("fsperf harness: ramdisk failed");
+    }
+    if (options.dm_crypt) {
+      if (kernel_->LoadModule(mods::DmCryptModuleDef()) == nullptr) {
+        kern::Panic("fsperf harness: dm-crypt failed to load");
+      }
+      top = block->DmCreate("fscrypt0", "crypt", top, "fskey");
+      if (top == nullptr) {
+        kern::Panic("fsperf harness: dm-crypt stack failed");
+      }
+    }
+    MkfsThroughDevice(kernel_, top);
+    if (kernel_->LoadModule(mods::JexfsModuleDef("jexfs", top->name)) == nullptr) {
+      kern::Panic("fsperf harness: jexfs failed to load");
+    }
+    if (vfs_->Mount("jexfs", "/mnt") == nullptr) {
+      kern::Panic("fsperf harness: jexfs mount failed");
+    }
+  } else {
+    if (kernel_->LoadModule(mods::RamfsModuleDef()) == nullptr) {
+      kern::Panic("fsperf harness: ramfs failed to load");
+    }
+    if (vfs_->Mount("ramfs", "/mnt") == nullptr) {
+      kern::Panic("fsperf harness: mount failed");
+    }
   }
   // Working directories: /mnt/d0 for the single-threaded runs, /mnt/cpuN
   // per simulated CPU, /mnt/shared for the contended workload. Created
@@ -81,9 +150,13 @@ int FsperfHarness::cpus() const { return impl_->cpus == nullptr ? 0 : impl_->cpu
 
 namespace {
 
-// One worker's five-phase pass over `files` files in `dir`. Phase wall
-// times are accumulated into `phases[5]` (create, write, read, stat,
-// unlink); op counts into `ops[5]`. Runs on the calling thread.
+// One worker's pass over `files` files in `dir`. Phase wall times are
+// accumulated into `wall[7]` (create, write, fsync, read, stat, rename,
+// unlink); op counts into `ops[7]`. The fsync and rename phases only run
+// when the config asks for them (the block-backed workload). Runs on the
+// calling thread.
+constexpr int kFsPhases = 7;
+
 void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const FsperfConfig& config,
                int worker, bool quiesce, uint64_t* wall, uint64_t* ops) {
   const uint64_t files = config.files;
@@ -128,14 +201,32 @@ void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const Fspe
   }
   wall[1] += lxfi::MonotonicNowNs() - t0;
 
-  // Phase 2: read back in chunks.
+  // Phase 2: fsync (block backing: one journal checkpoint per file).
+  if (config.fsync_phase) {
+    t0 = lxfi::MonotonicNowNs();
+    for (uint64_t i = 0; i < files; ++i) {
+      std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+      kern::File* f = vfs->Open(path, 0);
+      if (f == nullptr || vfs->Fsync(f) != 0) {
+        kern::Panic("fsperf: fsync failed");
+      }
+      vfs->Close(f);
+      if (quiesce && (i & 63) == 63) {
+        kern::CpuSet::QuiescePoint();
+      }
+    }
+    wall[2] += lxfi::MonotonicNowNs() - t0;
+    ops[2] += files;
+  }
+
+  // Phase 3: read back in chunks.
   t0 = lxfi::MonotonicNowNs();
   for (uint64_t i = 0; i < files; ++i) {
     std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
     kern::File* f = vfs->Open(path, 0);
     int64_t got;
     while ((got = vfs->Read(f, ubuf, chunk)) > 0) {
-      ++ops[2];
+      ++ops[3];
     }
     if (got < 0) {
       kern::Panic("fsperf: read failed");
@@ -145,9 +236,9 @@ void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const Fspe
       kern::CpuSet::QuiescePoint();
     }
   }
-  wall[2] += lxfi::MonotonicNowNs() - t0;
+  wall[3] += lxfi::MonotonicNowNs() - t0;
 
-  // Phase 3: stat.
+  // Phase 4: stat.
   t0 = lxfi::MonotonicNowNs();
   for (uint64_t i = 0; i < files; ++i) {
     std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
@@ -159,13 +250,32 @@ void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const Fspe
       kern::CpuSet::QuiescePoint();
     }
   }
-  wall[3] += lxfi::MonotonicNowNs() - t0;
-  ops[3] += files;
+  wall[4] += lxfi::MonotonicNowNs() - t0;
+  ops[4] += files;
 
-  // Phase 4: unlink.
+  // Phase 5: rename every file (f%N -> g%N) through the dcache d_move.
+  if (config.rename_phase) {
+    char npath[64];
+    t0 = lxfi::MonotonicNowNs();
+    for (uint64_t i = 0; i < files; ++i) {
+      std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+      std::snprintf(npath, sizeof(npath), "%s/g%llu", dir, static_cast<unsigned long long>(i));
+      if (vfs->Rename(path, npath) != 0) {
+        kern::Panic("fsperf: rename failed");
+      }
+      if (quiesce && (i & 63) == 63) {
+        kern::CpuSet::QuiescePoint();
+      }
+    }
+    wall[5] += lxfi::MonotonicNowNs() - t0;
+    ops[5] += files;
+  }
+
+  // Phase 6: unlink (the renamed names when the rename phase ran).
   t0 = lxfi::MonotonicNowNs();
   for (uint64_t i = 0; i < files; ++i) {
-    std::snprintf(path, sizeof(path), "%s/f%llu", dir, static_cast<unsigned long long>(i));
+    std::snprintf(path, sizeof(path), "%s/%c%llu", dir, config.rename_phase ? 'g' : 'f',
+                  static_cast<unsigned long long>(i));
     if (vfs->Unlink(path) != 0) {
       kern::Panic("fsperf: unlink failed");
     }
@@ -173,8 +283,8 @@ void RunPhases(kern::Kernel* kernel, kern::Vfs* vfs, const char* dir, const Fspe
       kern::CpuSet::QuiescePoint();
     }
   }
-  wall[4] += lxfi::MonotonicNowNs() - t0;
-  ops[4] += files;
+  wall[6] += lxfi::MonotonicNowNs() - t0;
+  ops[6] += files;
 }
 
 }  // namespace
@@ -183,12 +293,13 @@ FsperfMeasurement FsperfHarness::Run(const FsperfConfig& config) {
   // Stage the write payload once.
   std::memset(kernel_->user().UserPtr(UserBase(0)), 0xC3, config.io_chunk);
   uint64_t violations_before = rt_ != nullptr ? rt_->violation_count() : 0;
-  uint64_t wall[5] = {};
-  uint64_t ops[5] = {};
+  uint64_t wall[kFsPhases] = {};
+  uint64_t ops[kFsPhases] = {};
   RunPhases(kernel_, vfs_, "/mnt/d0", config, /*worker=*/0, /*quiesce=*/false, wall, ops);
   FsperfMeasurement m;
-  FsperfPhase* phases[5] = {&m.create, &m.write, &m.read, &m.stat, &m.unlink};
-  for (int i = 0; i < 5; ++i) {
+  FsperfPhase* phases[kFsPhases] = {&m.create, &m.write, &m.fsync, &m.read,
+                                    &m.stat,   &m.rename, &m.unlink};
+  for (int i = 0; i < kFsPhases; ++i) {
     phases[i]->ops = ops[i];
     phases[i]->wall_ns = wall[i];
   }
@@ -219,12 +330,15 @@ FsScalingResult FsperfHarness::RunParallel(const FsperfConfig& config) {
     im->cpus->RunOn(i, [k, vfs, cfg, i, out_ns, out_ops] {
       char dir[32];
       std::snprintf(dir, sizeof(dir), "/mnt/cpu%d", i);
-      uint64_t wall[5] = {};
-      uint64_t ops[5] = {};
+      uint64_t wall[kFsPhases] = {};
+      uint64_t ops[kFsPhases] = {};
       uint64_t t0 = lxfi::ThreadCpuNowNs();
       RunPhases(k, vfs, dir, cfg, /*worker=*/i, /*quiesce=*/true, wall, ops);
       *out_ns = lxfi::ThreadCpuNowNs() - t0;
-      *out_ops = ops[0] + ops[1] + ops[2] + ops[3] + ops[4];
+      *out_ops = 0;
+      for (int p = 0; p < kFsPhases; ++p) {
+        *out_ops += ops[p];
+      }
     });
   }
   im->cpus->Barrier();
@@ -329,6 +443,12 @@ FsMachineModel FsModelFor(const char* phase) {
   }
   if (std::strcmp(phase, "write") == 0) {
     return FsMachineModel{650.0};
+  }
+  if (std::strcmp(phase, "fsync") == 0) {
+    return FsMachineModel{400.0};  // journal-less ramfs-class fsync is cheap
+  }
+  if (std::strcmp(phase, "rename") == 0) {
+    return FsMachineModel{2800.0};  // two directory mutations + dcache move
   }
   if (std::strcmp(phase, "read") == 0) {
     return FsMachineModel{500.0};

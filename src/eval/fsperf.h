@@ -26,6 +26,11 @@ struct FsperfConfig {
   uint64_t files = 300;     // files per (CPU-)working directory
   uint32_t file_bytes = 2048;
   uint32_t io_chunk = 512;  // read/write granularity
+  // Extra phases for the block-backed (jexfs) workload: fsync forces a
+  // journal checkpoint per file, rename moves every file through the
+  // seqlock-correct dcache d_move before unlink.
+  bool fsync_phase = false;
+  bool rename_phase = false;
 };
 
 // The shared-directory contended workload: every CPU creates, stats and
@@ -51,16 +56,19 @@ struct FsperfPhase {
 struct FsperfMeasurement {
   FsperfPhase create;
   FsperfPhase write;
+  FsperfPhase fsync;   // populated only when config.fsync_phase
   FsperfPhase read;
   FsperfPhase stat;
+  FsperfPhase rename;  // populated only when config.rename_phase
   FsperfPhase unlink;
   uint64_t violations = 0;
 
   uint64_t total_ops() const {
-    return create.ops + write.ops + read.ops + stat.ops + unlink.ops;
+    return create.ops + write.ops + fsync.ops + read.ops + stat.ops + rename.ops + unlink.ops;
   }
   uint64_t total_wall_ns() const {
-    return create.wall_ns + write.wall_ns + read.wall_ns + stat.wall_ns + unlink.wall_ns;
+    return create.wall_ns + write.wall_ns + fsync.wall_ns + read.wall_ns + stat.wall_ns +
+           rename.wall_ns + unlink.wall_ns;
   }
 };
 
@@ -93,9 +101,23 @@ struct FsScalingResult {
 // directory per CPU (/mnt/cpuN) plus the shared contended directory
 // (/mnt/shared). locked_dcache reverts the dcache to the pre-RCU global
 // spinlock + linear scan — the ablation baseline for --contended.
+struct FsperfHarnessOptions {
+  bool isolated = false;
+  int cpus = 0;
+  bool locked_dcache = false;
+  // Block backing: mounts jexfs (the extent-based journaling filesystem
+  // module) over a RAM BlockDevice through the kernel page cache instead of
+  // ramfs. jexfs is single-threaded per superblock, so cpus must be 0.
+  bool block_backing = false;
+  // Stacks the jexfs mount over an enforced dm-crypt target mapping the same
+  // disk — the filesystem runs unchanged over the encrypted device.
+  bool dm_crypt = false;
+};
+
 class FsperfHarness {
  public:
   explicit FsperfHarness(bool isolated, int cpus = 0, bool locked_dcache = false);
+  explicit FsperfHarness(const FsperfHarnessOptions& options);
   ~FsperfHarness();
 
   FsperfHarness(const FsperfHarness&) = delete;
@@ -139,8 +161,8 @@ struct FsMachineModel {
   double c_stock_ns;  // stock per-op CPU cost for this phase
 };
 
-// Model constants per phase name ("create", "write", "read", "stat",
-// "unlink").
+// Model constants per phase name ("create", "write", "fsync", "read",
+// "stat", "rename", "unlink").
 FsMachineModel FsModelFor(const char* phase);
 
 struct FsModelRow {

@@ -28,6 +28,17 @@ int BlockLayer::RamIo(BlockDevice* dev, Bio* bio) {
   if (bio->write) {
     std::memcpy(disk, bio->data, bio->size);
     ++dev->writes;
+    auto log = write_logs_.find(dev);
+    if (log != write_logs_.end()) {
+      // Record sector-granular so a log prefix is a power cut at any write
+      // boundary, even mid-bio.
+      for (uint32_t off = 0; off < bio->size; off += kSectorSize) {
+        BlockWrite w;
+        w.sector = bio->sector + off / kSectorSize;
+        w.data.assign(bio->data + off, bio->data + off + kSectorSize);
+        log->second->push_back(std::move(w));
+      }
+    }
   } else {
     std::memcpy(bio->data, disk, bio->size);
     ++dev->reads;
@@ -50,14 +61,16 @@ int BlockLayer::SubmitBio(BlockDevice* dev, Bio* bio) {
   int rc = kernel_->IndirectCall<int, DmTarget*, Bio*>(&target->type->map, "target_type::map",
                                                        target, bio);
   if (rc == kDmMapioRemapped) {
-    // The target rewrote sector/data; the core submits to the underlying
-    // device on the target's behalf.
+    // The core submits to the underlying device on the target's behalf.
     rc = SubmitBio(target->underlying, bio);
-  } else if (rc == kDmMapioKill) {
-    bio->status = -kEinval;
-    rc = -kEinval;
-  } else {
+  } else if (rc == kDmMapioKill || rc < 0) {
+    // Targets never write the submitter's bio struct (they only ever hold
+    // the payload capability); the core records the failure for them.
+    bio->status = rc < 0 ? rc : -kEinval;
     rc = bio->status;
+  } else {
+    bio->status = 0;
+    rc = 0;
   }
   if (bio->end_io != 0) {
     kernel_->IndirectCall<void, Bio*>(&bio->end_io, "bio_end_io_t", bio);
@@ -138,6 +151,14 @@ BlockDevice* BlockLayer::FindDevice(const std::string& name) const {
     }
   }
   return nullptr;
+}
+
+void BlockLayer::SetWriteLog(BlockDevice* dev, std::vector<BlockWrite>* log) {
+  if (log == nullptr) {
+    write_logs_.erase(dev);
+  } else {
+    write_logs_[dev] = log;
+  }
 }
 
 DmTarget* BlockLayer::TargetOf(BlockDevice* dm_dev) {

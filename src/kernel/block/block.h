@@ -47,6 +47,14 @@ struct BlockDevice {
   uint64_t writes = 0;
 };
 
+// One completed sector-granular write, as recorded by the write log: the
+// crash-consistency harness replays prefixes of this sequence to model a
+// power cut at every write boundary.
+struct BlockWrite {
+  uint64_t sector = 0;
+  std::vector<uint8_t> data;
+};
+
 // Module-provided target type (module memory).
 struct DmTargetType {
   const char* name = nullptr;
@@ -88,6 +96,12 @@ class BlockLayer {
   // dm_get_device: looks a registered device up by name (nullptr if absent).
   BlockDevice* FindDevice(const std::string& name) const;
 
+  // Attaches a write log to a RAM-backed device: every write RamIo completes
+  // is appended to `log` (caller-owned) in completion order. Null detaches.
+  // Sector-granular so a prefix of the log is exactly "the device lost power
+  // after its Nth durable sector write".
+  void SetWriteLog(BlockDevice* dev, std::vector<BlockWrite>* log);
+
  private:
   int RamIo(BlockDevice* dev, Bio* bio);
 
@@ -95,6 +109,7 @@ class BlockLayer {
   std::vector<BlockDevice*> devices_;
   std::unordered_map<std::string, DmTargetType*> target_types_;
   std::unordered_map<BlockDevice*, DmTarget*> dm_targets_;
+  std::unordered_map<BlockDevice*, std::vector<BlockWrite>*> write_logs_;
 };
 
 BlockLayer* GetBlockLayer(Kernel* kernel);

@@ -1,5 +1,6 @@
 #include "src/kernel/fs/dcache.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 
@@ -37,6 +38,64 @@ bool NameEquals(const Dentry* d, const uint64_t want[4]) {
 
 }  // namespace
 
+// --- lockref -----------------------------------------------------------------
+// The (flags, open_count) pair is CASed as one 64-bit word, Linux-lockref
+// style. Both fields are also accessed individually as 32-bit atomics
+// (FlagsOf/AddOpenCount); mixing access sizes is fine for the race-freedom
+// argument because every access is atomic — the CAS only adds the pairwise
+// atomicity the open-vs-unlink TOCTOU needs.
+static_assert(offsetof(Dentry, open_count) == offsetof(Dentry, flags) + sizeof(uint32_t),
+              "lockref pair must be adjacent");
+static_assert(offsetof(Dentry, flags) % sizeof(uint64_t) == 0,
+              "lockref pair must be 8-byte aligned");
+
+namespace {
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+constexpr int kFlagsShift = 32;
+constexpr int kOpenShift = 0;
+#else
+constexpr int kFlagsShift = 0;
+constexpr int kOpenShift = 32;
+#endif
+
+uint64_t* LockrefOf(Dentry* d) { return reinterpret_cast<uint64_t*>(&d->flags); }
+
+}  // namespace
+
+bool Dcache::TryOpenRef(Dentry* dentry) {
+  uint64_t cur = __atomic_load_n(LockrefOf(dentry), __ATOMIC_ACQUIRE);
+  for (;;) {
+    uint32_t flags = static_cast<uint32_t>(cur >> kFlagsShift);
+    if ((flags & (kDentryDying | kDentryMoving)) != 0) {
+      return false;
+    }
+    uint64_t want = cur + (uint64_t{1} << kOpenShift);
+    if (__atomic_compare_exchange_n(LockrefOf(dentry), &cur, want, /*weak=*/true,
+                                    __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE)) {
+      return true;
+    }
+  }
+}
+
+bool Dcache::TryFlagIfUnopened(Dentry* dentry, uint32_t bit) {
+  uint64_t cur = __atomic_load_n(LockrefOf(dentry), __ATOMIC_ACQUIRE);
+  for (;;) {
+    uint32_t open = static_cast<uint32_t>(cur >> kOpenShift);
+    uint32_t flags = static_cast<uint32_t>(cur >> kFlagsShift);
+    // Refuse while open, and refuse to stack marks: an unlink cannot claim
+    // a dentry a rename is mid-move (or vice versa).
+    if (open != 0 || (flags & (kDentryDying | kDentryMoving)) != 0) {
+      return false;
+    }
+    uint64_t want = cur | (uint64_t{bit} << kFlagsShift);
+    if (__atomic_compare_exchange_n(LockrefOf(dentry), &cur, want, /*weak=*/true,
+                                    __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE)) {
+      return true;
+    }
+  }
+}
+
 Dentry* Dcache::NewDentry(SuperBlock* sb, Dentry* parent, const char* name) {
   void* mem = kernel_->slab().Alloc(sizeof(Dentry));
   KERN_BUG_ON(mem == nullptr);
@@ -45,6 +104,7 @@ Dentry* Dcache::NewDentry(SuperBlock* sb, Dentry* parent, const char* name) {
   d->name_hash = HashName(d->name);
   d->parent = parent;
   d->sb = sb;
+  d->depth = parent != nullptr ? parent->depth + 1 : 0;
   d->children.SetReclaimer(&lxfi::EpochReclaimer::Global());
   return d;
 }

@@ -62,6 +62,7 @@ inline constexpr size_t kVfsNameMax = 27;  // component name bytes (+ NUL)
 inline constexpr uint32_t kDentryPositive = 1u << 0;  // inode attached
 inline constexpr uint32_t kDentryDir = 1u << 1;       // inode is a directory
 inline constexpr uint32_t kDentryDying = 1u << 2;     // unlink/rmdir in flight
+inline constexpr uint32_t kDentryMoving = 1u << 3;    // rename in flight
 
 // Dentries are kernel-owned: modules receive REF capabilities for them and
 // mutate the dcache only through d_alloc/d_instantiate, never by store.
@@ -82,10 +83,16 @@ struct Dentry {
   Dentry* child = nullptr;           // first child (iteration list)
   Dentry* sibling = nullptr;         // next sibling (iteration list)
   Dentry* hash_next = nullptr;       // same-hash collision chain (atomic)
+  // flags and open_count form one 8-byte-aligned lockref pair: the flag
+  // transitions that must be atomic against open (dying, moving) and the
+  // open-count increment that must be atomic against them are single 64-bit
+  // CASes over both words (TryOpenRef / TryFlagIfUnopened below), closing
+  // the open-vs-unlink TOCTOU without adding a lock to the walk.
   uint32_t flags = 0;                // kDentry* bits (atomic)
   uint32_t open_count = 0;           // open Files (atomic); blocks unlink
   uint32_t pos_children = 0;         // positive children (under child_lock)
   uint32_t neg_children = 0;         // cached negatives (under child_lock)
+  uint32_t depth = 0;                // tree depth; immutable (lock ordering)
   lxfi::Spinlock child_lock;         // writer lock for this directory
   lxfi::FlatTable<Dentry*> children; // child index: name_hash -> chain head
 };
@@ -128,9 +135,11 @@ class Dcache {
 
   // --- write side --------------------------------------------------------
   // The lock serializing mutations of `parent`'s children (per-parent in
-  // RCU mode, the single global lock in locked mode). Lock order: a
-  // writer holds at most one dcache lock at a time; the dcache locks
-  // nest inside nothing and nothing nests inside them.
+  // RCU mode, the single global lock in locked mode). Lock order: multi-
+  // lock holders (rename's two parents, rmdir's parent -> victim nesting)
+  // acquire in ascending (depth, address) order — depth is immutable for
+  // directories (they never move), so the order is a total one and the
+  // nesting cannot deadlock.
   lxfi::Spinlock& writer_lock(Dentry* parent);
 
   // The *Locked entry points require writer_lock(parent) to be held.
@@ -160,6 +169,20 @@ class Dcache {
   }
   static void AddOpenCount(Dentry* dentry, int delta) {
     __atomic_add_fetch(&dentry->open_count, static_cast<uint32_t>(delta), __ATOMIC_RELAXED);
+  }
+
+  // --- lockref (single-CAS flags+open_count transitions) -----------------
+  // Takes an open reference iff the dentry is neither dying nor moving:
+  // one 64-bit CAS over the pair, so an unlink/rename that marked the
+  // dentry in the same instant can never race a reference in (and vice
+  // versa an in-flight open can never be overtaken by the mark).
+  static bool TryOpenRef(Dentry* dentry);
+  // Sets `bit` (kDentryDying / kDentryMoving) iff open_count == 0 and no
+  // dying/moving mark is already present; the unlink/rename side of the
+  // same CAS protocol.
+  static bool TryFlagIfUnopened(Dentry* dentry, uint32_t bit);
+  static void ClearFlag(Dentry* dentry, uint32_t bit) {
+    __atomic_fetch_and(&dentry->flags, ~bit, __ATOMIC_RELEASE);
   }
 
   // --- stats / test hooks ------------------------------------------------

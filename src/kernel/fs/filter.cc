@@ -25,6 +25,10 @@ const char* VfsOpName(VfsOp op) {
       return "rmdir";
     case VfsOp::kStat:
       return "stat";
+    case VfsOp::kRename:
+      return "rename";
+    case VfsOp::kFsync:
+      return "fsync";
     case VfsOp::kCount:
       break;
   }

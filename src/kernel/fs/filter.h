@@ -41,6 +41,8 @@ enum class VfsOp : int {
   kMkdir,
   kRmdir,
   kStat,
+  kRename,
+  kFsync,
   kCount,
 };
 

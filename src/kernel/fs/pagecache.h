@@ -1,0 +1,156 @@
+// Kernel-owned buffer/page cache keyed by (block device, block number).
+//
+// The block-backed filesystem path (src/modules/jexfs) never reads the disk
+// directly for its home blocks: it goes through this cache, which gives the
+// enforcement story a third shared-object family after skbs and dentries.
+// The cache is kernel memory; modules get at a cached block only through the
+// pc_* exports (src/lxfi/kernel_api.cc):
+//
+//   pc_bget        shared hold for reading; mints a REF for the page, never
+//                  a WRITE — a module that scribbles a page it only read is
+//                  caught by the store guard and attributed via the page's
+//                  writer set.
+//   pc_bwrite      exclusive hold (the page's busy bit); copies WRITE over
+//                  exactly the 512-byte data window, nothing else — the
+//                  dev/block/flags header stays kernel-only.
+//   pc_mark_dirty  requires the write window; tags the page for writeback.
+//   pc_bwrite_done transfers the data-window WRITE back (revoking it from
+//                  the module) and drops the exclusive hold.
+//   pc_brelse      drops a shared hold (REF check only; REFs are retained).
+//   pc_sync        writes every dirty page of a device back via SubmitBio;
+//                  the completion runs through the same checked-indirect-
+//                  call end_io path module completions use.
+//   pc_invalidate  drops every page of a device (unmount).
+//
+// Concurrency (mirrors the dcache, docs/smp_enforcement.md): lookups on the
+// hit path are lock-free — a seqlock-validated FlatTable probe plus an
+// immutable-key collision-chain walk — and misses serialize per shard, fill
+// the page outside the shard lock, and publish readiness with one release
+// store of the uptodate bit. Writeback and the module write window mutually
+// exclude through the busy bit (acquire CAS / release clear), which is what
+// makes the 3-CPU read/writeback storm TSan-clean. Retired pages wait out an
+// epoch grace period because a lock-free prober may still hold a chain
+// pointer to them.
+//
+// There is no eviction: the cache is bounded by the (small, simulated)
+// devices it fronts, and pc_invalidate reclaims a device's pages wholesale.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/flat_table.h"
+#include "src/base/sync.h"
+#include "src/kernel/block/block.h"
+
+namespace kern {
+
+class Kernel;
+class PageCache;
+
+inline constexpr uint32_t kPcBlockSize = kSectorSize;
+
+// CachedPage::flags bits (atomic).
+inline constexpr uint32_t kPcUptodate = 1u << 0;  // data holds the block
+inline constexpr uint32_t kPcDirty = 1u << 1;     // needs writeback
+inline constexpr uint32_t kPcBusy = 1u << 2;      // exclusive writer/writeback
+
+// Kernel-owned cache entry. dev/block/key are immutable after publication
+// (the lock-free probe compares them with plain loads); flags and holds are
+// atomic on both sides. Modules receive a REF for the whole struct but a
+// WRITE capability only ever covers `data` — keep it last so the header
+// cannot be reached through the data window by an off-by-one.
+struct CachedPage {
+  BlockDevice* dev = nullptr;
+  uint64_t block = 0;
+  uint64_t key = 0;            // hash of (dev, block): the index key
+  CachedPage* hash_next = nullptr;  // same-key collision chain (atomic)
+  PageCache* owner = nullptr;
+  uint32_t flags = 0;          // kPc* bits (atomic)
+  uint32_t holds = 0;          // outstanding bget/bwrite holds (atomic)
+  uint8_t data[kPcBlockSize] = {};
+};
+
+class PageCache {
+ public:
+  explicit PageCache(Kernel* kernel);
+  ~PageCache();
+
+  // --- module-facing surface (exported as pc_*) --------------------------
+  // Shared hold; fills from the device on a miss. Null on I/O error.
+  CachedPage* Bget(BlockDevice* dev, uint64_t block);
+  // Exclusive hold: owns the page's busy bit until BwriteDone.
+  CachedPage* Bwrite(BlockDevice* dev, uint64_t block);
+  void MarkDirty(CachedPage* page);
+  int Brelse(CachedPage* page);
+  int BwriteDone(CachedPage* page);
+  // Writes every dirty page of `dev` back through SubmitBio. Returns the
+  // number of pages written (negative errno only on submission failure).
+  int Sync(BlockDevice* dev);
+  // Drops every page of `dev`. No hold may be outstanding.
+  void Invalidate(BlockDevice* dev);
+
+  // --- stats / test hooks ------------------------------------------------
+  uint64_t hits() const { return SumShards(&Stat::hits); }
+  uint64_t misses() const { return SumShards(&Stat::misses); }
+  uint64_t seqlock_retries() const { return SumShards(&Stat::retries); }
+  uint64_t writebacks() const { return writebacks_.load(std::memory_order_relaxed); }
+  uint64_t io_errors() const { return io_errors_.load(std::memory_order_relaxed); }
+
+  // The kernel-text address writeback completions dispatch through; the
+  // forged-end_io exploit test uses it as the hijack target.
+  uintptr_t end_io_addr_for_test() const { return end_io_addr_; }
+
+  // Collapses the (dev, block) key into `buckets` distinct nonzero values,
+  // forcing collision chains for the differential test; 0 restores the full
+  // hash. Flip only while the cache is empty and unreferenced.
+  void set_hash_buckets_for_test(uint64_t buckets) { hash_buckets_ = buckets; }
+
+  static uint32_t FlagsOf(const CachedPage* page) {
+    return __atomic_load_n(&page->flags, __ATOMIC_ACQUIRE);
+  }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct alignas(lxfi::kCacheLineSize) Stat {
+    lxfi::RelaxedCell hits;
+    lxfi::RelaxedCell misses;
+    lxfi::RelaxedCell retries;
+  };
+
+  struct Shard {
+    lxfi::Spinlock mu;                    // serializes index writers
+    lxfi::FlatTable<CachedPage*> index;   // key -> collision chain head
+  };
+
+  uint64_t PageKey(const BlockDevice* dev, uint64_t block) const;
+  Shard& ShardFor(uint64_t key) { return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60]; }
+  // Finds or creates the page and takes one hold; fills on miss.
+  CachedPage* Grab(BlockDevice* dev, uint64_t block);
+  // Spins until the busy bit is acquired (page must be uptodate).
+  static void LockBusy(CachedPage* page);
+  static void UnlockBusy(CachedPage* page);
+  void OnWritebackDone(Bio* bio);
+
+  uint64_t SumShards(lxfi::RelaxedCell Stat::* field) const {
+    uint64_t sum = 0;
+    for (const Stat& s : stats_) {
+      sum += (s.*field).value();
+    }
+    return sum;
+  }
+
+  Kernel* kernel_;
+  uint64_t hash_buckets_ = 0;
+  uintptr_t end_io_addr_ = 0;
+  std::array<Shard, kNumShards> shards_;
+  std::array<Stat, lxfi::kMaxCpuShards> stats_;
+  std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> io_errors_{0};
+};
+
+PageCache* GetPageCache(Kernel* kernel);
+
+}  // namespace kern

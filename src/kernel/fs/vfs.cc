@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <new>
+#include <utility>
 
 #include "src/base/hash.h"
 #include "src/kernel/kernel.h"
@@ -48,6 +49,44 @@ uint64_t NameHash(std::string_view name) { return lxfi::Fnv1a64(name); }
 uint32_t SbOpenFiles(const SuperBlock* sb) {
   return __atomic_load_n(&sb->open_files, __ATOMIC_RELAXED);
 }
+
+// Acquires the writer locks of two (possibly identical) directories in
+// ascending (depth, address) order. Directory depth is immutable (only
+// regular files rename), so this is a total order shared with rmdir's
+// parent -> victim nesting — no two multi-lock holders can deadlock.
+class DoubleLockGuard {
+ public:
+  DoubleLockGuard(Dcache& dc, Dentry* a, Dentry* b) {
+    first_ = &dc.writer_lock(a);
+    lxfi::Spinlock* second = &dc.writer_lock(b);
+    if (second == first_) {
+      // Same directory, or locked (ablation) mode where every parent maps
+      // to the one global lock.
+      second = nullptr;
+    } else if (b->depth < a->depth ||
+               (b->depth == a->depth &&
+                reinterpret_cast<uintptr_t>(b) < reinterpret_cast<uintptr_t>(a))) {
+      std::swap(first_, second);
+    }
+    first_->lock();
+    if (second != nullptr) {
+      second->lock();
+    }
+    second_ = second;
+  }
+  ~DoubleLockGuard() {
+    if (second_ != nullptr) {
+      second_->unlock();
+    }
+    first_->unlock();
+  }
+  DoubleLockGuard(const DoubleLockGuard&) = delete;
+  DoubleLockGuard& operator=(const DoubleLockGuard&) = delete;
+
+ private:
+  lxfi::Spinlock* first_;
+  lxfi::Spinlock* second_ = nullptr;
+};
 
 }  // namespace
 
@@ -486,9 +525,10 @@ int Vfs::DInstantiate(Dentry* dentry, Inode* inode) {
   }
   Dentry* existing = dcache_.FindChildLocked(dentry->parent, dentry->name);
   if (existing != nullptr) {
-    if ((Dcache::FlagsOf(existing) & kDentryPositive) != 0) {
-      return -kEexist;  // includes dying entries: the name exists until the
-                        // in-flight unlink commits
+    if ((Dcache::FlagsOf(existing) & (kDentryPositive | kDentryMoving)) != 0) {
+      return -kEexist;  // positive (incl. dying: the name exists until the
+                        // in-flight unlink commits) or a rename's
+                        // destination reservation — either way, taken
     }
     // Displace the cached negative for this name.
     dcache_.UnlinkChildLocked(dentry->parent, existing);
@@ -594,12 +634,24 @@ File* Vfs::Open(const char* path, int flags, int* err) {
   if (rc != 0) {
     return fail(rc);
   }
+  // Lockref: take the open reference FIRST, in the same 64-bit CAS window
+  // that rejects dying/moving dentries. From here on a concurrent unlink or
+  // rename fails with -EBUSY instead of freeing the inode under us — the
+  // open-vs-unlink TOCTOU the storm regression test hammers is closed by
+  // this ordering, not by luck.
+  if (!Dcache::TryOpenRef(dentry)) {
+    return fail(-kEnoent);
+  }
+  auto fail_unref = [this, dentry, &fail](int e) -> File* {
+    Dcache::AddOpenCount(dentry, -1);
+    return fail(e);
+  };
   Inode* inode = Dcache::InodeOf(dentry);
   if ((inode->mode & kIfDir) != 0) {
-    return fail(-kEisdir);
+    return fail_unref(-kEisdir);
   }
   if (inode->i_fop == nullptr) {
-    return fail(-kEinval);
+    return fail_unref(-kEinval);
   }
   void* mem = kernel_->slab().Alloc(sizeof(File));
   KERN_BUG_ON(mem == nullptr);
@@ -622,12 +674,11 @@ File* Vfs::Open(const char* path, int flags, int* err) {
   chain_.RunPost(&ctx, run);
   if (rc != 0) {
     kernel_->slab().Free(file);
-    return fail(rc);
+    return fail_unref(rc);
   }
   // Open-file accounting lives in kernel-owned structures (the dentry and
   // the superblock's kernel-private counter), never in the module-writable
   // inode: Unlink and Unmount consult it before freeing anything.
-  Dcache::AddOpenCount(dentry, 1);
   __atomic_add_fetch(&inode->sb->open_files, 1u, __ATOMIC_RELAXED);
   open_files_.fetch_add(1, std::memory_order_relaxed);
   if (err != nullptr) {
@@ -740,12 +791,12 @@ int Vfs::RemoveEntry(const char* path, bool dir) {
     if (!dir && is_dir) {
       return -kEisdir;
     }
-    if (Dcache::OpenCount(child) > 0) {
-      return -kEbusy;  // open handles reference the dentry and inode
-    }
     // Hide the entry from lock-free walkers for the duration of the module
     // dispatch: no new stat/open can reach the inode the module is about
-    // to free, and no lookup re-instantiates the name meanwhile.
+    // to free, and no lookup re-instantiates the name meanwhile. The dying
+    // mark is a lockref CAS conditional on open_count == 0 (and on no
+    // dying/moving bit already set), so it can never overtake a concurrent
+    // TryOpenRef — whoever's CAS lands first wins, atomically.
     if (dir) {
       // The empty check and the dying mark must be one atomic step with
       // respect to links INTO the victim, and those are guarded by the
@@ -753,15 +804,20 @@ int Vfs::RemoveEntry(const char* path, bool dir) {
       // concurrent create inside the directory either commits first (we
       // see pos_children > 0 here) or observes the dying mark under the
       // same lock in DInstantiate/LookupChild and fails. Parent -> child
-      // is the tree order, so the nesting cannot deadlock; in locked mode
-      // both locks are the single global one, already held.
+      // is the tree order (ascending depth), so the nesting cannot
+      // deadlock; in locked mode both locks are the single global one,
+      // already held.
       lxfi::OptionalSpinGuard child_guard(child->child_lock, !dcache_.locked_mode());
       if (child->pos_children > 0) {
         return -kEnotempty;
       }
-      Dcache::SetDying(child, true);
+      if (!Dcache::TryFlagIfUnopened(child, kDentryDying)) {
+        return -kEbusy;  // open handles reference the dentry and inode
+      }
     } else {
-      Dcache::SetDying(child, true);
+      if (!Dcache::TryFlagIfUnopened(child, kDentryDying)) {
+        return -kEbusy;  // open handles, or a rename moving this entry
+      }
     }
   }
   FilterCtx ctx;
@@ -793,6 +849,139 @@ int Vfs::RemoveEntry(const char* path, bool dir) {
 int Vfs::Rmdir(const char* path) { return RemoveEntry(path, /*dir=*/true); }
 
 int Vfs::Unlink(const char* path) { return RemoveEntry(path, /*dir=*/false); }
+
+int Vfs::Fsync(File* file) {
+  if (file == nullptr || file->f_op == nullptr) {
+    return -kEinval;
+  }
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kFsync);
+  ctx.file = file;
+  ctx.dentry = file->dentry;
+  FilterRun run;
+  int rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0 && file->f_op->fsync != 0) {
+    rc = kernel_->IndirectCall<int, File*>(&file->f_op->fsync, "file_operations::fsync", file);
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  return rc;
+}
+
+int Vfs::Rename(const char* oldpath, const char* newpath) {
+  Dentry* oparent = nullptr;
+  Dentry* nparent = nullptr;
+  std::string oleaf;
+  std::string nleaf;
+  int rc = WalkParent(oldpath, &oparent, &oleaf);
+  if (rc != 0) {
+    return rc;
+  }
+  rc = WalkParent(newpath, &nparent, &nleaf);
+  if (rc != 0) {
+    return rc;
+  }
+  if (oparent->sb != nparent->sb) {
+    return -kExdev;
+  }
+  if (oparent == nparent && oleaf == nleaf) {
+    Dentry* self = nullptr;
+    return Walk(oldpath, &self);  // renaming a name onto itself: a no-op
+  }
+  Inode* olddir = Dcache::InodeOf(oparent);
+  Inode* newdir = Dcache::InodeOf(nparent);
+  if (olddir == nullptr || newdir == nullptr || olddir->i_op == nullptr ||
+      olddir->i_op->rename == 0) {
+    return -kEinval;
+  }
+  // The destination reservation: a negative dentry carrying the moving
+  // mark, linked before the module dispatch so no concurrent create or
+  // rename can claim the name while the move commits on disk
+  // (DInstantiate and the probe below refuse moving-marked entries).
+  Dentry* nd = dcache_.NewDentry(nparent->sb, nparent, nleaf.c_str());
+  Dentry* od = nullptr;
+  {
+    DoubleLockGuard guard(dcache_, oparent, nparent);
+    if (((Dcache::FlagsOf(oparent) | Dcache::FlagsOf(nparent)) & kDentryDying) != 0) {
+      dcache_.FreeNow(nd);
+      return -kEnoent;
+    }
+    od = dcache_.FindChildLocked(oparent, oleaf.c_str());
+    uint32_t f = od != nullptr ? Dcache::FlagsOf(od) : 0;
+    if (od == nullptr || (f & kDentryPositive) == 0 || (f & kDentryDying) != 0) {
+      dcache_.FreeNow(nd);
+      return -kEnoent;
+    }
+    if ((f & kDentryDir) != 0) {
+      dcache_.FreeNow(nd);
+      return -kEisdir;  // directories do not move (immutable depth)
+    }
+    Dentry* existing = dcache_.FindChildLocked(nparent, nleaf.c_str());
+    if (existing != nullptr) {
+      uint32_t ef = Dcache::FlagsOf(existing);
+      if ((ef & kDentryPositive) != 0) {
+        dcache_.FreeNow(nd);
+        return -kEexist;  // RENAME_NOREPLACE semantics
+      }
+      if ((ef & kDentryMoving) != 0) {
+        dcache_.FreeNow(nd);
+        return -kEbusy;  // another rename already reserved the destination
+      }
+    }
+    // Claim the source: same CAS window as unlink, so open handles (and
+    // concurrent unlinks/renames of the same entry) make this fail.
+    if (!Dcache::TryFlagIfUnopened(od, kDentryMoving)) {
+      dcache_.FreeNow(nd);
+      return -kEbusy;
+    }
+    if (existing != nullptr) {
+      dcache_.UnlinkChildLocked(nparent, existing);
+      dcache_.Retire(existing);  // displace the cached negative
+    }
+    __atomic_fetch_or(&nd->flags, kDentryMoving, __ATOMIC_RELEASE);
+    dcache_.LinkChildLocked(nparent, nd);
+  }
+  // Module dispatch outside the locks (it may block on I/O; walkers keep
+  // resolving the old name meanwhile — the moving mark only blocks open,
+  // unlink and competing renames).
+  FilterCtx ctx;
+  ctx.op = static_cast<int>(VfsOp::kRename);
+  ctx.dir = olddir;
+  ctx.dentry = od;
+  FilterRun run;
+  rc = chain_.RunPre(&ctx, &run);
+  if (rc == 0) {
+    rc = kernel_->IndirectCall<int, Inode*, Dentry*, Inode*, Dentry*>(
+        &olddir->i_op->rename, "inode_operations::rename", olddir, od, newdir, nd);
+  }
+  ctx.result = rc;
+  chain_.RunPost(&ctx, run);
+  if (rc != 0) {
+    {
+      DoubleLockGuard guard(dcache_, oparent, nparent);
+      dcache_.UnlinkChildLocked(nparent, nd);
+    }
+    Dcache::ClearFlag(od, kDentryMoving);
+    dcache_.Retire(nd);  // was published as the reservation
+    return rc;
+  }
+  Inode* inode = Dcache::InodeOf(od);
+  {
+    DoubleLockGuard guard(dcache_, oparent, nparent);
+    // Commit order: the new name turns positive first, then the old name
+    // dies — a lock-free walker observes old, both, or new, never a
+    // half-moved neither. SetPositive's release store also clears the
+    // moving mark (it writes the whole flags word), opening the new name
+    // for opens in the same instant it becomes resolvable.
+    dcache_.UnlinkChildLocked(nparent, nd);  // counted as a negative so far
+    Dcache::SetPositive(nd, inode);
+    dcache_.LinkChildLocked(nparent, nd);    // recounted as positive
+    Dcache::SetDying(od, true);
+    dcache_.UnlinkChildLocked(oparent, od);
+  }
+  dcache_.Retire(od);
+  return 0;
+}
 
 int Vfs::Stat(const char* path, VfsStat* out) {
   Dentry* dentry = nullptr;

@@ -75,6 +75,7 @@ struct InodeOperations {
   uintptr_t unlink = 0;   // int(Inode* dir, Dentry* dentry)
   uintptr_t mkdir = 0;    // int(Inode* dir, Dentry* dentry, uint32_t mode)
   uintptr_t rmdir = 0;    // int(Inode* dir, Dentry* dentry)
+  uintptr_t rename = 0;   // int(Inode* olddir, Dentry* odent, Inode* newdir, Dentry* ndent)
   uintptr_t getattr = 0;  // int(Inode*, VfsStat*)
 };
 
@@ -83,6 +84,7 @@ struct FileOperations {
   uintptr_t release = 0;  // int(Inode*, File*)
   uintptr_t read = 0;     // int64_t(File*, uintptr_t ubuf, uint64_t n, uint64_t pos)
   uintptr_t write = 0;    // int64_t(File*, uintptr_t ubuf, uint64_t n, uint64_t pos)
+  uintptr_t fsync = 0;    // int(File*)
 };
 
 // Module-provided filesystem type (module kmalloc memory, so the
@@ -170,9 +172,19 @@ class Vfs {
   int64_t Read(File* file, uintptr_t ubuf, uint64_t n);
   int64_t Write(File* file, uintptr_t ubuf, uint64_t n);
   int Seek(File* file, uint64_t pos);
+  // Flushes the file's filesystem state to its backing store (no-op, and 0,
+  // for filesystems without an fsync operation, e.g. ramfs).
+  int Fsync(File* file);
   int Mkdir(const char* path);
   int Rmdir(const char* path);
   int Unlink(const char* path);
+  // Moves a regular file (directories report -EISDIR — directory depth is
+  // immutable, which is what keeps the multi-lock order a total one), same
+  // superblock only (-EXDEV), never over an existing name (-EEXIST,
+  // RENAME_NOREPLACE semantics), never while open (-EBUSY). Walkers racing
+  // the commit observe the old name, both names, or the new name — never
+  // neither (new is published before old dies).
+  int Rename(const char* oldpath, const char* newpath);
   int Stat(const char* path, VfsStat* out);
   int StatFs(const char* where, VfsStatFs* out);
 

@@ -15,9 +15,11 @@ using Uid = uint32_t;
 // Linux-style errno values used at simulated syscall/module boundaries.
 inline constexpr int kEperm = 1;
 inline constexpr int kEnoent = 2;
+inline constexpr int kEio = 5;
 inline constexpr int kEfault = 14;
 inline constexpr int kEbusy = 16;
 inline constexpr int kEexist = 17;
+inline constexpr int kExdev = 18;
 inline constexpr int kEnodev = 19;
 inline constexpr int kEnotdir = 20;
 inline constexpr int kEisdir = 21;

@@ -5,6 +5,7 @@
 
 #include "src/base/log.h"
 #include "src/kernel/block/block.h"
+#include "src/kernel/fs/pagecache.h"
 #include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/net/netdevice.h"
@@ -120,6 +121,17 @@ void InstallIterators(Runtime* rt) {
     }
     ctx.Emit(Capability::Write(bio, sizeof(kern::Bio)));
     if (bio->data != nullptr && bio->size > 0) {
+      ctx.Emit(Capability::Write(bio->data, bio->size));
+    }
+  });
+
+  // Only the payload of a bio, for handing a submitted bio DOWN a device-
+  // mapper stack: the struct itself — sector, size, and above all the
+  // end_io call target — stays with the submitter, so a stacked target
+  // never becomes a page-writer of a foreign module's completion slot.
+  reg.Register("bio_data_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* bio = reinterpret_cast<kern::Bio*>(arg);
+    if (bio != nullptr && bio->data != nullptr && bio->size > 0) {
       ctx.Emit(Capability::Write(bio->data, bio->size));
     }
   });
@@ -253,6 +265,18 @@ void InstallIterators(Runtime* rt) {
       ctx.Emit(Capability::Write(reinterpret_cast<const void*>(arg), sizeof(kern::FilterCtx)));
     }
   });
+
+  // The payload of a cached page — and ONLY the payload. The CachedPage
+  // header (flags, hold count, hash linkage) stays kernel-owned forever;
+  // pc_bwrite grants this range and pc_bwrite_done reclaims it, so the
+  // writer-set over page->data names exactly the module that held the
+  // write window when a scribble is attributed.
+  reg.Register("pcdata_caps", [](CapIterContext& ctx, uint64_t arg) {
+    auto* page = reinterpret_cast<kern::CachedPage*>(arg);
+    if (page != nullptr) {
+      ctx.Emit(Capability::Write(page->data, kern::kPcBlockSize));
+    }
+  });
 }
 
 // --- annotations (Figure 4 style) -------------------------------------------
@@ -332,6 +356,27 @@ void InstallAnnotations(Runtime* rt) {
   MustRegister(rt, "dm_get_device", {"name"},
                "post(if (return != 0) copy(ref(struct block_device), return))");
 
+  // Page cache. The API is deliberately asymmetric: bget/brelse move REFs
+  // only (many holders may share a page, so releasing cannot demand
+  // exclusive WRITE), while bwrite/bwrite_done bracket the one window in
+  // which a module may store into the payload. mark_dirty demands the
+  // window be open (check, not transfer), and sync/invalidate only need
+  // the device REF the mount dispatch granted.
+  MustRegister(rt, "pc_bget", {"dev", "block"},
+               "pre(check(ref(struct block_device), dev)) "
+               "post(if (return != 0) copy(ref(struct cached_page), return))");
+  MustRegister(rt, "pc_brelse", {"page"}, "pre(check(ref(struct cached_page), page))");
+  MustRegister(rt, "pc_bwrite", {"dev", "block"},
+               "pre(check(ref(struct block_device), dev)) "
+               "post(if (return != 0) copy(ref(struct cached_page), return)) "
+               "post(if (return != 0) copy(pcdata_caps(return)))");
+  MustRegister(rt, "pc_bwrite_done", {"page"},
+               "pre(check(ref(struct cached_page), page)) "
+               "pre(transfer(pcdata_caps(page)))");
+  MustRegister(rt, "pc_mark_dirty", {"page"}, "pre(check(pcdata_caps(page)))");
+  MustRegister(rt, "pc_sync", {"dev"}, "pre(check(ref(struct block_device), dev))");
+  MustRegister(rt, "pc_invalidate", {"dev"}, "pre(check(ref(struct block_device), dev))");
+
   // Timers: the module must own the timer_list it arms; the function
   // pointer inside it is vetted by the indirect-call check at expiry.
   MustRegister(rt, "mod_timer", {"timer", "expires"}, "pre(check(timer_caps(timer)))");
@@ -403,18 +448,29 @@ void InstallAnnotations(Runtime* rt) {
   MustRegister(rt, "target_type::dtr", {"target"},
                "principal(target) post(transfer(dmtarget_caps(target)))");
   // map() outcomes: 0 = the target completed (or dispatched) the bio itself,
-  // 1 = remapped, core submits to the underlying device. Either way the
-  // bio's capabilities return to the kernel when map() is done; 2 (kill)
-  // leaves them revoked from everyone via the pre transfer.
+  // 1 = remapped, core submits to the underlying device, 2 (kill) or a
+  // negative errno = the core fails the bio. A target receives only the
+  // bio's PAYLOAD (bio_data_caps): the struct — sector, status, and above
+  // all the end_io call target — stays with the submitter, so the target
+  // never appears in the writer set of the submitter's completion slot.
+  // Completion status flows back through the return value and is recorded
+  // by the block core, not the target.
   MustRegister(rt, "target_type::map", {"target", "bio"},
-               "principal(target) pre(transfer(bio_caps(bio))) "
-               "post(if (return == 0) transfer(bio_caps(bio))) "
-               "post(if (return == 1) transfer(bio_caps(bio)))");
+               "principal(target) pre(transfer(bio_data_caps(bio))) "
+               "post(if (return == 0) transfer(bio_data_caps(bio))) "
+               "post(if (return == 1) transfer(bio_data_caps(bio)))");
   MustRegister(rt, "pcm_ops::open", {"ss"}, "principal(ss) pre(copy(substream_caps(ss)))");
   MustRegister(rt, "pcm_ops::close", {"ss"}, "principal(ss) post(transfer(substream_caps(ss)))");
   MustRegister(rt, "pcm_ops::trigger", {"ss", "cmd"}, "principal(ss)");
   MustRegister(rt, "pcm_ops::pointer", {"ss"}, "principal(ss)");
-  MustRegister(rt, "bio_end_io_t", {"bio"}, "");
+  // Completion callbacks get the bio's capabilities for exactly the
+  // completion window: the kernel hands WRITE over the bio struct and its
+  // payload in, and reclaims both when the callback returns. Kernel-text
+  // end_io targets (the page cache's writeback completion) bypass the
+  // annotation machinery entirely — the dispatch never enters a module, so
+  // no grant is minted that a module could inherit.
+  MustRegister(rt, "bio_end_io_t", {"bio"},
+               "principal(bio) pre(copy(bio_caps(bio))) post(transfer(bio_caps(bio)))");
 
   // --- VFS function-pointer types ------------------------------------------
   // Each mounted superblock is one principal; the mount dispatch endows it
@@ -442,6 +498,11 @@ void InstallAnnotations(Runtime* rt) {
                "principal(dir) post(if (return == 0) transfer(ref(struct dentry), dentry))");
   MustRegister(rt, "inode_operations::rmdir", {"dir", "dentry"},
                "principal(dir) post(if (return == 0) transfer(ref(struct dentry), dentry))");
+  // Rename is same-superblock only, so olddir's principal is newdir's too;
+  // both dentries are kernel-owned and passed by REF for the dispatch.
+  MustRegister(rt, "inode_operations::rename", {"olddir", "odent", "newdir", "ndent"},
+               "principal(olddir) pre(copy(ref(struct dentry), odent)) "
+               "pre(copy(ref(struct dentry), ndent))");
   MustRegister(rt, "inode_operations::getattr", {"inode", "out"},
                "principal(inode) pre(copy(vfsstat_caps(out))) "
                "post(transfer(vfsstat_caps(out)))");
@@ -451,6 +512,7 @@ void InstallAnnotations(Runtime* rt) {
                "principal(file) post(transfer(file_caps(file)))");
   MustRegister(rt, "file_operations::read", {"file", "ubuf", "n", "pos"}, "principal(file)");
   MustRegister(rt, "file_operations::write", {"file", "ubuf", "n", "pos"}, "principal(file)");
+  MustRegister(rt, "file_operations::fsync", {"file"}, "principal(file)");
   // Filter hooks: each registered filter is its own principal, so one
   // compromised filter cannot reach its neighbours' state. The FilterCtx is
   // granted for the hook's duration only (the chain-position token lives in
@@ -615,6 +677,31 @@ void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
   });
   k->ExportSymbol<DmGetDeviceSig>("dm_get_device", [k](const char* name) -> kern::BlockDevice* {
     return kern::GetBlockLayer(k)->FindDevice(name);
+  });
+
+  // --- page cache ------------------------------------------------------------------
+  k->ExportSymbol<PcGetSig>("pc_bget",
+                            [k](kern::BlockDevice* dev, uint64_t block) -> kern::CachedPage* {
+                              return kern::GetPageCache(k)->Bget(dev, block);
+                            });
+  k->ExportSymbol<PcPageSig>("pc_brelse", [k](kern::CachedPage* page) -> int {
+    return kern::GetPageCache(k)->Brelse(page);
+  });
+  k->ExportSymbol<PcGetSig>("pc_bwrite",
+                            [k](kern::BlockDevice* dev, uint64_t block) -> kern::CachedPage* {
+                              return kern::GetPageCache(k)->Bwrite(dev, block);
+                            });
+  k->ExportSymbol<PcPageSig>("pc_bwrite_done", [k](kern::CachedPage* page) -> int {
+    return kern::GetPageCache(k)->BwriteDone(page);
+  });
+  k->ExportSymbol<PcMarkDirtySig>("pc_mark_dirty", [k](kern::CachedPage* page) {
+    kern::GetPageCache(k)->MarkDirty(page);
+  });
+  k->ExportSymbol<PcSyncSig>("pc_sync", [k](kern::BlockDevice* dev) -> int {
+    return kern::GetPageCache(k)->Sync(dev);
+  });
+  k->ExportSymbol<PcInvalidateSig>("pc_invalidate", [k](kern::BlockDevice* dev) {
+    kern::GetPageCache(k)->Invalidate(dev);
   });
 
   // --- timers ----------------------------------------------------------------

@@ -38,6 +38,7 @@ struct VfsStat;
 struct VfsStatFs;
 struct VfsFilter;
 struct FilterCtx;
+struct CachedPage;
 }  // namespace kern
 
 namespace lxfi {
@@ -102,6 +103,15 @@ using DInstantiateSig = int(kern::Dentry*, kern::Inode*);
 using VfsRegisterFilterSig = int(kern::VfsFilter*);
 using VfsUnregisterFilterSig = int(kern::VfsFilter*);
 
+// Page cache (kernel/fs/pagecache): buffer heads for block-backed
+// filesystems. bget/brelse move REFs only; bwrite/bwrite_done bracket the
+// exclusive WRITE window over the page payload.
+using PcGetSig = kern::CachedPage*(kern::BlockDevice*, uint64_t);
+using PcPageSig = int(kern::CachedPage*);
+using PcMarkDirtySig = void(kern::CachedPage*);
+using PcSyncSig = int(kern::BlockDevice*);
+using PcInvalidateSig = void(kern::BlockDevice*);
+
 // Module-function pointer type signatures (kernel -> module).
 using PciProbeSig = int(kern::PciDev*);
 using PciRemoveSig = void(kern::PciDev*);
@@ -130,9 +140,11 @@ using SuperStatfsSig = int(kern::SuperBlock*, kern::VfsStatFs*);
 using InodeLookupSig = kern::Inode*(kern::Inode*, kern::Dentry*);
 using InodeCreateSig = int(kern::Inode*, kern::Dentry*, uint32_t);
 using InodeUnlinkSig = int(kern::Inode*, kern::Dentry*);
+using InodeRenameSig = int(kern::Inode*, kern::Dentry*, kern::Inode*, kern::Dentry*);
 using InodeGetattrSig = int(kern::Inode*, kern::VfsStat*);
 using FileOpenSig = int(kern::Inode*, kern::File*);
 using FileRwSig = int64_t(kern::File*, uintptr_t, uint64_t, uint64_t);
+using FileFsyncSig = int(kern::File*);
 using FilterPreSig = int(kern::VfsFilter*, kern::FilterCtx*);
 using FilterPostSig = void(kern::VfsFilter*, kern::FilterCtx*);
 

@@ -385,10 +385,18 @@ void Runtime::Grant(Principal* p, const Capability& cap) {
     uint64_t new_pages[kMaxInlinePages];
     size_t n_new = 0;
     bool huge_range = false;
+    // Kernel-stack ranges are never writer-recorded: stack write authority is
+    // the transient §3.2 initial capability (OwnsForEnforcement allows it
+    // with no cap at all), while the writer set is monotone and stack frames
+    // recycle. Recording an out-param grant here would permanently mark a
+    // frame page and poison later kernel dispatch through stack slots (e.g.
+    // the page cache's stack writeback bio).
+    bool on_stack = cap.kind == CapKind::kWrite && cap.size > 0 &&
+                    OnKernelStack(cap.addr, cap.size);
     {
       SpinGuard guard(p->lock());
       p->caps().Grant(cap);
-      if (cap.kind == CapKind::kWrite && cap.size > 0) {
+      if (cap.kind == CapKind::kWrite && cap.size > 0 && !on_stack) {
         // A ClearRange/RemoveWriter since we last recorded invalidates every
         // record: re-attribute from scratch so erased pages get re-inserted.
         uint64_t gen = writer_set_.clear_generation();
@@ -417,7 +425,7 @@ void Runtime::Grant(Principal* p, const Capability& cap) {
     return;
   }
   p->caps().Grant(cap);
-  if (cap.kind == CapKind::kWrite) {
+  if (cap.kind == CapKind::kWrite && !OnKernelStack(cap.addr, cap.size)) {
     writer_set_.AddRange(p, cap.addr, cap.size);
   }
 }

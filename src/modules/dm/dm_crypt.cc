@@ -45,8 +45,9 @@ int Map(DmCryptState& st, kern::DmTarget* target, kern::Bio* bio) {
   auto* bounce = static_cast<uint8_t*>(st.api.kmalloc(bio->size));
   auto* sub = static_cast<kern::Bio*>(st.api.kmalloc(sizeof(kern::Bio)));
   if (bounce == nullptr || sub == nullptr) {
-    lxfi::Store(m, &bio->status, -kern::kEnomem);
-    return 0;
+    st.api.kfree(bounce);
+    st.api.kfree(sub);
+    return -kern::kEnomem;  // the core records the failure on the bio
   }
   lxfi::Store(m, &sub->sector, bio->sector);
   lxfi::Store(m, &sub->size, bio->size);
@@ -65,8 +66,9 @@ int Map(DmCryptState& st, kern::DmTarget* target, kern::Bio* bio) {
   }
   st.api.kfree(sub);
   st.api.kfree(bounce);
-  lxfi::Store(m, &bio->status, rc);
-  return 0;  // DM_MAPIO_SUBMITTED: the target handled the bio itself
+  // DM_MAPIO_SUBMITTED on success; a negative errno tells the core to fail
+  // the bio (the target holds no capability over the submitter's struct).
+  return rc;
 }
 
 }  // namespace

@@ -76,8 +76,7 @@ int Map(DmSnapshotState& st, kern::DmTarget* target, kern::Bio* bio) {
       if (priv->copied_bitmap[chunk] == 0) {
         int rc = CopyChunk(st, target, priv, chunk);
         if (rc != 0) {
-          lxfi::Store(*st.m, &bio->status, rc);
-          return kern::kDmMapioKill;
+          return rc;  // negative errno: the core fails the bio for us
         }
       }
     }

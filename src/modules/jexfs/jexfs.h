@@ -1,0 +1,79 @@
+// jexfs: an extent-based journaling filesystem module over a BlockDevice,
+// loaded as an untrusted LXFI principal.
+//
+// Each mounted superblock is one instance principal (the mount dispatch's
+// principal(sb)); inodes and open files alias onto it. The module touches
+// its backing device only through three enforced channels:
+//   - home-block reads/writes go through the kernel page cache (pc_bget /
+//     pc_bwrite / pc_bwrite_done — the WRITE over a page's payload exists
+//     only between bwrite and bwrite_done);
+//   - journal appends are direct bios through submit_bio, whose completion
+//     dispatches the module's end_io through the checked indirect-call path
+//     (the bio's capabilities are granted for exactly that window);
+//   - durability is pc_sync (writeback through kernel-owned completions).
+//
+// On-disk format and journal protocol live in jexfs_format.h; the module is
+// single-threaded per superblock (the fsperf block backing runs it on the
+// bench thread only).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/kernel/block/block.h"
+#include "src/kernel/fs/pagecache.h"
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/module.h"
+
+namespace mods {
+
+// Module .data image: fstype and dispatch tables, exactly like ramfs — the
+// page-aligned module sections make the writer set attribute them to this
+// module, and the kernel's indirect-call check vets every slot.
+struct JexfsData {
+  kern::FileSystemType fstype;
+  kern::SuperOperations sops;
+  kern::InodeOperations dir_iops;
+  kern::InodeOperations file_iops;
+  kern::FileOperations fops;
+};
+
+struct JexfsImports {
+  std::function<void*(size_t)> kmalloc;
+  std::function<void(void*)> kfree;
+  std::function<int(kern::FileSystemType*)> register_filesystem;
+  std::function<int(kern::FileSystemType*)> unregister_filesystem;
+  std::function<kern::Inode*(kern::SuperBlock*)> iget;
+  std::function<void(kern::Inode*)> iput;
+  std::function<int(kern::Dentry*, kern::Inode*)> d_instantiate;
+  std::function<int(void*, uintptr_t, size_t)> copy_from_user;
+  std::function<int(uintptr_t, const void*, size_t)> copy_to_user;
+  std::function<int(kern::BlockDevice*, kern::Bio*)> submit_bio;
+  std::function<kern::BlockDevice*(const char*)> dm_get_device;
+  std::function<kern::CachedPage*(kern::BlockDevice*, uint64_t)> pc_bget;
+  std::function<int(kern::CachedPage*)> pc_brelse;
+  std::function<kern::CachedPage*(kern::BlockDevice*, uint64_t)> pc_bwrite;
+  std::function<int(kern::CachedPage*)> pc_bwrite_done;
+  std::function<void(kern::CachedPage*)> pc_mark_dirty;
+  std::function<int(kern::BlockDevice*)> pc_sync;
+  std::function<void(kern::BlockDevice*)> pc_invalidate;
+};
+
+struct JexfsState {
+  kern::Module* m = nullptr;
+  JexfsImports api;
+  kern::FileSystemType* fstype = nullptr;  // &JexfsData::fstype (module .data)
+  std::string device;                      // backing device name (dm_get_device)
+  uint64_t commits = 0;                    // journal transactions committed
+  uint64_t replays = 0;                    // transactions applied at mount
+};
+
+// fs_name must have static lifetime (it is the registered type and module
+// name); device names the backing BlockDevice resolved through
+// dm_get_device at mount — pointing it at a dm device stacks the filesystem
+// over an enforced target unchanged.
+kern::ModuleDef JexfsModuleDef(const char* fs_name, const char* device);
+std::shared_ptr<JexfsState> GetJexfs(kern::Module& m);
+
+}  // namespace mods

@@ -172,6 +172,17 @@ int Unlink(RamfsState& st, kern::Inode* dir, kern::Dentry* dentry) {
   return 0;
 }
 
+int Rename(RamfsState& st, kern::Inode* olddir, kern::Dentry* odent, kern::Inode* newdir,
+           kern::Dentry* ndent) {
+  // ramfs is dcache-complete: the kernel's dcache commit (new name published
+  // before the old dies) is the whole move. The dispatch still exercises the
+  // enforced rename crossing and its dual dentry-REF grants.
+  if (odent->inode == nullptr) {
+    return -kern::kEnoent;
+  }
+  return 0;
+}
+
 int Getattr(RamfsState& st, kern::Inode* inode, kern::VfsStat* out) {
   kern::Module& m = *st.m;
   lxfi::Store(m, &out->ino, inode->ino);
@@ -307,6 +318,11 @@ kern::ModuleDef RamfsModuleDef(bool prepopulate, const char* fs_name) {
       lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*>(
           "ramfs_rmdir", "inode_operations::rmdir",
           [st](kern::Inode* dir, kern::Dentry* d) { return Unlink(*st, dir, d); }),
+      lxfi::DeclareFunction<int, kern::Inode*, kern::Dentry*, kern::Inode*, kern::Dentry*>(
+          "ramfs_rename", "inode_operations::rename",
+          [st](kern::Inode* od, kern::Dentry* odent, kern::Inode* nd, kern::Dentry* ndent) {
+            return Rename(*st, od, odent, nd, ndent);
+          }),
       lxfi::DeclareFunction<int, kern::Inode*, kern::VfsStat*>(
           "ramfs_getattr", "inode_operations::getattr",
           [st](kern::Inode* ino, kern::VfsStat* out) { return Getattr(*st, ino, out); }),
@@ -354,6 +370,7 @@ kern::ModuleDef RamfsModuleDef(bool prepopulate, const char* fs_name) {
     lxfi::Store(m, &data->dir_iops.unlink, m.FuncAddr("ramfs_unlink"));
     lxfi::Store(m, &data->dir_iops.mkdir, m.FuncAddr("ramfs_mkdir"));
     lxfi::Store(m, &data->dir_iops.rmdir, m.FuncAddr("ramfs_rmdir"));
+    lxfi::Store(m, &data->dir_iops.rename, m.FuncAddr("ramfs_rename"));
     lxfi::Store(m, &data->dir_iops.getattr, m.FuncAddr("ramfs_getattr"));
     lxfi::Store(m, &data->file_iops.getattr, m.FuncAddr("ramfs_getattr"));
     lxfi::Store(m, &data->fops.open, m.FuncAddr("ramfs_open"));

@@ -1,0 +1,226 @@
+// Rename and lockref semantics on the RCU-walk dcache, plus the 3-CPU
+// storms that pin them down under TSan (CI):
+//   - the (flags, open_count) lockref pair closes the open-vs-unlink and
+//     open-vs-rename TOCTOU: whichever single 64-bit CAS lands first wins;
+//   - the seqlock-correct d_move commit (new name positive before the old
+//     name dies) means a concurrent walker sees old, both, or new — never
+//     a half-moved neither, and never a torn ino.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/smp.h"
+#include "src/lxfi/kernel_api.h"
+#include "src/modules/ramfs/ramfs.h"
+
+namespace {
+
+struct VfsRig {
+  VfsRig() {
+    kernel = std::make_unique<kern::Kernel>();
+    lxfi::InstallKernelApi(kernel.get(), nullptr);
+    EXPECT_NE(kernel->LoadModule(mods::RamfsModuleDef()), nullptr);
+    vfs = kern::GetVfs(kernel.get());
+    sb = vfs->Mount("ramfs", "/mnt");
+  }
+
+  kern::File* Create(const char* path) {
+    int err = 0;
+    kern::File* f = vfs->Open(path, kern::kOCreate, &err);
+    EXPECT_NE(f, nullptr) << path << " err=" << err;
+    return f;
+  }
+
+  std::unique_ptr<kern::Kernel> kernel;
+  kern::Vfs* vfs = nullptr;
+  kern::SuperBlock* sb = nullptr;
+};
+
+TEST(Lockref, OpenBlocksUnlinkUntilClose) {
+  VfsRig rig;
+  ASSERT_NE(rig.sb, nullptr);
+  kern::File* f = rig.Create("/mnt/held");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(rig.vfs->Unlink("/mnt/held"), -kern::kEbusy)
+      << "an open handle must pin the name";
+  ASSERT_EQ(rig.vfs->Close(f), 0);
+  EXPECT_EQ(rig.vfs->Unlink("/mnt/held"), 0);
+}
+
+TEST(Lockref, OpenBlocksRenameUntilClose) {
+  VfsRig rig;
+  ASSERT_NE(rig.sb, nullptr);
+  kern::File* f = rig.Create("/mnt/src");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(rig.vfs->Rename("/mnt/src", "/mnt/dst"), -kern::kEbusy);
+  ASSERT_EQ(rig.vfs->Close(f), 0);
+  EXPECT_EQ(rig.vfs->Rename("/mnt/src", "/mnt/dst"), 0);
+  kern::VfsStat st;
+  EXPECT_EQ(rig.vfs->Stat("/mnt/src", &st), -kern::kEnoent);
+  EXPECT_EQ(rig.vfs->Stat("/mnt/dst", &st), 0);
+}
+
+TEST(Rename, PreservesInodeAndRefusesOccupiedDestination) {
+  VfsRig rig;
+  ASSERT_NE(rig.sb, nullptr);
+  ASSERT_EQ(rig.vfs->Mkdir("/mnt/p"), 0);
+  ASSERT_EQ(rig.vfs->Mkdir("/mnt/q"), 0);
+  kern::File* f = rig.Create("/mnt/p/f");
+  ASSERT_NE(f, nullptr);
+  kern::VfsStat before;
+  ASSERT_EQ(rig.vfs->Stat("/mnt/p/f", &before), 0);
+  ASSERT_EQ(rig.vfs->Close(f), 0);
+  // Cross-directory move keeps the inode.
+  ASSERT_EQ(rig.vfs->Rename("/mnt/p/f", "/mnt/q/g"), 0);
+  kern::VfsStat after;
+  ASSERT_EQ(rig.vfs->Stat("/mnt/q/g", &after), 0);
+  EXPECT_EQ(after.ino, before.ino);
+  // RENAME_NOREPLACE: a positive destination refuses the move.
+  kern::File* h = rig.Create("/mnt/p/h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(rig.vfs->Close(h), 0);
+  EXPECT_EQ(rig.vfs->Rename("/mnt/q/g", "/mnt/p/h"), -kern::kEexist);
+  // Directories do not move (immutable depth anchors the lock order).
+  EXPECT_EQ(rig.vfs->Rename("/mnt/p", "/mnt/r"), -kern::kEisdir);
+}
+
+// 3-CPU open/unlink storm on one hot name: worker 0 churns create/unlink,
+// workers 1-2 race opens against the dying mark. Every open that wins the
+// lockref CAS must observe a fully live file (read works, close works);
+// every unlink that loses must fail with EBUSY/ENOENT, never corrupt state.
+TEST(LockrefSmp, ThreeCpuOpenUnlinkStorm) {
+  VfsRig rig;
+  ASSERT_NE(rig.sb, nullptr);
+  rig.kernel->slab().EnableSmpCache();
+  constexpr int kIters = 6000;
+  std::atomic<uint64_t> opens{0};
+  std::atomic<uint64_t> unlinks{0};
+  std::atomic<uint64_t> errors{0};
+  {
+    kern::CpuSet cpus(rig.kernel.get(), 3);
+    cpus.RunOn(0, [&rig, &unlinks, &errors] {
+      for (int i = 0; i < kIters; ++i) {
+        int err = 0;
+        kern::File* f = rig.vfs->Open("/mnt/hot", kern::kOCreate, &err);
+        if (f != nullptr) {
+          rig.vfs->Close(f);
+        }
+        int rc = rig.vfs->Unlink("/mnt/hot");
+        if (rc == 0) {
+          unlinks.fetch_add(1, std::memory_order_relaxed);
+        } else if (rc != -kern::kEbusy && rc != -kern::kEnoent) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        if ((i & 63) == 63) {
+          kern::CpuSet::QuiescePoint();
+        }
+      }
+    });
+    for (int w = 1; w < 3; ++w) {
+      cpus.RunOn(w, [&rig, &opens, &errors] {
+        for (int i = 0; i < kIters; ++i) {
+          int err = 0;
+          kern::File* f = rig.vfs->Open("/mnt/hot", 0, &err);
+          if (f != nullptr) {
+            // The lockref reference pins the file: it must be fully usable
+            // even if an unlink is spinning on EBUSY right now.
+            if (rig.vfs->Read(f, 0x1000, 8) < 0 || rig.vfs->Close(f) != 0) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            opens.fetch_add(1, std::memory_order_relaxed);
+          } else if (err != -kern::kEnoent && err != -kern::kEbusy) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if ((i & 63) == 63) {
+            kern::CpuSet::QuiescePoint();
+          }
+        }
+      });
+    }
+    cpus.Barrier();
+  }
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_GT(unlinks.load(), 0u) << "the storm never exercised a successful unlink";
+  // Quiesced aftermath: the name is either absent or a normal live file.
+  int rc = rig.vfs->Unlink("/mnt/hot");
+  EXPECT_TRUE(rc == 0 || rc == -kern::kEnoent) << rc;
+  kern::VfsStat st;
+  EXPECT_EQ(rig.vfs->Stat("/mnt/hot", &st), -kern::kEnoent);
+}
+
+// 3-CPU rename/stat storm: worker 0 bounces one file between two names in
+// two directories; readers stat both names every iteration. The d_move
+// commit order guarantees each stat sees the true inode or a clean miss.
+TEST(LockrefSmp, ThreeCpuRenameStatStorm) {
+  VfsRig rig;
+  ASSERT_NE(rig.sb, nullptr);
+  rig.kernel->slab().EnableSmpCache();
+  ASSERT_EQ(rig.vfs->Mkdir("/mnt/r1"), 0);
+  ASSERT_EQ(rig.vfs->Mkdir("/mnt/r2"), 0);
+  kern::File* f = rig.Create("/mnt/r1/ball");
+  ASSERT_NE(f, nullptr);
+  kern::VfsStat hot;
+  ASSERT_EQ(rig.vfs->Stat("/mnt/r1/ball", &hot), 0);
+  ASSERT_EQ(rig.vfs->Close(f), 0);
+
+  constexpr int kIters = 4000;
+  std::atomic<uint64_t> moves{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> errors{0};
+  {
+    kern::CpuSet cpus(rig.kernel.get(), 3);
+    cpus.RunOn(0, [&rig, &moves, &errors] {
+      const char* a = "/mnt/r1/ball";
+      const char* b = "/mnt/r2/ball";
+      for (int i = 0; i < kIters; ++i) {
+        int rc = rig.vfs->Rename(i % 2 == 0 ? a : b, i % 2 == 0 ? b : a);
+        if (rc == 0) {
+          moves.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);  // sole mover: must win
+        }
+        if ((i & 63) == 63) {
+          kern::CpuSet::QuiescePoint();
+        }
+      }
+    });
+    for (int w = 1; w < 3; ++w) {
+      cpus.RunOn(w, [&rig, &hot, &misses, &errors] {
+        for (int i = 0; i < kIters; ++i) {
+          for (const char* path : {"/mnt/r1/ball", "/mnt/r2/ball"}) {
+            kern::VfsStat st;
+            int rc = rig.vfs->Stat(path, &st);
+            if (rc == 0) {
+              if (st.ino != hot.ino) {
+                errors.fetch_add(1, std::memory_order_relaxed);  // torn resolve
+              }
+            } else if (rc == -kern::kEnoent || rc == -kern::kEbusy) {
+              misses.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if ((i & 63) == 63) {
+            kern::CpuSet::QuiescePoint();
+          }
+        }
+      });
+    }
+    cpus.Barrier();
+  }
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(moves.load(), static_cast<uint64_t>(kIters));
+  // Exactly one name survives with the original inode.
+  kern::VfsStat s1, s2;
+  int r1 = rig.vfs->Stat("/mnt/r1/ball", &s1);
+  int r2 = rig.vfs->Stat("/mnt/r2/ball", &s2);
+  ASSERT_TRUE((r1 == 0) != (r2 == 0));
+  EXPECT_EQ((r1 == 0 ? s1 : s2).ino, hot.ino);
+}
+
+}  // namespace
