@@ -22,9 +22,26 @@
 #include "bench/json_out.h"
 #include "src/base/log.h"
 #include "src/eval/fsperf.h"
+#include "src/lxfi/lxfi_stats.h"
 #include "src/lxfi/runtime.h"
 
 namespace {
+
+// --stats FILE: dump the per-principal metrics snapshot (LxfiStats) of the
+// enforced harness next to the throughput rows. Same JSON schema as --json,
+// so CI's bench_*.json merge picks it up unchanged.
+void DumpStatsFile(const lxfi::Runtime& rt, const char* path, const char* tag) {
+  std::string json = lxfi::LxfiStats::DumpJson(rt, tag);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("per-principal stats written to %s\n", path);
+}
 
 struct PhaseRow {
   const char* name;
@@ -37,7 +54,8 @@ struct PhaseRow {
   }
 };
 
-int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
+int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json,
+                const char* stats_path) {
   eval::FsperfHarness stock(/*isolated=*/false);
   eval::FsperfHarness isolated(/*isolated=*/true);
   // Enforced with partitioned heaps: the ramfs modules' kmallocs (file data
@@ -155,6 +173,9 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
         .Set("lxfi_arena_ns_per_op", arena_total)
         .Set("arena_overhead_vs_stock_pct", 100.0 * (arena_total - stock_total) / stock_total);
   }
+  if (stats_path != nullptr) {
+    DumpStatsFile(*isolated.runtime(), stats_path, "lxfi_stats_fsperf");
+  }
   return 0;
 }
 
@@ -163,7 +184,8 @@ int RunOverhead(const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
 // BlockDevice through the kernel page cache. Three kernels: stock, enforced,
 // and enforced with the mount stacked over a dm-crypt target, proving the
 // same filesystem image runs unchanged over an enforced dm device.
-int RunBlock(const eval::FsperfConfig& base, lxfibench::JsonWriter* json) {
+int RunBlock(const eval::FsperfConfig& base, lxfibench::JsonWriter* json,
+             const char* stats_path) {
   eval::FsperfConfig config = base;
   // jexfs has a 32-slot inode table: clamp the default file count.
   if (config.files > 24) {
@@ -253,6 +275,9 @@ int RunBlock(const eval::FsperfConfig& base, lxfibench::JsonWriter* json) {
         .Set("overhead_pct", 100.0 * (lxfi_total - stock_total) / stock_total)
         .Set("lxfi_dmcrypt_ns_per_op", crypt_total);
   }
+  if (stats_path != nullptr) {
+    DumpStatsFile(*isolated.runtime(), stats_path, "lxfi_stats_fsperf_block");
+  }
   return 0;
 }
 
@@ -265,8 +290,8 @@ int RunBlock(const eval::FsperfConfig& base, lxfibench::JsonWriter* json) {
 //   - stock, RCU-walk dcache
 // The rcu/locked ratio is the headline: it is what converting the last
 // global enforcement-path lock into the sharded/epoch architecture buys.
-int RunContended(int max_cpus, const eval::FsContendedConfig& config,
-                 lxfibench::JsonWriter* json) {
+int RunContended(int max_cpus, const eval::FsContendedConfig& config, lxfibench::JsonWriter* json,
+                 const char* stats_path) {
   std::printf("=== fsperf contended: one shared hot directory, all CPUs ===\n");
   std::printf("(%llu files/cpu x %u stats x %u rounds)\n",
               static_cast<unsigned long long>(config.files), config.stats_per_file,
@@ -292,6 +317,9 @@ int RunContended(int max_cpus, const eval::FsContendedConfig& config,
       h.RunContended(warm);
       rcu = h.RunContended(config);
       violations = h.runtime()->violation_count();
+      if (n == max_cpus && stats_path != nullptr) {
+        DumpStatsFile(*h.runtime(), stats_path, "lxfi_stats_fsperf_contended");
+      }
     }
     {
       eval::FsperfHarness h(/*isolated=*/true, /*cpus=*/n, /*locked_dcache=*/true);
@@ -328,7 +356,8 @@ int RunContended(int max_cpus, const eval::FsContendedConfig& config,
   return rc;
 }
 
-int RunScaling(int max_cpus, const eval::FsperfConfig& config, lxfibench::JsonWriter* json) {
+int RunScaling(int max_cpus, const eval::FsperfConfig& config, lxfibench::JsonWriter* json,
+               const char* stats_path) {
   std::printf("=== fsperf SMP scaling: per-CPU working dirs, concurrent enforcement ===\n");
   std::printf("%-5s %16s %16s %16s %14s %10s\n", "cpus", "lxfi model ops/s", "lxfi wall ops/s",
               "stock model ops/s", "lxfi ns/op", "speedup");
@@ -350,6 +379,9 @@ int RunScaling(int max_cpus, const eval::FsperfConfig& config, lxfibench::JsonWr
       h.RunParallel(warm);
       lx = h.RunParallel(config);
       violations = h.runtime()->violation_count();
+      if (n == max_cpus && stats_path != nullptr) {
+        DumpStatsFile(*h.runtime(), stats_path, "lxfi_stats_fsperf_scaling");
+      }
     }
     {
       eval::FsperfHarness h(/*isolated=*/false, /*cpus=*/n);
@@ -394,6 +426,7 @@ int main(int argc, char** argv) {
   eval::FsperfConfig config;
   eval::FsContendedConfig ccfg;
   const char* json_path = nullptr;
+  const char* stats_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
       cpus = std::atoi(argv[++i]);
@@ -429,10 +462,13 @@ int main(int argc, char** argv) {
       config.io_chunk = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
+      stats_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--cpus N] [--contended] [--backing ram|block] [--files F] "
-                   "[--stats-per-file S] [--rounds R] [--bytes B] [--chunk C] [--json FILE]\n",
+                   "[--stats-per-file S] [--rounds R] [--bytes B] [--chunk C] [--json FILE] "
+                   "[--stats FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -450,10 +486,14 @@ int main(int argc, char** argv) {
                              : contended ? "bench_fsperf_contended"
                                          : "bench_fsperf");
   lxfibench::JsonWriter* jp = json_path != nullptr ? &json : nullptr;
-  int rc = block       ? RunBlock(config, jp)
-           : contended ? RunContended(cpus, ccfg, jp)
-           : cpus > 0  ? RunScaling(cpus, config, jp)
-                       : RunOverhead(config, jp);
+  if (stats_path != nullptr) {
+    // Collection must be live before any harness runs so crossings count.
+    lxfi::LxfiStats::SetEnabled(true);
+  }
+  int rc = block       ? RunBlock(config, jp, stats_path)
+           : contended ? RunContended(cpus, ccfg, jp, stats_path)
+           : cpus > 0  ? RunScaling(cpus, config, jp, stats_path)
+                       : RunOverhead(config, jp, stats_path);
   if (json_path != nullptr && rc == 0) {
     json.WriteFile(json_path);
   }

@@ -26,11 +26,27 @@
 #include "bench/json_out.h"
 #include "src/base/log.h"
 #include "src/eval/netperf.h"
+#include "src/lxfi/lxfi_stats.h"
 #include "src/lxfi/runtime.h"
 
 namespace {
 
-void RunFigure12(lxfibench::JsonWriter* json) {
+// --stats FILE: per-principal metrics snapshot of the enforced harness, in
+// the shared bench JSON schema so it merges next to the throughput rows.
+void DumpStatsFile(const lxfi::Runtime& rt, const char* path, const char* tag) {
+  std::string json = lxfi::LxfiStats::DumpJson(rt, tag);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("per-principal stats written to %s\n", path);
+}
+
+void RunFigure12(lxfibench::JsonWriter* json, const char* stats_path) {
   eval::NetperfHarness stock(/*isolated=*/false);
   eval::NetperfHarness isolated(/*isolated=*/true);
 
@@ -108,6 +124,9 @@ void RunFigure12(lxfibench::JsonWriter* json) {
           .Set("lxfi_arena_ns_per_packet", ma.PathNsPerPacket());
     }
   }
+  if (stats_path != nullptr) {
+    DumpStatsFile(*isolated.runtime(), stats_path, "lxfi_stats_netperf");
+  }
 }
 
 struct ScalingRow {
@@ -116,7 +135,8 @@ struct ScalingRow {
   eval::SmpScalingResult stock;
 };
 
-void RunScaling(int max_cpus, uint64_t packets_per_cpu, const std::string& json_path) {
+void RunScaling(int max_cpus, uint64_t packets_per_cpu, const std::string& json_path,
+                const char* stats_path) {
   std::printf("=== SMP scaling: UDP_STREAM TX, one enforced e1000 TX queue per CPU ===\n");
   std::printf("%-5s %16s %16s %16s %14s %10s\n", "cpus", "lxfi model pps", "lxfi wall pps",
               "stock model pps", "lxfi ns/pkt", "speedup");
@@ -129,6 +149,9 @@ void RunScaling(int max_cpus, uint64_t packets_per_cpu, const std::string& json_
       eval::NetperfHarness h(/*isolated=*/true, /*guard_timing=*/false, /*cpus=*/n);
       h.RunParallelTx(packets_per_cpu / 10 + 1);  // warm memos, magazines, writer sets
       row.lxfi = h.RunParallelTx(packets_per_cpu);
+      if (n == max_cpus && stats_path != nullptr) {
+        DumpStatsFile(*h.runtime(), stats_path, "lxfi_stats_netperf_scaling");
+      }
     }
     {
       eval::NetperfHarness h(/*isolated=*/false, /*guard_timing=*/false, /*cpus=*/n);
@@ -178,6 +201,7 @@ int main(int argc, char** argv) {
   int cpus = 0;
   uint64_t packets_per_cpu = 40000;
   std::string json_path;
+  const char* stats_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
       cpus = std::atoi(argv[++i]);
@@ -185,18 +209,25 @@ int main(int argc, char** argv) {
       packets_per_cpu = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
+      stats_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--cpus N [--packets P] [--json FILE]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--cpus N [--packets P] [--json FILE] [--stats FILE]]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (stats_path != nullptr) {
+    // Collection must be live before any harness runs so crossings count.
+    lxfi::LxfiStats::SetEnabled(true);
+  }
 
   if (cpus > 0) {
-    RunScaling(cpus, packets_per_cpu, json_path);
+    RunScaling(cpus, packets_per_cpu, json_path, stats_path);
   } else {
     lxfibench::JsonWriter json("bench_netperf");
     json.Meta("mode", "figure12");
-    RunFigure12(json_path.empty() ? nullptr : &json);
+    RunFigure12(json_path.empty() ? nullptr : &json, stats_path);
     if (!json_path.empty()) {
       json.WriteFile(json_path.c_str());
     }

@@ -19,6 +19,7 @@
 #include "src/base/clock.h"
 #include "src/base/log.h"
 #include "src/base/rng.h"
+#include "src/base/trace.h"
 #include "src/eval/sfi_micro.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/module.h"
@@ -331,6 +332,112 @@ void RunArenaAblation(lxfibench::JsonWriter* json) {
   }
 }
 
+// Trace-overhead gate: the observability contract is that a compiled-in but
+// *disabled* tracepoint costs one relaxed load and a predictable branch — so
+// a crossing-representative loop body (several real memoized WRITE checks,
+// like a wrapper crossing's guard traffic) with two disabled TRACE_EVENTs
+// must stay within 3% of the same body without them. Asserted here, not just
+// reported, so CI fails the moment someone fattens the disabled path. The
+// enabled row is reported alongside for the record.
+void RunTraceOverheadGate(lxfibench::JsonWriter* json) {
+  constexpr int kObjects = 16;
+  constexpr size_t kObjBytes = 256;
+  constexpr uint64_t kChecks = 1u << 21;
+
+  lxfi::CapTable table;
+  constexpr uintptr_t kBase = 0x7f4500000000ull;
+  uintptr_t objs[kObjects];
+  for (int i = 0; i < kObjects; ++i) {
+    objs[i] = kBase + static_cast<uintptr_t>(i) * 4096;
+    table.GrantWrite(objs[i], kObjBytes);
+  }
+  lxfi::EnforcementContext ec;
+  auto check = [&](uintptr_t addr, size_t size) {
+    if (ec.WriteMemoHit(addr, size)) {
+      return true;
+    }
+    uint64_t epoch = lxfi::RevocationEpoch::Current();
+    uintptr_t lo, hi;
+    if (!table.FindWriteRange(addr, size, &lo, &hi)) {
+      return false;
+    }
+    ec.FillWriteMemo(lo, hi, epoch);
+    return true;
+  };
+
+  uint64_t sink = 0;
+  // One "crossing": a couple of header-field stores plus two payload-chunk
+  // stores on the same object — the guard stream a wrapper body generates.
+  auto body = [&](uint64_t i) {
+    uintptr_t o = objs[i & (kObjects - 1)];
+    sink += check(o + 8, 8);
+    sink += check(o + 32, 8);
+    sink += check(o + 64, 64);
+    sink += check(o + 128, 64);
+  };
+  auto plain_op = [&](uint64_t i) { body(i); };
+  auto gated_op = [&](uint64_t i) {
+    TRACE_EVENT(lxfi::TraceEvent::kGuardEnter, 1, i, 0);
+    body(i);
+    TRACE_EVENT(lxfi::TraceEvent::kGuardExit, 1, i, 0);
+  };
+
+  auto time_ns = [&](auto&& op) {
+    uint64_t t0 = lxfi::MonotonicNowNs();
+    for (uint64_t i = 0; i < kChecks; ++i) {
+      op(i);
+    }
+    return static_cast<double>(lxfi::MonotonicNowNs() - t0) / kChecks;
+  };
+  auto best = [&](auto&& op) {
+    time_ns(op);  // warm
+    double t = time_ns(op);
+    for (int rep = 0; rep < 7; ++rep) {
+      t = std::min(t, time_ns(op));
+    }
+    return t;
+  };
+
+  lxfi::TraceBuffer::SetEnabled(false);
+  lxfi::TraceBuffer::Global().ResetForTest();
+  double t_plain = best(plain_op);
+  double t_gated = best(gated_op);
+
+  // Enabled row: same body with live emission, drained by the emitting
+  // thread every ring's worth (the flight-recorder steady state).
+  lxfi::TraceBuffer::SetEnabled(true);
+  std::vector<lxfi::TraceRecord> scratch;
+  auto enabled_op = [&](uint64_t i) {
+    gated_op(i);
+    if ((i & (lxfi::TraceBuffer::kRingCapacity / 2 - 1)) == 0) {
+      scratch.clear();
+      lxfi::TraceBuffer::Global().Drain(&scratch);
+    }
+  };
+  double t_enabled = best(enabled_op);
+  lxfi::TraceBuffer::SetEnabled(false);
+  lxfi::TraceBuffer::Global().ResetForTest();
+
+  double overhead_pct = (t_gated / t_plain - 1.0) * 100.0;
+  std::printf("=== Trace-overhead gate (crossing-representative body) ===\n");
+  std::printf("%-40s %12s\n", "configuration", "ns/crossing");
+  std::printf("%-40s %12.2f\n", "no tracepoints", t_plain);
+  std::printf("%-40s %12.2f  (%+.2f%%)\n", "2 tracepoints, disabled", t_gated, overhead_pct);
+  std::printf("%-40s %12.2f\n", "2 tracepoints, enabled + drain", t_enabled);
+  std::printf("(sink %llu; gate: disabled <= 3%%)\n\n",
+              static_cast<unsigned long long>(sink % 7));
+  Require(t_gated <= 1.03 * t_plain,
+          "disabled tracepoints must stay within 3% of the untraced crossing body");
+
+  if (json != nullptr) {
+    json->AddRow("trace_off_baseline").Set("ns_per_crossing", t_plain);
+    json->AddRow("trace_compiled_disabled")
+        .Set("ns_per_crossing", t_gated)
+        .Set("overhead_pct", overhead_pct);
+    json->AddRow("trace_enabled").Set("ns_per_crossing", t_enabled);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +456,7 @@ int main(int argc, char** argv) {
 
   RunStoreGuardAblation(jp);
   RunArenaAblation(jp);
+  RunTraceOverheadGate(jp);
   std::printf("=== Figure 11: SFI microbenchmarks ===\n");
   std::printf("%-10s %14s %10s %14s\n", "benchmark", "d-code-size", "slowdown", "paper");
 

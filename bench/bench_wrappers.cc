@@ -9,9 +9,15 @@
 // the compiled-vs-interpreted wrapper-crossing ablation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "bench/gbench_json.h"
+#include "src/base/clock.h"
+#include "src/base/trace.h"
 #include "src/kernel/kernel.h"
 #include "src/lxfi/kernel_api.h"
 #include "src/lxfi/runtime.h"
@@ -131,6 +137,29 @@ void BM_WrapperTransferActionsInterp(benchmark::State& state) {
 }
 BENCHMARK(BM_WrapperTransferActionsInterp);
 
+// The annotation-free crossing with tracing live: every WrapperEnter/Exit
+// emits a record, and the emitting thread drains its ring every half
+// capacity (the flight-recorder steady state). The delta vs
+// BM_WrapperNoActions is the enabled-tracing cost per crossing.
+void BM_WrapperNoActionsTracingEnabled(benchmark::State& state) {
+  Fixture& f = F();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  lxfi::TraceBuffer::Global().ResetForTest();
+  lxfi::TraceBuffer::SetEnabled(true);
+  std::vector<lxfi::TraceRecord> scratch;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    f.printk("x");
+    if ((++i & (lxfi::TraceBuffer::kRingCapacity / 2 - 1)) == 0) {
+      scratch.clear();
+      lxfi::TraceBuffer::Global().Drain(&scratch);
+    }
+  }
+  lxfi::TraceBuffer::SetEnabled(false);
+  lxfi::TraceBuffer::Global().ResetForTest();
+}
+BENCHMARK(BM_WrapperNoActionsTracingEnabled);
+
 // Baseline for the allocation pair without LXFI accounting.
 void BM_DirectKmallocKfree(benchmark::State& state) {
   Fixture& f = F();
@@ -141,10 +170,58 @@ void BM_DirectKmallocKfree(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectKmallocKfree);
 
+// Pre-gbench trace-overhead gate on a *real* crossing: a wrapped import call
+// (which already carries the enforcement-path tracepoints, disabled) versus
+// the same call bracketed by two more disabled TRACE_EVENTs. The marginal
+// cost of disabled tracepoints on a genuine wrapper crossing must stay
+// within 3%, asserted before the benchmark tables run so CI trips on it.
+void RunDisabledTraceGate() {
+  Fixture& f = F();
+  lxfi::ScopedPrincipal as_module(f.rt.get(), f.shared());
+  lxfi::TraceBuffer::SetEnabled(false);
+  lxfi::TraceBuffer::Global().ResetForTest();
+  constexpr uint64_t kCalls = 200000;
+
+  auto plain_op = [&](uint64_t) { f.printk("x"); };
+  auto gated_op = [&](uint64_t i) {
+    TRACE_EVENT(lxfi::TraceEvent::kGuardEnter, 1, i, 0);
+    f.printk("x");
+    TRACE_EVENT(lxfi::TraceEvent::kGuardExit, 1, i, 0);
+  };
+  auto time_ns = [&](auto&& op) {
+    uint64_t t0 = lxfi::MonotonicNowNs();
+    for (uint64_t i = 0; i < kCalls; ++i) {
+      op(i);
+    }
+    return static_cast<double>(lxfi::MonotonicNowNs() - t0) / kCalls;
+  };
+  auto best = [&](auto&& op) {
+    time_ns(op);  // warm
+    double t = time_ns(op);
+    for (int rep = 0; rep < 7; ++rep) {
+      t = std::min(t, time_ns(op));
+    }
+    return t;
+  };
+
+  double t_plain = best(plain_op);
+  double t_gated = best(gated_op);
+  double overhead_pct = (t_gated / t_plain - 1.0) * 100.0;
+  std::printf("trace gate: wrapped crossing %.2f ns, +2 disabled tracepoints %.2f ns (%+.2f%%)\n",
+              t_plain, t_gated, overhead_pct);
+  if (t_gated > 1.03 * t_plain) {
+    std::fprintf(stderr,
+                 "FAILED: disabled tracepoints add %.2f%% to a wrapped crossing (gate: 3%%)\n",
+                 overhead_pct);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 // Custom main: `--json FILE` mirrors every row into the shared bench schema
 // (bench/gbench_json.h) alongside the normal google-benchmark output.
 int main(int argc, char** argv) {
+  RunDisabledTraceGate();
   return lxfibench::RunGbenchMain("bench_wrappers", argc, argv);
 }

@@ -1,5 +1,7 @@
 #include "src/base/sync.h"
 
+#include "src/base/trace.h"
+
 namespace lxfi {
 
 EpochReclaimer& EpochReclaimer::Global() {
@@ -42,10 +44,13 @@ uint64_t EpochReclaimer::MinSeen() const {
 
 void EpochReclaimer::Retire(std::function<void()> deleter) {
   uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  size_t pending_now;
   {
     std::lock_guard<std::mutex> lock(mu_);
     retired_.push_back(Retired{epoch, std::move(deleter)});
+    pending_now = retired_.size();
   }
+  TRACE_EVENT(TraceEvent::kEpochRetire, 0, epoch, pending_now);
   // Amortize reclamation onto the (rare) retire path so nothing needs a
   // background thread; readers only announce quiescent states.
   TryReclaim();
@@ -68,6 +73,9 @@ size_t EpochReclaimer::TryReclaim() {
   }
   for (auto& fn : ready) {
     fn();
+  }
+  if (!ready.empty()) {
+    TRACE_EVENT(TraceEvent::kEpochReclaim, 0, min, ready.size());
   }
   return ready.size();
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/trace.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/panic.h"
 
@@ -48,9 +49,14 @@ int BlockLayer::RamIo(BlockDevice* dev, Bio* bio) {
 }
 
 int BlockLayer::SubmitBio(BlockDevice* dev, Bio* bio) {
+  // arg1 packs direction into the top bit so one record carries both.
+  TRACE_EVENT(lxfi::TraceEvent::kBioSubmit, 0, bio->sector,
+              static_cast<uint64_t>(bio->size) | (bio->write ? uint64_t{1} << 63 : 0));
   auto it = dm_targets_.find(dev);
   if (it == dm_targets_.end()) {
     int rc = RamIo(dev, bio);
+    TRACE_EVENT(lxfi::TraceEvent::kBioComplete, 0, bio->sector,
+                static_cast<uint64_t>(static_cast<int64_t>(bio->status)));
     if (bio->end_io != 0) {
       kernel_->IndirectCall<void, Bio*>(&bio->end_io, "bio_end_io_t", bio);
     }
@@ -72,6 +78,8 @@ int BlockLayer::SubmitBio(BlockDevice* dev, Bio* bio) {
     bio->status = 0;
     rc = 0;
   }
+  TRACE_EVENT(lxfi::TraceEvent::kBioComplete, 0, bio->sector,
+              static_cast<uint64_t>(static_cast<int64_t>(bio->status)));
   if (bio->end_io != 0) {
     kernel_->IndirectCall<void, Bio*>(&bio->end_io, "bio_end_io_t", bio);
   }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/base/trace.h"
 #include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/panic.h"
@@ -152,14 +153,26 @@ Dentry* Dcache::Lookup(Dentry* parent, std::string_view name) {
     lxfi::SpinGuard guard(locked_mu_);
     for (Dentry* c = parent->child; c != nullptr; c = c->sibling) {
       if (name == std::string_view(c->name)) {
+        TRACE_EVENT(lxfi::TraceEvent::kDcacheHit, 0, c->name_hash, 0);
         return c;
       }
     }
+    TRACE_EVENT(lxfi::TraceEvent::kDcacheMiss, 0, HashName(name), 0);
     return nullptr;
   }
+  // Seqlock-retry tracing reads the shard counter around the probe, but only
+  // when tracing is live: the disabled path stays the bare lock-free walk.
+  lxfi::RelaxedCell& retry_cell = shards_[lxfi::ThisShardIndex()].retries;
+  const bool tracing = LXFI_UNLIKELY(lxfi::TraceBuffer::EnabledRelaxed());
+  const uint64_t retries_before = tracing ? retry_cell.value() : 0;
   Dentry* d = nullptr;
-  if (!parent->children.FindValueConcurrent(HashName(name), &d,
-                                            &shards_[lxfi::ThisShardIndex()].retries)) {
+  bool found = parent->children.FindValueConcurrent(HashName(name), &d, &retry_cell);
+  if (tracing && retry_cell.value() != retries_before) {
+    TRACE_EVENT(lxfi::TraceEvent::kDcacheRetry, 0, HashName(name),
+                retry_cell.value() - retries_before);
+  }
+  if (!found) {
+    TRACE_EVENT(lxfi::TraceEvent::kDcacheMiss, 0, HashName(name), 0);
     return nullptr;
   }
   uint64_t want[4];
@@ -167,6 +180,8 @@ Dentry* Dcache::Lookup(Dentry* parent, std::string_view name) {
   while (d != nullptr && !NameEquals(d, want)) {
     d = LoadNext(&d->hash_next);
   }
+  TRACE_EVENT(d != nullptr ? lxfi::TraceEvent::kDcacheHit : lxfi::TraceEvent::kDcacheMiss, 0,
+              HashName(name), reinterpret_cast<uintptr_t>(d));
   return d;
 }
 

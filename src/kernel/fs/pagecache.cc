@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/base/hash.h"
+#include "src/base/trace.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/panic.h"
 
@@ -91,7 +92,10 @@ CachedPage* PageCache::Grab(BlockDevice* dev, uint64_t block) {
   Shard& shard = ShardFor(key);
   Stat& stat = stats_[lxfi::ThisShardIndex()];
   // Hit path: one seqlock-validated probe, an immutable-field chain walk,
-  // no lock, no allocation.
+  // no lock, no allocation. Retry tracing brackets the probe only while
+  // tracing is live — the disabled path adds one relaxed load.
+  const bool tracing = LXFI_UNLIKELY(lxfi::TraceBuffer::EnabledRelaxed());
+  const uint64_t retries_before = tracing ? stat.retries.value() : 0;
   CachedPage* p = nullptr;
   if (shard.index.FindValueConcurrent(key, &p, &stat.retries)) {
     while (p != nullptr && !(p->dev == dev && p->block == block)) {
@@ -100,10 +104,15 @@ CachedPage* PageCache::Grab(BlockDevice* dev, uint64_t block) {
   } else {
     p = nullptr;
   }
+  if (tracing && stat.retries.value() != retries_before) {
+    TRACE_EVENT(lxfi::TraceEvent::kPagecacheRetry, 0, block,
+                stat.retries.value() - retries_before);
+  }
   bool fill = false;
   if (p != nullptr) {
     __atomic_add_fetch(&p->holds, 1u, __ATOMIC_RELAXED);
     ++stat.hits;
+    TRACE_EVENT(lxfi::TraceEvent::kPagecacheHit, 0, block, 0);
   } else {
     lxfi::SpinGuard guard(shard.mu);
     // The lock-free miss may have raced a concurrent insert; the locked
@@ -116,6 +125,7 @@ CachedPage* PageCache::Grab(BlockDevice* dev, uint64_t block) {
     if (p != nullptr) {
       __atomic_add_fetch(&p->holds, 1u, __ATOMIC_RELAXED);
       ++stat.hits;
+      TRACE_EVENT(lxfi::TraceEvent::kPagecacheHit, 0, block, 1);
     } else {
       void* mem = kernel_->slab().Alloc(sizeof(CachedPage));
       KERN_BUG_ON(mem == nullptr);
@@ -130,6 +140,7 @@ CachedPage* PageCache::Grab(BlockDevice* dev, uint64_t block) {
       lxfi::flat_chain::InsertLocked<&CachedPage::hash_next>(shard.index, key, p);
       fill = true;
       ++stat.misses;
+      TRACE_EVENT(lxfi::TraceEvent::kPagecacheMiss, 0, block, 0);
     }
   }
   if (fill) {

@@ -22,6 +22,7 @@
 
 #include "src/base/flat_table.h"
 #include "src/base/hash.h"
+#include "src/base/trace.h"
 #include "src/lxfi/cap.h"
 
 namespace lxfi {
@@ -55,7 +56,12 @@ class RevocationEpoch {
   // value. Keeping this relaxed lets the compiler schedule the hit path
   // exactly as the pre-SMP code did.
   static uint64_t CurrentRelaxed() { return counter_.load(std::memory_order_relaxed); }
-  static void Bump() { counter_.fetch_add(1, std::memory_order_acq_rel); }
+  static void Bump() {
+    uint64_t now = counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Revocation is rare by design (see above), so the tracepoint sits on a
+    // cold path; when tracing is off it costs one relaxed load + branch.
+    TRACE_EVENT(TraceEvent::kEpochBump, 0, now, 0);
+  }
 
  private:
   static inline std::atomic<uint64_t> counter_{1};

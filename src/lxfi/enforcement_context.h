@@ -46,6 +46,7 @@
 
 #include "src/base/compiler.h"
 #include "src/base/sync.h"
+#include "src/base/trace.h"
 #include "src/lxfi/cap_table.h"
 
 namespace lxfi {
@@ -74,6 +75,34 @@ struct alignas(kCacheLineSize) EnforcementContext {
   RelaxedCell pre_checks;
   RelaxedCell pre_memo_hits;
 
+  // Per-principal crossing metrics (lxfi_stats): wrapper entries attributed
+  // to this principal, total crossing nanoseconds, and a log2 latency
+  // histogram. They live here — in the per-(CPU, principal) shard the
+  // crossing's CALL check already touched — so enabling metrics adds no new
+  // cache miss to the hot path. Updated by Runtime::WrapperExit only when
+  // LxfiStats collection is enabled.
+  static constexpr size_t kCrossingHistBuckets = 16;
+  RelaxedCell crossings;
+  RelaxedCell crossing_ns;
+  RelaxedCell crossing_hist[kCrossingHistBuckets];
+
+  static size_t CrossingBucket(uint64_t ns) {
+    // Bucket k holds crossings with ns in [2^k, 2^(k+1)); 0 ns lands in 0,
+    // everything >= 2^15 ns (32.8 µs) saturates into the last bucket.
+    size_t bucket = 0;
+    while (ns > 1 && bucket + 1 < kCrossingHistBuckets) {
+      ns >>= 1;
+      ++bucket;
+    }
+    return bucket;
+  }
+
+  void CountCrossing(uint64_t ns) {
+    ++crossings;
+    crossing_ns.Add(ns);
+    ++crossing_hist[CrossingBucket(ns)];
+  }
+
   // Last clean pure-check pre-section memos: program identity plus the exact
   // argument values it passed with. Bounded arg count keeps the compare
   // cheap; calls with more arguments simply skip the memo. Kept after the
@@ -89,9 +118,21 @@ struct alignas(kCacheLineSize) EnforcementContext {
   PreMemoEntry pre_memo[2];
   uint8_t pre_mru = 0;
 
-  bool WriteMemoHit(uintptr_t addr, size_t size) const {
-    return write_epoch == RevocationEpoch::CurrentRelaxed() && addr >= write_lo && addr <= write_hi &&
-           size <= write_hi - addr;
+  bool WriteMemoHit(uintptr_t addr, size_t size) {
+    if (LXFI_UNLIKELY(write_epoch != RevocationEpoch::CurrentRelaxed())) {
+      // Lazy invalidation observed: the memo was filled under an epoch a
+      // revocation has since bumped. Reset it to the at-rest sentinel so the
+      // invalidation traces exactly once instead of on every subsequent
+      // probe (behavior-neutral: a stale memo never hits anyway).
+      if (write_lo <= write_hi) {
+        TRACE_EVENT(TraceEvent::kMemoInvalidate, 0, reinterpret_cast<uintptr_t>(this),
+                    write_epoch);
+        write_lo = 1;
+        write_hi = 0;
+      }
+      return false;
+    }
+    return addr >= write_lo && addr <= write_hi && size <= write_hi - addr;
   }
 
   // `epoch` must be the RevocationEpoch read *before* the table probe that
@@ -111,6 +152,14 @@ struct alignas(kCacheLineSize) EnforcementContext {
       if (call_epoch[e] == now && call_target[e] == target) {
         call_mru = e;
         return true;
+      }
+      if (LXFI_UNLIKELY(call_epoch[e] != now && call_epoch[e] != 0)) {
+        // Same lazy-invalidation trace as the WRITE memo: fire once per
+        // stale entry, then park it (epoch 0 never validates — the live
+        // epoch counter starts at 1).
+        TRACE_EVENT(TraceEvent::kMemoInvalidate, 0, reinterpret_cast<uintptr_t>(this),
+                    call_epoch[e]);
+        call_epoch[e] = 0;
       }
     }
     return false;

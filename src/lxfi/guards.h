@@ -38,12 +38,18 @@ const char* GuardTypeName(GuardType type);
 // totals, which is what every bench and eval harness does.
 class GuardStats {
  public:
+  // Reset never writes the shards (a plain store racing a shard owner's
+  // RelaxedCell increment would lose updates and resurrect pre-reset
+  // counts). Instead it snapshots the current per-type totals as baselines;
+  // count()/time_ns() report the raw sum minus the baseline. Concurrent
+  // increments therefore stay single-writer-per-shard, and Reset() is safe
+  // from any thread at any time — the TSan regression test in trace_test.cc
+  // storms it against shard writers.
   void Reset() {
-    for (Shard& shard : shards_) {
-      for (size_t i = 0; i < static_cast<size_t>(GuardType::kCount); ++i) {
-        shard.counts[i] = 0;
-        shard.time_ns[i] = 0;
-      }
+    for (size_t i = 0; i < static_cast<size_t>(GuardType::kCount); ++i) {
+      auto type = static_cast<GuardType>(i);
+      base_counts_[i].store(raw_count(type), std::memory_order_relaxed);
+      base_time_ns_[i].store(raw_time_ns(type), std::memory_order_relaxed);
     }
   }
 
@@ -53,18 +59,10 @@ class GuardStats {
   }
 
   uint64_t count(GuardType type) const {
-    uint64_t total = 0;
-    for (const Shard& shard : shards_) {
-      total += shard.counts[static_cast<size_t>(type)];
-    }
-    return total;
+    return Since(raw_count(type), base_counts_[static_cast<size_t>(type)]);
   }
   uint64_t time_ns(GuardType type) const {
-    uint64_t total = 0;
-    for (const Shard& shard : shards_) {
-      total += shard.time_ns[static_cast<size_t>(type)];
-    }
-    return total;
+    return Since(raw_time_ns(type), base_time_ns_[static_cast<size_t>(type)]);
   }
 
   double MeanNs(GuardType type) const {
@@ -89,7 +87,33 @@ class GuardStats {
     std::array<RelaxedCell, static_cast<size_t>(GuardType::kCount)> counts;
     std::array<RelaxedCell, static_cast<size_t>(GuardType::kCount)> time_ns;
   };
+
+  uint64_t raw_count(GuardType type) const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.counts[static_cast<size_t>(type)];
+    }
+    return total;
+  }
+  uint64_t raw_time_ns(GuardType type) const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.time_ns[static_cast<size_t>(type)];
+    }
+    return total;
+  }
+  // Clamped subtraction: a raw sum read concurrently with shard increments
+  // is not a linearizable snapshot, so a baseline captured "later" can
+  // momentarily exceed a raw sum read across racing shards. Reporting 0
+  // beats underflowing to ~2^64.
+  static uint64_t Since(uint64_t raw, const std::atomic<uint64_t>& base) {
+    uint64_t b = base.load(std::memory_order_relaxed);
+    return raw > b ? raw - b : 0;
+  }
+
   std::array<Shard, kMaxCpuShards> shards_;
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(GuardType::kCount)> base_counts_{};
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(GuardType::kCount)> base_time_ns_{};
 };
 
 // RAII guard accounting, resolved at compile time per instantiation:

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
 #include "src/kernel/block/block.h"
 #include "src/kernel/fs/pagecache.h"
 #include "src/kernel/fs/vfs.h"
@@ -15,6 +16,7 @@
 #include "src/kernel/pci/pci.h"
 #include "src/kernel/sound/sound.h"
 #include "src/kernel/timer.h"
+#include "src/lxfi/lxfi_stats.h"
 #include "src/lxfi/runtime.h"
 
 namespace lxfi {
@@ -301,6 +303,13 @@ void InstallAnnotations(Runtime* rt) {
 
   MustRegister(rt, "printk", {"fmt"}, "");
 
+  // Observability: kernel fills a module-supplied buffer, so the module must
+  // prove WRITE over exactly the bytes it offers (the copy_from_user
+  // pattern — the annotation language has no multiply, hence explicit byte
+  // counts rather than record counts).
+  MustRegister(rt, "lxfi_stats", {"buf", "bytes"}, "pre(check(write, buf, bytes))");
+  MustRegister(rt, "lxfi_trace_read", {"buf", "bytes"}, "pre(check(write, buf, bytes))");
+
   // uaccess: the checked copy validates the user pointer itself; the
   // unchecked __copy_to_user shifts the burden to the caller, hence the
   // WRITE check — exactly what the RDS module forgot (CVE-2010-3904).
@@ -382,6 +391,10 @@ void InstallAnnotations(Runtime* rt) {
   MustRegister(rt, "mod_timer", {"timer", "expires"}, "pre(check(timer_caps(timer)))");
   MustRegister(rt, "del_timer", {"timer"}, "pre(check(timer_caps(timer)))");
   MustRegister(rt, "timer_fn", {"data"}, "principal(data)");
+
+  // Observability: monitoring-module poll entry point (statmon dispatches
+  // through a kernel-owned slot, so its hash must be registered here).
+  MustRegister(rt, "statmon::poll", {"arg"}, "");
 
   // Sound.
   MustRegister(rt, "snd_card_register", {"card"}, "pre(check(sndcard_caps(card)))");
@@ -578,6 +591,29 @@ void InstallKernelApi(kern::Kernel* kernel, Runtime* rt) {
   k->ExportSymbol<SpinlockSig>("spin_unlock", [](uintptr_t* lock) { *lock = 0; });
 
   k->ExportSymbol<PrintkSig>("printk", [](const char* msg) { LXFI_LOG_DEBUG("printk: %s", msg); });
+
+  // --- observability ---------------------------------------------------------
+  // Both exports only ever *read* runtime state and copy into the caller's
+  // buffer — the buffer the wrapper's pre(check(write, buf, bytes)) already
+  // proved the module may write. A module can poll metrics and drain trace
+  // records, but no export hands out a pointer into the rings themselves.
+  k->ExportSymbol<LxfiStatsSig>("lxfi_stats", [rt](char* buf, size_t bytes) -> long {
+    if (rt == nullptr || buf == nullptr || bytes == 0) {
+      return -1;
+    }
+    std::string json = LxfiStats::DumpJson(*rt);
+    size_t n = json.size() < bytes - 1 ? json.size() : bytes - 1;
+    std::memcpy(buf, json.data(), n);
+    buf[n] = '\0';
+    return static_cast<long>(json.size());
+  });
+  k->ExportSymbol<LxfiTraceReadSig>("lxfi_trace_read", [](void* buf, size_t bytes) -> long {
+    if (buf == nullptr) {
+      return -1;
+    }
+    size_t max = bytes / sizeof(TraceRecord);
+    return static_cast<long>(TraceBuffer::Global().DrainInto(static_cast<TraceRecord*>(buf), max));
+  });
 
   // --- uaccess ---------------------------------------------------------------
   k->ExportSymbol<CopyToUserSig>(

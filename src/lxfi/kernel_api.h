@@ -56,6 +56,13 @@ using SpinlockSig = void(uintptr_t*);
 using PrintkSig = void(const char*);
 using CopyToUserSig = int(uintptr_t, const void*, size_t);
 using CopyFromUserSig = int(void*, uintptr_t, size_t);
+// Observability exports: read-only snapshots copied into a module-supplied
+// buffer the annotation has verified the module may WRITE (copy_from_user
+// pattern). lxfi_stats fills a NUL-terminated JSON snapshot and returns the
+// full length; lxfi_trace_read drains whole TraceRecords and returns the
+// record count.
+using LxfiStatsSig = long(char*, size_t);
+using LxfiTraceReadSig = long(void*, size_t);
 using DetachPidSig = void(kern::Task*);
 using ModTimerSig = int(kern::TimerList*, uint64_t);
 using DelTimerSig = int(kern::TimerList*);

@@ -78,6 +78,7 @@ Principal* ModuleCtx::GetOrCreate(uintptr_t name) {
     p->caps().SetReclaimer(reclaimer_);
     by_name_.Insert(name, p);
     PublishSnapshot();
+    TRACE_EVENT(TraceEvent::kPrincipalCreate, p->trace_id(), name, 0);
     return p;
   }
   if (Principal* const* found = by_name_.Find(name)) {
@@ -87,6 +88,7 @@ Principal* ModuleCtx::GetOrCreate(uintptr_t name) {
   Principal* p = instances_.back().get();
   by_name_.Insert(name, p);
   PublishSnapshot();
+  TRACE_EVENT(TraceEvent::kPrincipalCreate, p->trace_id(), name, 0);
   return p;
 }
 
@@ -128,6 +130,7 @@ void ModuleCtx::DropInstance(uintptr_t name) {
   if (doomed == nullptr) {
     return;
   }
+  TRACE_EVENT(TraceEvent::kPrincipalDrop, doomed->trace_id(), name, 0);
   if (reclaimer_ != nullptr) {
     // Lock-free probes may still hold the principal until their next
     // quiescent state; its capability tables (whose destructor also bumps

@@ -55,6 +55,9 @@ class Principal {
   ModuleCtx* module() const { return module_; }
   PrincipalKind kind() const { return kind_; }
   uintptr_t name() const { return name_; }
+  // Process-unique id minted at construction: the attribution key trace
+  // records and the violation flight recorder carry (0 = trusted kernel).
+  uint32_t trace_id() const { return trace_id_; }
 
   CapTable& caps() { return caps_; }
   const CapTable& caps() const { return caps_; }
@@ -121,6 +124,7 @@ class Principal {
   ModuleCtx* module_;
   PrincipalKind kind_;
   uintptr_t name_;  // primary name (0 for shared/global)
+  uint32_t trace_id_ = MintPrincipalTraceId();
   // Heap-partition span, read on the store-guard fast path (sentinel values
   // fail every contains check). heap_partition_ is written once at publish
   // time from the allocating context.

@@ -4,13 +4,22 @@
 
 #include <algorithm>
 
+#include "src/base/clock.h"
 #include "src/base/compiler.h"
 #include "src/base/log.h"
 #include "src/base/string_util.h"
+#include "src/base/trace.h"
 #include "src/kernel/panic.h"
 #include "src/lxfi/guard_program.h"
+#include "src/lxfi/lxfi_stats.h"
 
 namespace lxfi {
+
+namespace {
+// Attribution key for trace records: minted principal id, 0 for the trusted
+// kernel (no principal).
+uint32_t TraceIdOf(const Principal* p) { return p != nullptr ? p->trace_id() : 0; }
+}  // namespace
 
 const char* ViolationKindName(ViolationKind kind) {
   switch (kind) {
@@ -178,6 +187,8 @@ bool Runtime::OnModuleLoad(kern::Module* module) {
     Grant(shared, Capability::Write(module->data(), module->data_size()));
   }
   Grant(shared, Capability::Write(uintptr_t{0}, kern::kUserSpaceTop));
+  TRACE_EVENT(TraceEvent::kModuleLoad, shared->trace_id(), module->def().imports.size(),
+              module->def().functions.size());
   return true;
 }
 
@@ -198,10 +209,13 @@ void Runtime::OnModuleUnload(kern::Module* module) {
   // partition the module's principals ever owned — batched at arena-chunk
   // granularity, never a per-object revoke storm (the capability tables die
   // wholesale with the principals below).
-  for (const auto& rec : mc->TakeHeapPartitions()) {
+  auto partitions = mc->TakeHeapPartitions();
+  for (const auto& rec : partitions) {
     writer_set_.ClearRange(rec.lo, rec.hi - rec.lo);
     kernel_->slab().TeardownPartition(rec.id);
   }
+  TRACE_EVENT(TraceEvent::kModuleUnload, mc->shared()->trace_id(), mc->instances().size(),
+              partitions.size());
   // Drop writer attribution for the module's principals. (A real kernel
   // would also have to treat still-reachable module-written pointers as
   // poisoned; unloading with live references is already a bug upstream.)
@@ -329,6 +343,7 @@ void Runtime::SealPrincipalHeap(Principal* p) {
   // span check itself runs before the memo, so the fast path is already
   // closed on every CPU that observes the seal.
   RevocationEpoch::Bump();
+  TRACE_EVENT(TraceEvent::kHeapSeal, p->trace_id(), p->arena_lo(), p->arena_hi());
 }
 
 void Runtime::OnKthreadCreate(kern::KthreadContext* ctx) {
@@ -376,6 +391,8 @@ void Runtime::OnInterruptExit(kern::KthreadContext* ctx) {
 // --- capability operations ----------------------------------------------------
 
 void Runtime::Grant(Principal* p, const Capability& cap) {
+  TRACE_EVENT(TraceEvent::kCapGrant, p->trace_id(), cap.addr,
+              static_cast<uint64_t>(cap.size) | (static_cast<uint64_t>(cap.kind) << 56));
   if (LXFI_UNLIKELY(options_.concurrent_enforcement)) {
     // Mutate the table under the principal's lock, and record writer pages
     // against the principal's private page set while we hold it: steady
@@ -438,6 +455,8 @@ bool Runtime::Owns(Principal* p, const Capability& cap) const {
 }
 
 void Runtime::RevokeEverywhere(const Capability& cap) {
+  TRACE_EVENT(TraceEvent::kCapRevoke, 0, cap.addr,
+              static_cast<uint64_t>(cap.size) | (static_cast<uint64_t>(cap.kind) << 56));
   revoke_everywhere_count_.fetch_add(1, std::memory_order_relaxed);
   for (auto& [kmod, mc] : ctxs_) {
     mc->RevokeEverywhere(cap);
@@ -513,7 +532,8 @@ void Runtime::CheckWriteBody(Principal* p, uintptr_t addr, size_t size) {
     }
     RaiseViolation(ViolationKind::kWrite,
                    StrFormat("%s attempted %zu-byte store to %p in its sealed heap partition",
-                             p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)));
+                             p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)),
+                   addr);
     return;
   }
   if (WriteMemoProbe(ec, addr, size)) {
@@ -530,7 +550,8 @@ void Runtime::CheckWriteBody(Principal* p, uintptr_t addr, size_t size) {
   }
   RaiseViolation(ViolationKind::kWrite,
                  StrFormat("%s attempted %zu-byte store to %p without WRITE capability",
-                           p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)));
+                           p->DebugName().c_str(), size, reinterpret_cast<void*>(addr)),
+                 addr);
 }
 
 bool Runtime::OwnsWriteFast(Principal* p, uintptr_t addr, size_t size) {
@@ -570,7 +591,8 @@ void Runtime::CheckCall(Principal* p, uintptr_t target, const std::string& name)
   if (!OwnsCallFast(p, target)) {
     RaiseViolation(ViolationKind::kCall,
                    StrFormat("%s has no CALL capability for %s (%#llx)", p->DebugName().c_str(),
-                             name.c_str(), static_cast<unsigned long long>(target)));
+                             name.c_str(), static_cast<unsigned long long>(target)),
+                   target);
   }
 }
 
@@ -639,7 +661,8 @@ void Runtime::IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr
           ViolationKind::kIndirectCall,
           StrFormat("kernel indirect call through %p (type %s) to %#llx: writer %s lacks CALL",
                     pptr, fnptr_type, static_cast<unsigned long long>(target),
-                    writer->DebugName().c_str()));
+                    writer->DebugName().c_str()),
+          target);
       return;
     }
   }
@@ -651,7 +674,8 @@ void Runtime::IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr
   if (entry == nullptr) {
     RaiseViolation(ViolationKind::kIndirectCall,
                    StrFormat("kernel indirect call to unmapped address %#llx via %s",
-                             static_cast<unsigned long long>(target), fnptr_type));
+                             static_cast<unsigned long long>(target), fnptr_type),
+                   target);
     return;
   }
   uint64_t type_hash = annotations_.AhashOf(fnptr_type);
@@ -661,7 +685,8 @@ void Runtime::IndirectCallBody(const void* pptr, const char* fnptr_type, uintptr
                      StrFormat("function %s (ahash %#llx) invoked through pointer type %s "
                                "(ahash %#llx)",
                                entry->name.c_str(), static_cast<unsigned long long>(entry->ahash),
-                               fnptr_type, static_cast<unsigned long long>(type_hash)));
+                               fnptr_type, static_cast<unsigned long long>(type_hash)),
+                     target);
     }
   }
 }
@@ -688,9 +713,10 @@ void Runtime::LxfiCheck(const Capability& cap) {
       break;
   }
   if (!ok) {
-    RaiseViolation(ViolationKind::kCapCheck, StrFormat("lxfi_check failed: %s does not own %s",
-                                                       p->DebugName().c_str(),
-                                                       cap.ToString().c_str()));
+    RaiseViolation(ViolationKind::kCapCheck,
+                   StrFormat("lxfi_check failed: %s does not own %s", p->DebugName().c_str(),
+                             cap.ToString().c_str()),
+                   cap.addr);
   }
 }
 
@@ -704,8 +730,12 @@ void Runtime::PrincAlias(const void* existing, const void* alias) {
   if (!mc->Alias(reinterpret_cast<uintptr_t>(existing), reinterpret_cast<uintptr_t>(alias))) {
     RaiseViolation(ViolationKind::kPrincipal,
                    StrFormat("lxfi_princ_alias: %p names no principal in %s", existing,
-                             mc->name().c_str()));
+                             mc->name().c_str()),
+                   reinterpret_cast<uintptr_t>(existing));
+    return;
   }
+  TRACE_EVENT(TraceEvent::kPrincipalAlias, p->trace_id(), reinterpret_cast<uintptr_t>(existing),
+              reinterpret_cast<uintptr_t>(alias));
 }
 
 Principal* Runtime::SwitchPrincipal(Principal* to) {
@@ -774,8 +804,9 @@ void Runtime::DropPrincipal(kern::Module* module, const void* name) {
 
 std::string Runtime::DumpState() const {
   std::string out;
-  out += StrFormat("lxfi runtime: %zu module(s), %zu tracked writer page(s), %zu violation(s)\n",
-                   ctxs_.size(), writer_set_.TrackedPages(), violations_.size());
+  out += StrFormat("lxfi runtime: %zu module(s), %zu tracked writer page(s), %llu violation(s)\n",
+                   ctxs_.size(), writer_set_.TrackedPages(),
+                   static_cast<unsigned long long>(violation_count()));
   // Deterministic order (snapshot-testable): modules sorted by name,
   // principals as shared, global, then instances sorted by principal name.
   std::vector<ModuleCtx*> modules;
@@ -820,11 +851,26 @@ std::string Runtime::DumpState() const {
 
 // --- violations ---------------------------------------------------------------------
 
-void Runtime::RaiseViolation(ViolationKind kind, const std::string& details) {
+void Runtime::RaiseViolation(ViolationKind kind, const std::string& details,
+                             uint64_t fault_addr) {
+  // Attribute before anything else: the faulting principal is the current
+  // one, or — inside a kernel-side import that already dropped privilege —
+  // the caller whose frame the shadow stack saved. The innermost frame label
+  // names the crossing the fault happened under.
+  ShadowStack* shadow = CurrentShadow();
+  Principal* p = shadow->current != nullptr ? shadow->current : shadow->TopSavedPrincipal();
+  TRACE_EVENT(TraceEvent::kViolation, TraceIdOf(p), static_cast<uint64_t>(kind), fault_addr);
   {
     SpinGuard guard(violations_mu_);
-    violations_.push_back(ViolationRecord{kind, details});
-    violation_seq_.fetch_add(1, std::memory_order_acq_rel);
+    uint64_t seq = violation_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    ViolationRecord& rec = violation_ring_[(seq - 1) % kViolationRingSize];
+    rec.kind = kind;
+    rec.details = details;
+    rec.principal = p != nullptr ? p->DebugName() : "";
+    rec.principal_id = TraceIdOf(p);
+    rec.fault_addr = fault_addr;
+    rec.crossing = shadow->TopWhat();
+    rec.seq = seq;
   }
   LXFI_LOG_WARN("lxfi violation: %s: %s", ViolationKindName(kind), details.c_str());
   switch (options_.policy) {
@@ -834,6 +880,35 @@ void Runtime::RaiseViolation(ViolationKind kind, const std::string& details) {
       kern::Panic(std::string("lxfi: ") + ViolationKindName(kind) + ": " + details);
     case ViolationPolicy::kCount:
       return;
+  }
+}
+
+std::vector<ViolationRecord> Runtime::violations() const {
+  SpinGuard guard(violations_mu_);
+  uint64_t total = violation_seq_.load(std::memory_order_acquire);
+  uint64_t cleared = violation_cleared_.load(std::memory_order_acquire);
+  uint64_t lo = total > kViolationRingSize ? total - kViolationRingSize : 0;
+  if (cleared > lo) {
+    lo = cleared;
+  }
+  std::vector<ViolationRecord> out;
+  out.reserve(total - lo);
+  for (uint64_t s = lo; s < total; ++s) {
+    const ViolationRecord& rec = violation_ring_[s % kViolationRingSize];
+    if (rec.seq == s + 1) {  // slot may predate a wrap-around in flight
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+void Runtime::VisitPrincipals(const std::function<void(Principal*)>& fn) const {
+  for (const auto& [kmod, mc] : ctxs_) {
+    fn(mc->shared());
+    fn(mc->global());
+    for (const auto& inst : mc->instances()) {
+      fn(inst.get());
+    }
   }
 }
 
@@ -859,7 +934,8 @@ void Runtime::ApplyOneCap(Action::Op op, const Capability& cap, const CallEnv& e
       if (from_module && !OwnsForEnforcement(env.principal, cap)) {
         RaiseViolation(cap.kind == CapKind::kRef ? ViolationKind::kRef : ViolationKind::kCapCheck,
                        StrFormat("check failed in %s: %s does not own %s", env.what,
-                                 env.principal->DebugName().c_str(), cap.ToString().c_str()));
+                                 env.principal->DebugName().c_str(), cap.ToString().c_str()),
+                       cap.addr);
       }
       break;
     case Action::Op::kCopy:
@@ -867,7 +943,8 @@ void Runtime::ApplyOneCap(Action::Op op, const Capability& cap, const CallEnv& e
         if (!OwnsForEnforcement(env.principal, cap)) {
           RaiseViolation(ViolationKind::kCapCheck,
                          StrFormat("copy source check failed in %s: %s does not own %s", env.what,
-                                   env.principal->DebugName().c_str(), cap.ToString().c_str()));
+                                   env.principal->DebugName().c_str(), cap.ToString().c_str()),
+                         cap.addr);
         }
         // Copy toward the kernel: nothing to track, the kernel owns all.
       } else {
@@ -875,12 +952,15 @@ void Runtime::ApplyOneCap(Action::Op op, const Capability& cap, const CallEnv& e
       }
       break;
     case Action::Op::kTransfer:
+      TRACE_EVENT(TraceEvent::kCapTransfer, TraceIdOf(env.principal), cap.addr,
+                  static_cast<uint64_t>(cap.size) | (static_cast<uint64_t>(cap.kind) << 56));
       if (from_module) {
         if (!OwnsForEnforcement(env.principal, cap)) {
           RaiseViolation(ViolationKind::kCapCheck,
                          StrFormat("transfer source check failed in %s: %s does not own %s",
                                    env.what, env.principal->DebugName().c_str(),
-                                   cap.ToString().c_str()));
+                                   cap.ToString().c_str()),
+                         cap.addr);
         }
         RevokeEverywhere(cap);
       } else {
@@ -1207,6 +1287,14 @@ uint64_t Runtime::WrapperEnter(Principal* switch_to, const char* what) {
     ShadowStack* shadow = CurrentShadow();
     uint64_t token = shadow->Push(shadow->current, what);
     shadow->current = switch_to;
+    // Per-principal crossing metrics are a static key, same as tracing: one
+    // relaxed load when off, a frame timestamp when on (read back at exit).
+    if (LXFI_UNLIKELY(LxfiStats::EnabledRelaxed())) {
+      shadow->SetTopEnterNs(MonotonicNowNs());
+    }
+    TRACE_EVENT(TraceEvent::kGuardEnter,
+                TraceIdOf(switch_to != nullptr ? switch_to : shadow->TopSavedPrincipal()), token,
+                shadow->depth());
     return token;
   };
   if (LXFI_UNLIKELY(guards_.timing_enabled)) {
@@ -1220,6 +1308,21 @@ uint64_t Runtime::WrapperEnter(Principal* switch_to, const char* what) {
 void Runtime::WrapperExit(uint64_t token, const char* what) {
   auto body = [&] {
     ShadowStack* shadow = CurrentShadow();
+    // Crossing attribution mirrors CallerPrincipal(): the module principal
+    // still current (kernel->module call about to return), or the caller the
+    // frame saved (module->kernel import whose wrapper dropped privilege).
+    // The delta lands in the attributed principal's per-CPU shard — the one
+    // the crossing's CALL check already pulled into cache.
+    uint64_t crossing_ns = 0;
+    if (LXFI_UNLIKELY(LxfiStats::EnabledRelaxed())) {
+      uint64_t enter_ns = shadow->TopEnterNs();
+      Principal* attributed =
+          shadow->current != nullptr ? shadow->current : shadow->TopSavedPrincipal();
+      if (enter_ns != 0 && attributed != nullptr) {
+        crossing_ns = MonotonicNowNs() - enter_ns;
+        attributed->ctx().CountCrossing(crossing_ns);
+      }
+    }
     bool ok = false;
     Principal* saved = shadow->Pop(token, &ok);
     if (!ok) {
@@ -1228,6 +1331,7 @@ void Runtime::WrapperExit(uint64_t token, const char* what) {
       return;
     }
     shadow->current = saved;
+    TRACE_EVENT(TraceEvent::kGuardExit, TraceIdOf(saved), token, crossing_ns);
   };
   if (LXFI_UNLIKELY(guards_.timing_enabled)) {
     GuardScope<true> guard(&guards_, GuardType::kFunctionExit);

@@ -4,6 +4,7 @@
 // sets, maintains shadow stacks, and reports violations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -88,6 +89,7 @@ class Runtime : public kern::IsolationHooks {
   AnnotationRegistry& annotations() { return annotations_; }
   IteratorRegistry& iterators() { return iterators_; }
   GuardStats& guards() { return guards_; }
+  const GuardStats& guards() const { return guards_; }
   WriterSet& writer_set() { return writer_set_; }
   RuntimeOptions& options() { return options_; }
 
@@ -198,16 +200,36 @@ class Runtime : public kern::IsolationHooks {
   std::string DumpState() const;
 
   // --- violations -----------------------------------------------------------
-  void RaiseViolation(ViolationKind kind, const std::string& details);
-  // Lock-free count (any thread); the record vector itself should be read
-  // from quiescent contexts only.
-  uint64_t violation_count() const { return violation_seq_.load(std::memory_order_acquire); }
-  const std::vector<ViolationRecord>& violations() const { return violations_; }
+  // Bounded flight recorder: the last kViolationRingSize violations with
+  // full attribution (faulting principal, fault address, innermost crossing
+  // label). A long-running runtime under a counting policy used to grow an
+  // unbounded vector here; the ring caps memory while violation_seq_ keeps
+  // the exact total. The sequence is monotone for the runtime's lifetime —
+  // the ExecGuards pre-memo protocol compares it across a guard evaluation,
+  // so ClearViolations only moves the visible baseline, never the sequence.
+  static constexpr size_t kViolationRingSize = 64;
+  void RaiseViolation(ViolationKind kind, const std::string& details, uint64_t fault_addr = 0);
+  // Lock-free count of violations since construction / the last
+  // ClearViolations (any thread).
+  uint64_t violation_count() const {
+    uint64_t seq = violation_seq_.load(std::memory_order_acquire);
+    uint64_t cleared = violation_cleared_.load(std::memory_order_acquire);
+    return seq > cleared ? seq - cleared : 0;
+  }
+  // Snapshot of the retained (post-clear) flight-recorder entries, oldest
+  // first, at most kViolationRingSize. By value: the ring mutates in place
+  // under its own lock, so references into it would not stay stable.
+  std::vector<ViolationRecord> violations() const;
   void ClearViolations() {
     SpinGuard guard(violations_mu_);
-    violations_.clear();
-    violation_seq_.store(0, std::memory_order_release);
+    violation_cleared_.store(violation_seq_.load(std::memory_order_acquire),
+                             std::memory_order_release);
   }
+
+  // Visits every principal (shared, global, instances) of every loaded
+  // module. Quiescent contexts only (stats snapshots, diagnostics) — the
+  // instance walk is the non-concurrent one.
+  void VisitPrincipals(const std::function<void(Principal*)>& fn) const;
 
   // --- wrapper machinery (used by wrap.h; internal) -------------------------
   // The guard program a wrapper should bind at wrap time: the compiled form
@@ -300,9 +322,10 @@ class Runtime : public kern::IsolationHooks {
   std::unordered_map<kern::Module*, std::unique_ptr<ModuleCtx>> ctxs_;
   Spinlock shadows_mu_;  // guards shadows_ (kthreads appear from CPU threads)
   std::unordered_map<kern::KthreadContext*, std::unique_ptr<ShadowStack>> shadows_;
-  Spinlock violations_mu_;  // guards violations_
-  std::atomic<uint64_t> violation_seq_{0};
-  std::vector<ViolationRecord> violations_;
+  mutable Spinlock violations_mu_;  // guards violation_ring_
+  std::atomic<uint64_t> violation_seq_{0};      // monotone, never reset
+  std::atomic<uint64_t> violation_cleared_{0};  // ClearViolations baseline
+  std::array<ViolationRecord, kViolationRingSize> violation_ring_;
   uintptr_t stack_lo_ = 0;
   uintptr_t stack_hi_ = 0;
   std::atomic<uint64_t> revoke_everywhere_count_{0};

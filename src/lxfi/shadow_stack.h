@@ -21,12 +21,13 @@ class ShadowStack {
     uint64_t token;
     Principal* saved_principal;
     const char* what;  // wrapper label for diagnostics
+    uint64_t enter_ns; // crossing entry timestamp (0 unless metrics are on)
   };
 
   // Pushes a frame and returns its token.
   uint64_t Push(Principal* saved, const char* what) {
     uint64_t token = next_token_++;
-    frames_.push_back(Frame{token, saved, what});
+    frames_.push_back(Frame{token, saved, what, 0});
     return token;
   }
 
@@ -66,6 +67,20 @@ class ShadowStack {
   Principal* TopSavedPrincipal() const {
     return frames_.empty() ? nullptr : frames_.back().saved_principal;
   }
+
+  // The innermost crossing label — the attribution the violation flight
+  // recorder stores ("" when no wrapper frame is live).
+  const char* TopWhat() const { return frames_.empty() ? "" : frames_.back().what; }
+
+  // Crossing-latency bookkeeping for the per-principal metrics (lxfi_stats):
+  // WrapperEnter stamps the frame it just pushed, WrapperExit reads it back
+  // before popping.
+  void SetTopEnterNs(uint64_t ns) {
+    if (!frames_.empty()) {
+      frames_.back().enter_ns = ns;
+    }
+  }
+  uint64_t TopEnterNs() const { return frames_.empty() ? 0 : frames_.back().enter_ns; }
 
   // The principal the current innermost execution runs as.
   Principal* current = nullptr;

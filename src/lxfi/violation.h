@@ -43,9 +43,18 @@ enum class ViolationPolicy {
   kCount,  // record and continue (diagnostics/surveys only; UNSAFE)
 };
 
+// One flight-recorder entry: full attribution so the event can be audited
+// after the fact (the containment/microreboot consumer needs to know *who*
+// faulted *where* from *which* crossing without replaying the workload).
 struct ViolationRecord {
-  ViolationKind kind;
+  ViolationKind kind = ViolationKind::kWrite;
   std::string details;
+  // Attribution, filled by Runtime::RaiseViolation:
+  std::string principal;     // DebugName() of the faulting principal ("" = kernel)
+  uint32_t principal_id = 0; // minted trace id (0 = trusted kernel context)
+  uint64_t fault_addr = 0;   // faulting address / call target (0 if n/a)
+  std::string crossing;      // innermost shadow-stack frame label ("" = none)
+  uint64_t seq = 0;          // position in the monotone violation sequence
 };
 
 }  // namespace lxfi

@@ -154,7 +154,7 @@ TEST_F(ArenaHeapTest, SealedArenaFailsClosedAndAttributes) {
   // violation is attributed to the sealed principal.
   EXPECT_THROW(lxfi::Store(*module_, p, uint64_t{8}), lxfi::LxfiViolation);
   EXPECT_EQ(p[0], 7u) << "the store must not land";
-  const auto& v = rt().violations().back();
+  const auto v = rt().violations().back();
   EXPECT_EQ(v.kind, lxfi::ViolationKind::kWrite);
   EXPECT_NE(v.details.find("sealed heap partition"), std::string::npos) << v.details;
   EXPECT_NE(v.details.find("scratch"), std::string::npos) << v.details;
@@ -387,7 +387,7 @@ TEST(ArenaIsolation, RogueModuleScribbleIsBlockedAndAttributed) {
     EXPECT_THROW(lxfi::Store(*b, target, uint64_t{0xdead}), lxfi::LxfiViolation);
   }
   EXPECT_EQ(*target, 11u) << "the rogue store must not land";
-  const auto& v = bench.rt->violations().back();
+  const auto v = bench.rt->violations().back();
   EXPECT_EQ(v.kind, lxfi::ViolationKind::kWrite);
   EXPECT_NE(v.details.find("scratch_b"), std::string::npos)
       << "attributed to the offender: " << v.details;
