@@ -1,0 +1,157 @@
+// bench_tenants: multi-tenant churn under violation containment.
+//
+// Two runs of the same tenant fleet (per-tenant ramfs mount + mount-scoped
+// filter module, partitioned heaps, kQuarantine policy):
+//   - baseline: every tenant benign — healthy throughput with no injection
+//   - injected: one tenant's filter armed with the cross-principal scribble
+//     probe; its violation is quarantined and the module microrebooted while
+//     the worker CPUs keep the healthy tenants under load
+// The headline is the injected run's healthy-tenant throughput and worst-op
+// latency next to the baseline: containment must cost the rogue tenant its
+// module, not the neighbourhood its service. Healthy tenants must finish
+// with zero errors and zero violations — asserted, not assumed.
+//
+// --json FILE writes the shared bench schema (bench/json_out.h).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/json_out.h"
+#include "src/base/log.h"
+#include "src/eval/tenants.h"
+
+namespace {
+
+void PrintRow(const char* name, const eval::TenantsResult& r) {
+  std::printf("%-9s %12.0f %12llu %9llu %9llu %11.2f %8llu %8llu %8llu\n", name,
+              r.HealthyOpsPerSec(), static_cast<unsigned long long>(r.healthy_ops),
+              static_cast<unsigned long long>(r.healthy_errors),
+              static_cast<unsigned long long>(r.violations),
+              static_cast<double>(r.max_op_ns) / 1e3,
+              static_cast<unsigned long long>(r.quarantines),
+              static_cast<unsigned long long>(r.reboots),
+              static_cast<unsigned long long>(r.arena_fallbacks));
+}
+
+void AddJsonRow(lxfibench::JsonWriter& json, const char* name, const eval::TenantsResult& r) {
+  json.AddRow(name)
+      .Set("healthy_ops_per_sec", r.HealthyOpsPerSec())
+      .Set("healthy_ops", static_cast<double>(r.healthy_ops))
+      .Set("healthy_errors", static_cast<double>(r.healthy_errors))
+      .Set("healthy_violations", static_cast<double>(r.healthy_violations))
+      .Set("max_op_us", static_cast<double>(r.max_op_ns) / 1e3)
+      .Set("violations", static_cast<double>(r.violations))
+      .Set("quarantines", static_cast<double>(r.quarantines))
+      .Set("reboots", static_cast<double>(r.reboots))
+      .Set("retired", static_cast<double>(r.retired))
+      .Set("rogue_failfast", static_cast<double>(r.rogue_failfast))
+      .Set("rogue_recovered_ops", static_cast<double>(r.rogue_recovered_ops))
+      .Set("arena_fallbacks", static_cast<double>(r.arena_fallbacks))
+      .Set("wall_ns", static_cast<double>(r.wall_ns));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lxfi::SetLogLevel(lxfi::LogLevel::kError);
+
+  eval::TenantsConfig config;
+  config.tenants = 128;
+  config.cpus = 3;
+  config.files = 4;
+  config.rounds = 2;
+  config.storm_loads = 8;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      config.tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+      config.cpus = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      config.files = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      config.rounds = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--storm") == 0 && i + 1 < argc) {
+      config.storm_loads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--tenants N] [--cpus N] [--files F] [--rounds R] [--storm S] "
+                   "[--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== tenants: %d tenants, %d cpus, %llu files x %u rounds, %d storm loads ===\n",
+              config.tenants, config.cpus, static_cast<unsigned long long>(config.files),
+              config.rounds, config.storm_loads);
+  std::printf("%-9s %12s %12s %9s %9s %11s %8s %8s %8s\n", "run", "ops/s", "ops", "errors",
+              "viols", "max op us", "quar", "reboots", "fallbk");
+
+  eval::TenantsResult base;
+  {
+    eval::TenantsHarness h(config);
+    base = h.RunChurn();
+  }
+  PrintRow("baseline", base);
+
+  eval::TenantsConfig injected_cfg = config;
+  injected_cfg.rogue = config.tenants / 2;
+  eval::TenantsResult injected;
+  {
+    eval::TenantsHarness h(injected_cfg);
+    injected = h.RunChurn();
+  }
+  PrintRow("injected", injected);
+
+  double retention = base.HealthyOpsPerSec() > 0
+                         ? 100.0 * injected.HealthyOpsPerSec() / base.HealthyOpsPerSec()
+                         : 0.0;
+  std::printf(
+      "\nhealthy throughput retained with a quarantine + microreboot in flight: %.1f%%\n"
+      "rogue tenant: %llu fail-fast results, %llu ops served after the reboot\n",
+      retention, static_cast<unsigned long long>(injected.rogue_failfast),
+      static_cast<unsigned long long>(injected.rogue_recovered_ops));
+
+  int rc = 0;
+  if (base.violations != 0 || base.healthy_errors != 0) {
+    std::fprintf(stderr, "FAIL: baseline run saw %llu violations / %llu errors\n",
+                 static_cast<unsigned long long>(base.violations),
+                 static_cast<unsigned long long>(base.healthy_errors));
+    rc = 1;
+  }
+  if (injected.healthy_errors != 0 || injected.healthy_violations != 0) {
+    std::fprintf(stderr, "FAIL: healthy tenants were hit by the quarantine (%llu errors, "
+                 "%llu violations)\n",
+                 static_cast<unsigned long long>(injected.healthy_errors),
+                 static_cast<unsigned long long>(injected.healthy_violations));
+    rc = 1;
+  }
+  if (injected.quarantines != 1 || injected.reboots != 1 || injected.retired != 0) {
+    std::fprintf(stderr, "FAIL: expected exactly one quarantine + one reboot (got %llu/%llu/%llu)\n",
+                 static_cast<unsigned long long>(injected.quarantines),
+                 static_cast<unsigned long long>(injected.reboots),
+                 static_cast<unsigned long long>(injected.retired));
+    rc = 1;
+  }
+  if (injected.rogue_recovered_ops == 0) {
+    std::fprintf(stderr, "FAIL: rogue tenant never recovered after the microreboot\n");
+    rc = 1;
+  }
+
+  if (json_path != nullptr && rc == 0) {
+    lxfibench::JsonWriter json("bench_tenants");
+    json.Meta("tenants", static_cast<double>(config.tenants));
+    json.Meta("cpus", static_cast<double>(config.cpus));
+    json.Meta("files", static_cast<double>(config.files));
+    json.Meta("rounds", static_cast<double>(config.rounds));
+    json.Meta("storm_loads", static_cast<double>(config.storm_loads));
+    json.Meta("throughput_retention_pct", retention);
+    AddJsonRow(json, "baseline", base);
+    AddJsonRow(json, "injected", injected);
+    json.WriteFile(json_path);
+  }
+  return rc;
+}

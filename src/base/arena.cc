@@ -12,14 +12,17 @@ Arena::Arena(size_t size_bytes) : capacity_(size_bytes) {
 Arena::~Arena() { std::free(base_); }
 
 void* Arena::Allocate(size_t size, size_t align) {
-  uintptr_t cur = base() + used_;
-  uintptr_t aligned = (cur + align - 1) & ~(align - 1);
-  size_t new_used = (aligned - base()) + size;
-  if (new_used > capacity_) {
-    return nullptr;
+  size_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    uintptr_t aligned = (base() + cur + align - 1) & ~(align - 1);
+    size_t new_used = (aligned - base()) + size;
+    if (new_used > capacity_) {
+      return nullptr;
+    }
+    if (used_.compare_exchange_weak(cur, new_used, std::memory_order_relaxed)) {
+      return reinterpret_cast<void*>(aligned);
+    }
   }
-  used_ = new_used;
-  return reinterpret_cast<void*>(aligned);
 }
 
 }  // namespace lxfi

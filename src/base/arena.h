@@ -6,6 +6,7 @@
 // adjacency (which the CAN BCM exploit depends on) behaves like a real slab.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -21,25 +22,27 @@ class Arena {
   Arena& operator=(const Arena&) = delete;
 
   // Allocates `size` bytes aligned to `align` (power of two). Returns nullptr
-  // when exhausted.
+  // when exhausted. Thread-safe (lock-free CAS bump): a module load/unload
+  // storm allocates sections from the loader thread while worker CPUs grow
+  // slab storage out of the same arena.
   void* Allocate(size_t size, size_t align = 16);
 
   // Address-space introspection.
   uintptr_t base() const { return reinterpret_cast<uintptr_t>(base_); }
   size_t capacity() const { return capacity_; }
-  size_t used() const { return used_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
   bool Contains(const void* p) const {
     auto addr = reinterpret_cast<uintptr_t>(p);
     return addr >= base() && addr < base() + capacity_;
   }
 
   // Resets the bump pointer; all previous allocations become invalid.
-  void Reset() { used_ = 0; }
+  void Reset() { used_.store(0, std::memory_order_relaxed); }
 
  private:
   char* base_ = nullptr;
   size_t capacity_ = 0;
-  size_t used_ = 0;
+  std::atomic<size_t> used_{0};
 };
 
 }  // namespace lxfi

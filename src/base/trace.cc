@@ -54,6 +54,14 @@ const char* TraceEventName(TraceEvent event) {
       return "bio-submit";
     case TraceEvent::kBioComplete:
       return "bio-complete";
+    case TraceEvent::kQuarantine:
+      return "quarantine";
+    case TraceEvent::kMicroreboot:
+      return "microreboot";
+    case TraceEvent::kRebootFailed:
+      return "reboot-failed";
+    case TraceEvent::kArenaFallback:
+      return "arena-fallback";
     case TraceEvent::kCount:
       break;
   }

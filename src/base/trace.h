@@ -64,6 +64,11 @@ enum class TraceEvent : uint16_t {
   // Block layer (src/kernel/block).
   kBioSubmit,        // arg0 = sector, arg1 = size | (write << 63)
   kBioComplete,      // arg0 = sector, arg1 = status (two's complement)
+  // Containment / microreboot (containment.cc).
+  kQuarantine,       // arg0 = ViolationKind, arg1 = fallback objects revoked
+  kMicroreboot,      // arg0 = reboot attempt (1-based), arg1 = module reboots total
+  kRebootFailed,     // arg0 = attempts consumed, arg1 = 1 if retired (breaker)
+  kArenaFallback,    // arg0 = object addr, arg1 = size (shared-heap fallback)
   kCount,
 };
 

@@ -1,8 +1,10 @@
 #include "src/kernel/fs/filter.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/base/small_vector.h"
+#include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 
 namespace kern {
@@ -81,6 +83,49 @@ int FilterChain::Unregister(VfsFilter* flt) {
   return -kEnoent;
 }
 
+size_t FilterChain::UnregisterModule(Module* module) {
+  lxfi::SpinGuard guard(mu_);
+  size_t present = 0;
+  for (VfsFilter* f : *snapshot_) {
+    present += f->module == module ? 1 : 0;
+  }
+  if (present == 0) {
+    return 0;  // an administrative Unregister already got here: idempotent
+  }
+  auto* next = new std::vector<VfsFilter*>();
+  next->reserve(snapshot_->size() - present);
+  for (VfsFilter* f : *snapshot_) {
+    if (f->module != module) {
+      next->push_back(f);
+    }
+  }
+  PublishLocked(next);
+  return present;
+}
+
+namespace {
+
+// Superblock an in-flight operation targets, for scope matching. Every VFS
+// syscall fills at least one of dentry/file/dir before running the chain.
+const SuperBlock* CtxSuper(const FilterCtx* ctx) {
+  if (ctx->dentry != nullptr && ctx->dentry->sb != nullptr) {
+    return ctx->dentry->sb;
+  }
+  if (ctx->file != nullptr && ctx->file->inode != nullptr) {
+    return ctx->file->inode->sb;
+  }
+  if (ctx->dir != nullptr) {
+    return ctx->dir->sb;
+  }
+  return nullptr;
+}
+
+bool InScope(const VfsFilter* f, const SuperBlock* sb) {
+  return f->scope == nullptr || (sb != nullptr && std::strcmp(f->scope, sb->id) == 0);
+}
+
+}  // namespace
+
 int FilterChain::RunPre(FilterCtx* ctx, FilterRun* run) {
   run->ran = 0;
   if (count_.load(std::memory_order_relaxed) == 0) {
@@ -94,13 +139,26 @@ int FilterChain::RunPre(FilterCtx* ctx, FilterRun* run) {
   // on mutation, so this copy stays consistent with the lock-free walk it
   // rides on.
   {
+    // Scope-mismatched filters are excluded from the copy itself (not
+    // skipped per-hook), so RunPost's reverse unwind of run->snap needs no
+    // second scope decision that could disagree with this one.
+    const SuperBlock* sb = CtxSuper(ctx);
     const std::vector<VfsFilter*>* snap = __atomic_load_n(&snapshot_, __ATOMIC_ACQUIRE);
     for (VfsFilter* f : *snap) {
-      run->snap.push_back(f);
+      if (InScope(f, sb)) {
+        run->snap.push_back(f);
+      }
     }
   }
   for (size_t i = 0; i < run->snap.size(); ++i) {
     VfsFilter* f = run->snap[i];
+    // Fail-fast window: a quarantined filter may still sit in a snapshot
+    // copied before containment dropped it. Never dispatch into it — fail
+    // the operation without counting its pre as run (its post must not
+    // unwind either).
+    if (f->module != nullptr && f->module->quarantined()) {
+      return -kEio;
+    }
     if (f->pre_op == 0) {
       ++run->ran;
       continue;
@@ -118,6 +176,12 @@ int FilterChain::RunPre(FilterCtx* ctx, FilterRun* run) {
 void FilterChain::RunPost(FilterCtx* ctx, const FilterRun& run) {
   for (int i = run.ran - 1; i >= 0; --i) {
     VfsFilter* f = run.snap[i];
+    // A module can be quarantined *between* its pre and post (the violation
+    // that triggered containment may be this very operation's module
+    // dispatch). Its post never runs.
+    if (f->module != nullptr && f->module->quarantined()) {
+      continue;
+    }
     if (f->post_op == 0) {
       continue;
     }

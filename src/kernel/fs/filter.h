@@ -78,6 +78,11 @@ struct VfsFilter {
   uintptr_t post_op = 0;  // void(VfsFilter*, FilterCtx*)
   void* private_data = nullptr;
   Module* module = nullptr;
+  // Mount scope: when non-null, the filter's hooks run only for operations
+  // whose superblock id matches (strcmp). Null = global (every mount). The
+  // multi-tenant harness uses this so each tenant's filter sees only its
+  // own mount's traffic.
+  const char* scope = nullptr;
 };
 
 // One operation's pass through the chain: the snapshot RunPre dispatched
@@ -96,6 +101,12 @@ class FilterChain {
 
   int Register(VfsFilter* flt);
   int Unregister(VfsFilter* flt);
+  // Containment teardown: atomically drops every filter owned by `module`
+  // from the published snapshot. Composes idempotently with a concurrent
+  // administrative Unregister — whichever runs second finds nothing to
+  // remove (no double teardown, no leaked snapshot entry). Returns the
+  // number of filters dropped.
+  size_t UnregisterModule(Module* module);
   size_t count() const { return count_.load(std::memory_order_relaxed); }
 
   // Snapshots the chain into `run` and dispatches pre hooks in priority

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <new>
 #include <utility>
+#include <vector>
 
 #include "src/base/hash.h"
 #include "src/kernel/kernel.h"
@@ -183,6 +184,66 @@ FileSystemType* Vfs::FindFilesystem(const char* name) {
   return nullptr;
 }
 
+// --- containment --------------------------------------------------------------
+
+bool Vfs::TypeQuarantined(const SuperBlock* sb) {
+  return sb != nullptr && sb->type != nullptr && sb->type->module != nullptr &&
+         sb->type->module->quarantined();
+}
+
+int Vfs::ForceUnmountModule(Module* module) {
+  std::vector<MountEntry*> victims;
+  int busy = 0;
+  {
+    lxfi::SpinGuard guard(mount_mu_);
+    ForEachMountLocked([&](MountEntry* m) {
+      if (m->sb->type->module != module) {
+        return;
+      }
+      if (SbOpenFiles(m->sb) > 0) {
+        ++busy;  // handles fail fast with -EIO and drain through Close
+      } else {
+        victims.push_back(m);
+      }
+    });
+    for (MountEntry* v : victims) {
+      lxfi::flat_chain::UnlinkLocked<&MountEntry::next>(mounts_, v->hash, v);
+      mount_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  for (MountEntry* v : victims) {
+    // Unlike Unmount, no kill_sb dispatch: the module is quarantined, and
+    // its per-mount state is reclaimed wholesale by the arena teardown at
+    // forced unload. The kernel-owned tree and superblock still go through
+    // the grace period for the sake of in-flight walkers.
+    dcache_.RetireTree(v->sb->root);
+    Kernel* kernel = kernel_;
+    SuperBlock* sb = v->sb;
+    lxfi::EpochReclaimer::Global().Retire([kernel, sb, v] {
+      kernel->slab().Free(sb);
+      delete v;
+    });
+  }
+  return busy;
+}
+
+size_t Vfs::PurgeFilesystemsOf(Module* module) {
+  lxfi::SpinGuard guard(fstype_mu_);
+  std::vector<FsTypeEntry*> victims;
+  fstypes_.ForEach([&](uint64_t, FsTypeEntry* const& head) {
+    for (FsTypeEntry* e = head; e != nullptr; e = e->next) {
+      if (e->type->module == module) {
+        victims.push_back(e);
+      }
+    }
+  });
+  for (FsTypeEntry* v : victims) {
+    lxfi::flat_chain::UnlinkLocked<&FsTypeEntry::next>(fstypes_, v->hash, v);
+    lxfi::EpochReclaimer::Global().Retire([v] { delete v; });
+  }
+  return victims.size();
+}
+
 // --- path walk ----------------------------------------------------------------
 
 Dentry* Vfs::LookupChild(Dentry* parent, const char* name) {
@@ -254,6 +315,9 @@ int Vfs::Walk(const char* path, Dentry** out) {
   SuperBlock* sb = SuperAt(comp);
   if (sb == nullptr) {
     return -kEnodev;
+  }
+  if (TypeQuarantined(sb)) {
+    return -kEio;  // fail fast: never dispatch into a quarantined module
   }
   Dentry* cur = sb->root;
   uint32_t cur_flags = Dcache::FlagsOf(cur);
@@ -387,6 +451,9 @@ SuperBlock* Vfs::Mount(const char* fsname, const char* where) {
   if (fstype == nullptr || fstype->mount == 0) {
     return nullptr;
   }
+  if (fstype->module != nullptr && fstype->module->quarantined()) {
+    return nullptr;  // no new mounts of a quarantined module's type
+  }
   if (SuperAt(comp) != nullptr) {
     return nullptr;
   }
@@ -460,7 +527,7 @@ int Vfs::Unmount(const char* where) {
     lxfi::flat_chain::UnlinkLocked<&MountEntry::next>(mounts_, victim->hash, victim);
     mount_count_.fetch_sub(1, std::memory_order_relaxed);
   }
-  if (sb->type->kill_sb != 0) {
+  if (sb->type->kill_sb != 0 && !TypeQuarantined(sb)) {
     kernel_->IndirectCall<void, FileSystemType*, SuperBlock*>(
         &sb->type->kill_sb, "file_system_type::kill_sb", sb->type, sb);
   }
@@ -692,7 +759,10 @@ int Vfs::Close(File* file) {
     return -kEinval;
   }
   int rc = 0;
-  if (file->f_op != nullptr && file->f_op->release != 0) {
+  // Close must keep working on a quarantined mount so open-file accounting
+  // drains (ForceUnmountModule waits on it) — it just skips the module
+  // dispatch, the same way the forced unmount skips kill_sb.
+  if (file->f_op != nullptr && file->f_op->release != 0 && !TypeQuarantined(file->inode->sb)) {
     rc = kernel_->IndirectCall<int, Inode*, File*>(&file->f_op->release,
                                                    "file_operations::release", file->inode, file);
   }
@@ -706,6 +776,9 @@ int Vfs::Close(File* file) {
 int64_t Vfs::Read(File* file, uintptr_t ubuf, uint64_t n) {
   if (file == nullptr || file->f_op == nullptr || file->f_op->read == 0) {
     return -kEinval;
+  }
+  if (TypeQuarantined(file->inode->sb)) {
+    return -kEio;
   }
   FilterCtx ctx;
   ctx.op = static_cast<int>(VfsOp::kRead);
@@ -731,6 +804,9 @@ int64_t Vfs::Read(File* file, uintptr_t ubuf, uint64_t n) {
 int64_t Vfs::Write(File* file, uintptr_t ubuf, uint64_t n) {
   if (file == nullptr || file->f_op == nullptr || file->f_op->write == 0) {
     return -kEinval;
+  }
+  if (TypeQuarantined(file->inode->sb)) {
+    return -kEio;
   }
   FilterCtx ctx;
   ctx.op = static_cast<int>(VfsOp::kWrite);
@@ -853,6 +929,9 @@ int Vfs::Unlink(const char* path) { return RemoveEntry(path, /*dir=*/false); }
 int Vfs::Fsync(File* file) {
   if (file == nullptr || file->f_op == nullptr) {
     return -kEinval;
+  }
+  if (TypeQuarantined(file->inode->sb)) {
+    return -kEio;
   }
   FilterCtx ctx;
   ctx.op = static_cast<int>(VfsOp::kFsync);
@@ -1015,6 +1094,9 @@ int Vfs::StatFs(const char* where, VfsStatFs* out) {
   SuperBlock* sb = SuperAt(where);
   if (sb == nullptr) {
     return -kEnodev;
+  }
+  if (TypeQuarantined(sb)) {
+    return -kEio;
   }
   if (sb->s_op == nullptr || sb->s_op->statfs == 0) {
     return -kEinval;

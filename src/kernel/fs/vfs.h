@@ -166,6 +166,25 @@ class Vfs {
   int Unmount(const char* where);
   SuperBlock* SuperAt(const char* where);
 
+  // --- containment (src/lxfi/containment.cc) -------------------------------
+  // Fail-fast probe: true when the superblock belongs to a quarantined
+  // module's filesystem type. Every dispatching syscall checks it before
+  // entering the module, so in-flight tenants see -EIO instead of running
+  // code inside a principal whose arena is sealed.
+  static bool TypeQuarantined(const SuperBlock* sb);
+  // Unlinks every mount whose filesystem type belongs to `module`, tearing
+  // the trees down WITHOUT dispatching kill_sb into the (quarantined)
+  // module — the bulk arena teardown at unload reclaims its per-mount
+  // state. Mounts with open files are skipped: their handles fail fast
+  // with -EIO and drain through Close. Returns the number of still-busy
+  // mounts left behind (0 means the module holds no mounts anymore).
+  int ForceUnmountModule(Module* module);
+  // Drops every filesystem-type registration owned by `module` (a
+  // quarantined module cannot be dispatched to unregister itself).
+  // Idempotent against unregister_filesystem racing the quarantine.
+  // Returns the number of entries purged.
+  size_t PurgeFilesystemsOf(Module* module);
+
   // --- syscall surface (trusted kernel code dispatching into modules) ------
   File* Open(const char* path, int flags, int* err = nullptr);
   int Close(File* file);

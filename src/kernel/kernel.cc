@@ -93,10 +93,23 @@ Module* Kernel::LoadModule(ModuleDef def) {
 
   int rc;
   if (m->def().init) {
-    if (isolation_ != nullptr) {
-      rc = isolation_->CallModuleInit(m, [m] { return m->def().init(*m); });
-    } else {
-      rc = m->def().init(*m);
+    // A throwing init (e.g. a violation raised mid-init under an isolation
+    // policy that throws) must not leak a half-loaded module: tear down the
+    // isolation state and drop the module before propagating, exactly like
+    // the rc != 0 path.
+    try {
+      if (isolation_ != nullptr) {
+        rc = isolation_->CallModuleInit(m, [m] { return m->def().init(*m); });
+      } else {
+        rc = m->def().init(*m);
+      }
+    } catch (...) {
+      LXFI_LOG_ERROR("module %s init threw", m->name().c_str());
+      if (isolation_ != nullptr) {
+        isolation_->OnModuleUnload(m);
+      }
+      modules_.pop_back();
+      throw;
     }
   } else {
     rc = 0;
@@ -122,6 +135,31 @@ void Kernel::UnloadModule(Module* module) {
       isolation_->CallModuleExit(module, [module] { module->def().exit_fn(*module); });
     } else {
       module->def().exit_fn(*module);
+    }
+  }
+  if (isolation_ != nullptr) {
+    isolation_->OnModuleUnload(module);
+  }
+  module->state_ = ModuleState::kUnloaded;
+}
+
+void Kernel::ForceUnloadModule(Module* module) {
+  if (module->state_ == ModuleState::kUnloaded) {
+    return;
+  }
+  // Containment teardown: a quarantined module's exit_fn runs against a
+  // sealed arena, so its own stores/frees may violate. Absorb the failure —
+  // bulk isolation teardown below reclaims everything the exit would have
+  // freed — instead of leaving the module half-unloaded and still kLive.
+  if (module->def().exit_fn) {
+    try {
+      if (isolation_ != nullptr) {
+        isolation_->CallModuleExit(module, [module] { module->def().exit_fn(*module); });
+      } else {
+        module->def().exit_fn(*module);
+      }
+    } catch (...) {
+      LXFI_LOG_WARN("module %s exit threw during forced unload", module->name().c_str());
     }
   }
   if (isolation_ != nullptr) {

@@ -96,6 +96,10 @@ class Kernel {
   // under its shared principal. Returns nullptr (and logs) on init failure.
   Module* LoadModule(ModuleDef def);
   void UnloadModule(Module* module);
+  // Containment unload: like UnloadModule but absorbs a throwing exit_fn (a
+  // quarantined module's exit may itself violate against its sealed arena)
+  // so isolation teardown and the state transition always complete.
+  void ForceUnloadModule(Module* module);
   Module* FindModule(const std::string& name);
   const std::vector<std::unique_ptr<Module>>& modules() const { return modules_; }
 

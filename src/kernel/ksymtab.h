@@ -11,6 +11,14 @@
 // like a real wild jump), registered addresses run the registered callable.
 // LXFI's indirect-call check runs before Invoke and is what distinguishes a
 // protected kernel from a stock one.
+//
+// Concurrency: dispatch is the one table every worker CPU probes on every
+// indirect call, and module load/unload mutates it — so Lookup is lock-free
+// (seqlock-validated FlatTable probe of a word-sized entry pointer) while
+// Register/Unregister serialize on a spinlock and retire superseded entries
+// through the global grace-period reclaimer. A CPU mid-call through an entry
+// whose address is being unregistered keeps a valid pointer until it
+// quiesces — the property the module-churn storm leans on.
 #pragma once
 
 #include <any>
@@ -19,6 +27,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/base/flat_table.h"
+#include "src/base/sync.h"
 #include "src/kernel/panic.h"
 
 namespace kern {
@@ -39,6 +49,7 @@ struct DispatchEntry {
   // the function-pointer type's annotations on kernel indirect calls (§4.1).
   uint64_t ahash = 0;
   Module* module = nullptr;  // owning module for kModuleText
+  uintptr_t addr = 0;        // the text address this entry is registered at
   std::any invoker;          // std::function<Sig>
 };
 
@@ -53,21 +64,46 @@ class FuncRegistry {
   // Sentinel: mint an address instead of using a caller-chosen one.
   static constexpr uintptr_t kMintAddress = ~uintptr_t{0};
 
+  FuncRegistry() {
+    // Entries (and superseded dispatch arrays) outlive their table slot by a
+    // grace period: a worker CPU that resolved an entry pointer keeps using
+    // it safely while a loader-thread unregister runs concurrently.
+    dispatch_.SetReclaimer(&lxfi::EpochReclaimer::Global());
+  }
+
+  ~FuncRegistry() {
+    // No concurrent readers can exist at registry destruction (the kernel is
+    // gone); reclaim entries directly.
+    dispatch_.ForEach([](uint64_t, DispatchEntry* e) { delete e; });
+  }
+
+  FuncRegistry(const FuncRegistry&) = delete;
+  FuncRegistry& operator=(const FuncRegistry&) = delete;
+
   // Registers a type-erased callable (a std::any holding std::function<Sig>)
   // and mints a text address in the range for `kind`, unless `fixed_addr` is
   // given (used for user-space mappings at chosen addresses — including the
-  // NULL page at 0, which the econet exploit maps).
+  // NULL page at 0, which the econet exploit maps). Re-registering at the
+  // same fixed address replaces the entry; the superseded one is retired,
+  // not freed, so concurrent callers mid-dispatch stay safe.
   uintptr_t RegisterAny(TextKind kind, const std::string& name, std::any invoker,
                         uint64_t ahash = 0, Module* module = nullptr,
                         uintptr_t fixed_addr = kMintAddress) {
+    auto* entry = new DispatchEntry();
+    entry->kind = kind;
+    entry->name = name;
+    entry->ahash = ahash;
+    entry->module = module;
+    entry->invoker = std::move(invoker);
+    lxfi::SpinGuard guard(mu_);
     uintptr_t addr = fixed_addr != kMintAddress ? fixed_addr : MintAddress(kind);
-    DispatchEntry entry;
-    entry.kind = kind;
-    entry.name = name;
-    entry.ahash = ahash;
-    entry.module = module;
-    entry.invoker = std::move(invoker);
-    entries_[addr] = std::move(entry);
+    entry->addr = addr;
+    DispatchEntry* old = nullptr;
+    if (DispatchEntry** slot = dispatch_.Find(addr)) {
+      old = *slot;
+    }
+    dispatch_.Insert(addr, entry);
+    RetireEntry(old);
     return addr;
   }
 
@@ -78,12 +114,24 @@ class FuncRegistry {
     return RegisterAny(kind, name, std::any(std::move(fn)), ahash, module, fixed_addr);
   }
 
+  // Lock-free: safe against concurrent Register/Unregister. The returned
+  // entry stays valid until the calling CPU passes a quiescent point.
   const DispatchEntry* Lookup(uintptr_t addr) const {
-    auto it = entries_.find(addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    DispatchEntry* entry = nullptr;
+    return dispatch_.FindValueConcurrent(addr, &entry) ? entry : nullptr;
   }
 
-  void Unregister(uintptr_t addr) { entries_.erase(addr); }
+  void Unregister(uintptr_t addr) {
+    DispatchEntry* old = nullptr;
+    {
+      lxfi::SpinGuard guard(mu_);
+      if (DispatchEntry** slot = dispatch_.Find(addr)) {
+        old = *slot;
+        dispatch_.Erase(addr);
+      }
+    }
+    RetireEntry(old);
+  }
 
   // Control transfer to `addr`. Faults (panics) on unmapped addresses or
   // signature mismatch, as real hardware would on a wild jump.
@@ -100,7 +148,7 @@ class FuncRegistry {
     return (*fn)(args...);
   }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return dispatch_.size(); }
 
  private:
   uintptr_t MintAddress(TextKind kind) {
@@ -125,8 +173,15 @@ class FuncRegistry {
     return 0;
   }
 
-  std::unordered_map<uintptr_t, DispatchEntry> entries_;
-  uintptr_t next_kernel_ = kKernelTextBase;
+  static void RetireEntry(DispatchEntry* entry) {
+    if (entry != nullptr) {
+      lxfi::EpochReclaimer::Global().Retire([entry] { delete entry; });
+    }
+  }
+
+  lxfi::FlatTable<DispatchEntry*> dispatch_;  // addr -> heap-owned entry
+  lxfi::Spinlock mu_;                         // serializes writers + minting
+  uintptr_t next_kernel_ = kKernelTextBase;   // guarded by mu_
   uintptr_t next_module_ = kModuleTextBase;
   uintptr_t next_user_ = 0x10000;
 };

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -76,6 +77,13 @@ class Module {
 
   ModuleState state() const { return state_; }
 
+  // Containment flag (containment.cc): set when the module's principal
+  // violates under ViolationPolicy::kQuarantine. Read lock-free by dispatch
+  // paths (the VFS filter chain, mount/fstype probes) so in-flight calls
+  // fail fast instead of entering the quarantined module.
+  bool quarantined() const { return quarantined_.load(std::memory_order_acquire); }
+  void set_quarantined(bool q) { quarantined_.store(q, std::memory_order_release); }
+
   // Text address minted for a module-defined function (0 if unknown).
   uintptr_t FuncAddr(const std::string& fn_name) const {
     auto it = func_addrs_.find(fn_name);
@@ -103,6 +111,7 @@ class Module {
   void* data_ = nullptr;
   void* rodata_ = nullptr;
   ModuleState state_ = ModuleState::kLoaded;
+  std::atomic<bool> quarantined_{false};
   std::unordered_map<std::string, uintptr_t> func_addrs_;
   std::any instance_state_;
 };

@@ -4,6 +4,7 @@
 
 #include "src/base/string_util.h"
 #include "src/base/trace.h"
+#include "src/lxfi/containment.h"
 #include "src/lxfi/principal.h"
 #include "src/lxfi/runtime.h"
 
@@ -32,6 +33,7 @@ std::vector<LxfiStats::PrincipalMetrics> LxfiStats::Collect(const Runtime& rt) {
       m.pre_checks += ec.pre_checks.value();
       m.pre_memo_hits += ec.pre_memo_hits.value();
     }
+    m.arena_fallbacks = p->arena_fallbacks();
     out.push_back(std::move(m));
   });
   // Deterministic order for golden output and stable JSON artifacts.
@@ -91,6 +93,7 @@ std::string LxfiStats::DumpJson(const Runtime& rt, const std::string& tag) {
     AppendField(&out, "call_memo_hits", m.call_memo_hits, &first);
     AppendField(&out, "pre_checks", m.pre_checks, &first);
     AppendField(&out, "pre_memo_hits", m.pre_memo_hits, &first);
+    AppendField(&out, "arena_fallbacks", m.arena_fallbacks, &first);
     for (size_t b = 0; b < EnforcementContext::kCrossingHistBuckets; ++b) {
       if (m.hist[b] != 0) {
         AppendField(&out, StrFormat("hist_2e%zu_ns", b).c_str(), m.hist[b], &first);
@@ -113,6 +116,15 @@ std::string LxfiStats::DumpJson(const Runtime& rt, const std::string& tag) {
   AppendField(&out, "drops", TraceBuffer::Global().TotalDrops(), &first);
   AppendField(&out, "violations", rt.violation_count(), &first);
   out += "}";
+  if (const Containment* c = rt.containment(); c != nullptr) {
+    open_row("containment");
+    bool cf = false;
+    AppendField(&out, "quarantines", c->quarantines(), &cf);
+    AppendField(&out, "reboots", c->reboots(), &cf);
+    AppendField(&out, "retired", c->retired(), &cf);
+    AppendField(&out, "backoff_ns", c->backoff_ns(), &cf);
+    out += "}";
+  }
   out += "\n  ]\n}\n";
   return out;
 }

@@ -48,6 +48,10 @@ class LxfiStats {
     uint64_t call_memo_hits = 0;
     uint64_t pre_checks = 0;
     uint64_t pre_memo_hits = 0;
+    // Allocations that fell back to the shared heap because the principal's
+    // partition slot was exhausted (Principal::arena_fallbacks; each one is
+    // also a kArenaFallback trace event and a containment revocation).
+    uint64_t arena_fallbacks = 0;
   };
 
   static std::vector<PrincipalMetrics> Collect(const Runtime& rt);

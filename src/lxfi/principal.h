@@ -118,6 +118,13 @@ class Principal {
   uintptr_t arena_hi() const { return arena_hi_.load(std::memory_order_relaxed); }
   int heap_partition() const { return heap_partition_; }
 
+  // Allocations that silently fell back to the shared heap because the
+  // principal's partition slot was exhausted (or no slot could be carved) —
+  // each one weakens isolation, so it is counted, traced (kArenaFallback)
+  // and revoked at quarantine time like arena memory.
+  void NoteArenaFallback() { arena_fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t arena_fallbacks() const { return arena_fallbacks_.load(std::memory_order_relaxed); }
+
   std::string DebugName() const;
 
  private:
@@ -131,6 +138,7 @@ class Principal {
   std::atomic<uintptr_t> arena_lo_{UINTPTR_MAX};
   std::atomic<uintptr_t> arena_hi_{0};
   std::atomic<bool> arena_sealed_{false};
+  std::atomic<uint64_t> arena_fallbacks_{0};
   int heap_partition_ = kNoHeap;
   CapTable caps_;
   Spinlock lock_;
@@ -247,6 +255,41 @@ class ModuleCtx {
     return out;
   }
 
+  // --- shared-heap fallback bookkeeping --------------------------------------
+  // Objects a principal allocated on the *shared* heap because its partition
+  // slot was exhausted. Containment revokes exactly these at quarantine time
+  // (the arena sweep cannot see them), so the fallback path does not become
+  // an isolation hole.
+  struct ArenaFallbackRecord {
+    Principal* owner;
+    uintptr_t addr;
+    size_t size;
+  };
+  void RecordArenaFallback(Principal* owner, uintptr_t addr, size_t size) {
+    SpinGuard guard(mu_);
+    arena_fallbacks_.push_back(ArenaFallbackRecord{owner, addr, size});
+  }
+  std::vector<ArenaFallbackRecord> TakeArenaFallbacks() {
+    SpinGuard guard(mu_);
+    std::vector<ArenaFallbackRecord> out;
+    out.swap(arena_fallbacks_);
+    return out;
+  }
+
+  // Visits shared, global, then every live instance principal, serialized
+  // against concurrent instance creation by the module lock. Safe from any
+  // thread (containment quarantines from the faulting CPU); `fn` must not
+  // create or drop principals.
+  template <typename Fn>
+  void ForEachPrincipal(Fn&& fn) {
+    fn(&shared_);
+    fn(&global_);
+    SpinGuard guard(mu_);
+    for (const auto& inst : instances_) {
+      fn(inst.get());
+    }
+  }
+
  private:
   struct InstanceSnapshot {
     std::vector<Principal*> items;
@@ -269,6 +312,7 @@ class ModuleCtx {
   InstanceSnapshot* inst_snapshot_ = nullptr;
   EpochReclaimer* reclaimer_ = nullptr;
   std::vector<HeapPartitionRecord> heap_partitions_;  // guarded by mu_
+  std::vector<ArenaFallbackRecord> arena_fallbacks_;  // guarded by mu_
 };
 
 }  // namespace lxfi

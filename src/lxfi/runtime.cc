@@ -10,6 +10,7 @@
 #include "src/base/string_util.h"
 #include "src/base/trace.h"
 #include "src/kernel/panic.h"
+#include "src/lxfi/containment.h"
 #include "src/lxfi/guard_program.h"
 #include "src/lxfi/lxfi_stats.h"
 
@@ -127,7 +128,10 @@ bool Runtime::OnModuleLoad(kern::Module* module) {
   if (options_.concurrent_enforcement) {
     mc->EnableConcurrent(&EpochReclaimer::Global());
   }
-  ctxs_[module] = std::move(ctx);
+  {
+    SpinGuard guard(ctxs_mu_);
+    ctxs_[module] = std::move(ctx);
+  }
   module->lxfi_ctx = mc;
   Principal* shared = mc->shared();
 
@@ -193,11 +197,26 @@ bool Runtime::OnModuleLoad(kern::Module* module) {
 }
 
 void Runtime::OnModuleUnload(kern::Module* module) {
-  auto it = ctxs_.find(module);
-  if (it == ctxs_.end()) {
-    return;
+  std::unique_ptr<ModuleCtx> owned;
+  {
+    SpinGuard guard(ctxs_mu_);
+    auto it = ctxs_.find(module);
+    if (it == ctxs_.end()) {
+      return;
+    }
+    owned = std::move(it->second);
+    ctxs_.erase(it);
   }
-  ModuleCtx* mc = it->second.get();
+  ModuleCtx* mc = owned.get();
+  // By now the module is unpublished from every dispatch surface a walker
+  // could take a *new* reference through (exit_fn dropped its filters from
+  // the chain snapshots before we got here). Readers that already hold an
+  // old snapshot may still be mid-crossing through the module's wrappers,
+  // so wait out a grace period before unregistering its text and tearing
+  // down its principals — the synchronize_rcu() in real module unload.
+  if (options_.concurrent_enforcement) {
+    EpochReclaimer::Global().Synchronize();
+  }
   // Unregister module text so stale function pointers fault rather than run.
   for (const kern::FuncDecl& fd : module->def().functions) {
     uintptr_t addr = module->FuncAddr(fd.name);
@@ -225,7 +244,6 @@ void Runtime::OnModuleUnload(kern::Module* module) {
     writer_set_.RemoveWriter(inst.get());
   }
   module->lxfi_ctx = nullptr;
-  ctxs_.erase(it);
 }
 
 int Runtime::CallModuleInit(kern::Module* module, const std::function<int()>& init) {
@@ -255,6 +273,7 @@ void Runtime::CallModuleExit(kern::Module* module, const std::function<void()>& 
 }
 
 ModuleCtx* Runtime::CtxOf(kern::Module* module) {
+  SpinGuard guard(ctxs_mu_);
   auto it = ctxs_.find(module);
   return it == ctxs_.end() ? nullptr : it->second.get();
 }
@@ -328,7 +347,21 @@ void* Runtime::PartitionedAlloc(size_t size) {
       caller->module()->RecordHeapPartition(pid, lo, hi);
     }
   }
-  return pid == kern::SlabAllocator::kNoPartition ? slab.Alloc(size) : slab.AllocIn(pid, size);
+  void* obj =
+      pid == kern::SlabAllocator::kNoPartition ? slab.Alloc(size) : slab.AllocIn(pid, size);
+  // Shared-heap fallback (no slot free, or the slot's pages exhausted):
+  // each such object sits outside the arena span the bulk sweep and the
+  // quarantine seal cover, so record it — containment revokes exactly this
+  // list — and trace it, since every fallback weakens the range-compare
+  // isolation the partition was supposed to provide.
+  if (obj != nullptr &&
+      !caller->ArenaContains(reinterpret_cast<uintptr_t>(obj), size > 0 ? size : 1)) {
+    caller->NoteArenaFallback();
+    caller->module()->RecordArenaFallback(caller, reinterpret_cast<uintptr_t>(obj), size);
+    TRACE_EVENT(TraceEvent::kArenaFallback, caller->trace_id(),
+                reinterpret_cast<uint64_t>(obj), static_cast<uint64_t>(size));
+  }
+  return obj;
 }
 
 void Runtime::SealPrincipalHeap(Principal* p) {
@@ -458,6 +491,7 @@ void Runtime::RevokeEverywhere(const Capability& cap) {
   TRACE_EVENT(TraceEvent::kCapRevoke, 0, cap.addr,
               static_cast<uint64_t>(cap.size) | (static_cast<uint64_t>(cap.kind) << 56));
   revoke_everywhere_count_.fetch_add(1, std::memory_order_relaxed);
+  SpinGuard guard(ctxs_mu_);
   for (auto& [kmod, mc] : ctxs_) {
     mc->RevokeEverywhere(cap);
   }
@@ -598,6 +632,7 @@ void Runtime::CheckCall(Principal* p, uintptr_t target, const std::string& name)
 
 void Runtime::CollectWritersFromCaps(uintptr_t slot_addr, WriterVec* out) {
   // Ablation mode: recompute from capability tables every time.
+  SpinGuard guard(ctxs_mu_);
   for (auto& [kmod, mc] : ctxs_) {
     auto consider = [&](Principal* p) {
       if (p->caps().CheckWrite(slot_addr, sizeof(uintptr_t))) {
@@ -803,6 +838,7 @@ void Runtime::DropPrincipal(kern::Module* module, const void* name) {
 // --- diagnostics ----------------------------------------------------------------------
 
 std::string Runtime::DumpState() const {
+  SpinGuard guard(ctxs_mu_);
   std::string out;
   out += StrFormat("lxfi runtime: %zu module(s), %zu tracked writer page(s), %llu violation(s)\n",
                    ctxs_.size(), writer_set_.TrackedPages(),
@@ -880,6 +916,15 @@ void Runtime::RaiseViolation(ViolationKind kind, const std::string& details,
       kern::Panic(std::string("lxfi: ") + ViolationKindName(kind) + ": " + details);
     case ViolationPolicy::kCount:
       return;
+    case ViolationPolicy::kQuarantine:
+      // Contain the faulting principal's module (seal + revoke + drop from
+      // dispatch, microreboot pending), then fail the in-flight request the
+      // same way kThrow does — the wrappers' unwind paths restore principal
+      // state, and the syscall surface reports the error.
+      if (containment_ != nullptr) {
+        containment_->OnViolation(p, kind, fault_addr);
+      }
+      throw LxfiViolation(kind, details);
   }
 }
 
@@ -903,6 +948,7 @@ std::vector<ViolationRecord> Runtime::violations() const {
 }
 
 void Runtime::VisitPrincipals(const std::function<void(Principal*)>& fn) const {
+  SpinGuard guard(ctxs_mu_);
   for (const auto& [kmod, mc] : ctxs_) {
     fn(mc->shared());
     fn(mc->global());

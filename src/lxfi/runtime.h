@@ -74,6 +74,7 @@ struct CallEnv {
 // The factory type the module rewriter stores in kern::FuncDecl: produces
 // the instrumented invoker (a std::any holding std::function<Sig>).
 class Runtime;
+class Containment;
 using WrapFactory =
     std::function<std::any(Runtime*, ModuleCtx*, const AnnotationSet*, const std::string&)>;
 
@@ -209,6 +210,10 @@ class Runtime : public kern::IsolationHooks {
   // so ClearViolations only moves the visible baseline, never the sequence.
   static constexpr size_t kViolationRingSize = 64;
   void RaiseViolation(ViolationKind kind, const std::string& details, uint64_t fault_addr = 0);
+  // Containment engine consulted under ViolationPolicy::kQuarantine
+  // (containment.h). Not owned; null means the policy degrades to kThrow.
+  void set_containment(Containment* containment) { containment_ = containment; }
+  Containment* containment() const { return containment_; }
   // Lock-free count of violations since construction / the last
   // ClearViolations (any thread).
   uint64_t violation_count() const {
@@ -319,6 +324,11 @@ class Runtime : public kern::IsolationHooks {
   IteratorRegistry iterators_;
   GuardStats guards_;
   WriterSet writer_set_;
+  // Guards the ctxs_ map itself (loader-thread load/unload vs cross-module
+  // walkers: RevokeEverywhere, VisitPrincipals, the writer-set ablation).
+  // Never taken on the per-crossing hot path — wrappers capture their
+  // ModuleCtx* at registration and module code goes through Module::lxfi_ctx.
+  mutable Spinlock ctxs_mu_;
   std::unordered_map<kern::Module*, std::unique_ptr<ModuleCtx>> ctxs_;
   Spinlock shadows_mu_;  // guards shadows_ (kthreads appear from CPU threads)
   std::unordered_map<kern::KthreadContext*, std::unique_ptr<ShadowStack>> shadows_;
@@ -329,6 +339,7 @@ class Runtime : public kern::IsolationHooks {
   uintptr_t stack_lo_ = 0;
   uintptr_t stack_hi_ = 0;
   std::atomic<uint64_t> revoke_everywhere_count_{0};
+  Containment* containment_ = nullptr;
 };
 
 // RAII principal switch for module code that must run as global/shared or as

@@ -38,9 +38,11 @@ class LxfiViolation : public std::runtime_error {
 };
 
 enum class ViolationPolicy {
-  kThrow,  // throw LxfiViolation (default; the simulated "kill the request")
-  kPanic,  // kern::Panic — the paper's whole-kernel policy
-  kCount,  // record and continue (diagnostics/surveys only; UNSAFE)
+  kThrow,       // throw LxfiViolation (default; the simulated "kill the request")
+  kPanic,       // kern::Panic — the paper's whole-kernel policy
+  kCount,       // record and continue (diagnostics/surveys only; UNSAFE)
+  kQuarantine,  // contain the principal + microreboot its module (containment.h),
+                // then throw to fail the in-flight request
 };
 
 // One flight-recorder entry: full attribution so the event can be audited

@@ -117,6 +117,7 @@ kern::ModuleDef FsFilterModuleDef(FsFilterConfig config) {
     lxfi::Store(m, &flt->post_op, m.FuncAddr("fsflt_post"));
     lxfi::Store(m, &flt->private_data, static_cast<void*>(st->priv));
     lxfi::Store(m, &flt->module, &m);
+    lxfi::Store(m, &flt->scope, st->config.scope);
     int rc = st->register_filter(flt);
     if (rc != 0) {
       st->flt = nullptr;
@@ -124,8 +125,15 @@ kern::ModuleDef FsFilterModuleDef(FsFilterConfig config) {
     return rc;
   };
   def.exit_fn = [st](kern::Module& m) {
-    if (st->flt != nullptr && st->unregister_filter(st->flt) == 0) {
-      st->flt = nullptr;
+    if (st->flt != nullptr) {
+      // -ENOENT means containment's UnregisterModule already dropped the
+      // registration (quarantine racing an administrative unload): the
+      // filter is gone either way, so both outcomes clear the handle —
+      // no double teardown, no retrying a registration that cannot exist.
+      int rc = st->unregister_filter(st->flt);
+      if (rc == 0 || rc == -kern::kEnoent) {
+        st->flt = nullptr;
+      }
     }
   };
   return def;

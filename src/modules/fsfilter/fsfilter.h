@@ -54,6 +54,10 @@ struct FsFilterConfig {
   int priority = 0;
   std::string veto_prefix;  // veto create/unlink/open of matching names
   int veto_errno = kern::kEperm;
+  // Mount scope (VfsFilter::scope): non-null restricts the hooks to the
+  // mount whose superblock id matches. Must outlive the module (the tenant
+  // harness keeps the strings in a deque).
+  const char* scope = nullptr;
 };
 
 struct FsFilterState {

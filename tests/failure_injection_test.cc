@@ -4,16 +4,23 @@
 // packet back, allocation failure grants nothing.
 #include <gtest/gtest.h>
 
+#include "src/kernel/block/block.h"
+#include "src/kernel/fs/pagecache.h"
+#include "src/kernel/fs/vfs.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/net/netdevice.h"
 #include "src/kernel/net/skbuff.h"
 #include "src/kernel/net/socket.h"
 #include "src/kernel/pci/pci.h"
+#include "src/lxfi/containment.h"
 #include "src/lxfi/kernel_api.h"
 #include "src/lxfi/mem.h"
 #include "src/lxfi/runtime.h"
+#include "src/lxfi/violation.h"
 #include "src/lxfi/wrap.h"
 #include "src/modules/e1000/e1000.h"
+#include "src/modules/fsfilter/fsfilter.h"
+#include "src/modules/ramfs/ramfs.h"
 #include "tests/testbench.h"
 
 namespace {
@@ -176,6 +183,187 @@ TEST(FailureInjection, SocketCreateFailureUnwinds) {
   EXPECT_EQ(sl->SysSocket(77, 0), nullptr);
   EXPECT_EQ(sl->open_sockets(), 0u);
   EXPECT_EQ(bench.rt->violation_count(), 0u);
+}
+
+lxfi::RuntimeOptions QuarantineOptions() {
+  lxfi::RuntimeOptions options;
+  options.policy = lxfi::ViolationPolicy::kQuarantine;
+  options.partitioned_heaps = true;
+  return options;
+}
+
+// A filesystem whose mount hook fails after register_filesystem succeeded:
+// the registration must survive, kill_sb must NOT run (the kernel only calls
+// it after a successful mount), and nothing leaks into the mount table.
+TEST(FailureInjection, MountFailureAfterRegisterFilesystem) {
+  Bench bench(/*isolated=*/true);
+  kern::Vfs* vfs = kern::GetVfs(bench.kernel.get());
+  struct FailFsState {
+    int mount_calls = 0;
+    int kill_calls = 0;
+    std::function<int(kern::FileSystemType*)> register_filesystem;
+  };
+  auto st = std::make_shared<FailFsState>();
+  kern::ModuleDef def;
+  def.name = "failfs";
+  def.data_size = sizeof(kern::FileSystemType);
+  def.imports = {"register_filesystem", "unregister_filesystem", "printk"};
+  def.functions = {
+      lxfi::DeclareFunction<int, kern::FileSystemType*, kern::SuperBlock*, kern::Dentry*>(
+          "failfs_mount", "file_system_type::mount",
+          [st](kern::FileSystemType*, kern::SuperBlock*, kern::Dentry*) {
+            ++st->mount_calls;
+            return -kern::kEnomem;
+          }),
+      lxfi::DeclareFunction<void, kern::FileSystemType*, kern::SuperBlock*>(
+          "failfs_kill_sb", "file_system_type::kill_sb",
+          [st](kern::FileSystemType*, kern::SuperBlock*) { ++st->kill_calls; }),
+  };
+  def.init = [st](kern::Module& m) -> int {
+    st->register_filesystem = lxfi::GetImport<int, kern::FileSystemType*>(m, "register_filesystem");
+    auto* fstype = static_cast<kern::FileSystemType*>(m.data());
+    lxfi::Store(m, &fstype->name, static_cast<const char*>("failfs"));
+    lxfi::Store(m, &fstype->mount, m.FuncAddr("failfs_mount"));
+    lxfi::Store(m, &fstype->kill_sb, m.FuncAddr("failfs_kill_sb"));
+    lxfi::Store(m, &fstype->module, &m);
+    return st->register_filesystem(fstype);
+  };
+  kern::Module* m = bench.kernel->LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+  size_t mounts_before = vfs->mount_count();
+
+  EXPECT_EQ(vfs->Mount("failfs", "/broken"), nullptr);
+  EXPECT_EQ(st->mount_calls, 1);
+  EXPECT_EQ(st->kill_calls, 0) << "kill_sb must not run after a failed mount";
+  EXPECT_EQ(vfs->mount_count(), mounts_before);
+  EXPECT_EQ(bench.rt->violation_count(), 0u);
+  // The fstype registration survives the failed mount — and a retry fails
+  // just as cleanly.
+  ASSERT_NE(vfs->FindFilesystem("failfs"), nullptr);
+  EXPECT_EQ(vfs->Mount("failfs", "/broken"), nullptr);
+  EXPECT_EQ(st->mount_calls, 2);
+  // The mountpoint was never claimed: a healthy filesystem can take it.
+  ASSERT_NE(bench.kernel->LoadModule(mods::RamfsModuleDef()), nullptr);
+  ASSERT_NE(vfs->Mount("ramfs", "/broken"), nullptr);
+  EXPECT_EQ(vfs->mount_count(), mounts_before + 1);
+  EXPECT_EQ(bench.rt->violation_count(), 0u);
+}
+
+// A module quarantined while it holds a pc_bwrite window open: containment
+// and the microreboot must not deadlock on the open hold, and the write
+// window must not leak to the rebooted instance.
+TEST(FailureInjection, BwriteWindowOpenAtViolationStaysConsistent) {
+  Bench bench(/*isolated=*/true, QuarantineOptions());
+  lxfi::Containment containment(bench.rt.get());
+  bench.rt->set_containment(&containment);
+  kern::BlockDevice* dev = kern::GetBlockLayer(bench.kernel.get())->CreateRamDisk("rd0", 64);
+  ASSERT_NE(dev, nullptr);
+
+  struct BwState {
+    std::function<kern::BlockDevice*(const char*)> get_device;
+    std::function<kern::CachedPage*(kern::BlockDevice*, uint64_t)> bwrite;
+    std::function<int(kern::CachedPage*)> bwrite_done;
+  };
+  auto st = std::make_shared<BwState>();
+  kern::ModuleDef def;
+  def.name = "bwriter";
+  def.imports = {"dm_get_device", "pc_bwrite", "pc_bwrite_done", "printk"};
+  def.init = [st](kern::Module& m) -> int {
+    st->get_device = lxfi::GetImport<kern::BlockDevice*, const char*>(m, "dm_get_device");
+    st->bwrite = lxfi::GetImport<kern::CachedPage*, kern::BlockDevice*, uint64_t>(m, "pc_bwrite");
+    st->bwrite_done = lxfi::GetImport<int, kern::CachedPage*>(m, "pc_bwrite_done");
+    return 0;
+  };
+  kern::Module* m = bench.kernel->LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+  lxfi::Principal* shared = bench.rt->CtxOf(m)->shared();
+
+  kern::CachedPage* page = nullptr;
+  {
+    // The REF over the device comes through the annotated import; the write
+    // window over the page payload comes with pc_bwrite's post-copy.
+    lxfi::ScopedPrincipal as_module(bench.rt.get(), shared);
+    ASSERT_EQ(st->get_device("rd0"), dev);
+    page = st->bwrite(dev, 3);
+  }
+  ASSERT_NE(page, nullptr);
+  EXPECT_TRUE(bench.rt->Owns(shared, Capability::Write(page->data, kern::kPcBlockSize)))
+      << "the open bwrite window grants the payload";
+
+  // Violation with the window still open (pc_bwrite_done never called).
+  containment.OnViolation(shared, lxfi::ViolationKind::kWrite,
+                          reinterpret_cast<uintptr_t>(page->data));
+  EXPECT_TRUE(m->quarantined());
+  EXPECT_EQ(containment.HealthOf("bwriter"), lxfi::ModuleHealth::kQuarantined);
+
+  // No mounts, no filters: the reboot drains immediately — the open page
+  // hold must not wedge it.
+  EXPECT_EQ(containment.DrainPendingReboots(), 1u);
+  kern::Module* fresh = bench.kernel->FindModule("bwriter");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh, m);
+  // The write window did not survive the reboot: the fresh instance starts
+  // with no capability over the page payload.
+  EXPECT_FALSE(bench.rt->Owns(bench.rt->CtxOf(fresh)->shared(),
+                              Capability::Write(page->data, kern::kPcBlockSize)));
+  // The kernel (trusted) can close the abandoned window and keep using the
+  // cache.
+  EXPECT_EQ(kern::GetPageCache(bench.kernel.get())->BwriteDone(page), 0);
+  kern::CachedPage* again = kern::GetPageCache(bench.kernel.get())->Bget(dev, 3);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(kern::GetPageCache(bench.kernel.get())->Brelse(again), 0);
+}
+
+// Failure induced mid-microreboot: every reload attempt fails, the retry
+// budget runs out with its backoff accounted, and the module retires — while
+// the rest of the kernel stays serviceable.
+TEST(FailureInjection, MidMicrorebootFailureRetiresTheModule) {
+  Bench bench(/*isolated=*/true, QuarantineOptions());
+  lxfi::Containment containment(bench.rt.get());
+  bench.rt->set_containment(&containment);
+  kern::Vfs* vfs = kern::GetVfs(bench.kernel.get());
+  ASSERT_NE(bench.kernel->LoadModule(mods::RamfsModuleDef()), nullptr);
+  ASSERT_NE(vfs->Mount("ramfs", "/mnt"), nullptr);
+
+  auto fail_reload = std::make_shared<bool>(false);
+  mods::FsFilterConfig fc;
+  fc.module_name = "brittle";
+  fc.filter_name = "brittle";
+  fc.scope = "mnt";
+  kern::ModuleDef def = mods::FsFilterModuleDef(fc);
+  auto inner_init = def.init;
+  def.init = [fail_reload, inner_init](kern::Module& m) -> int {
+    if (*fail_reload) {
+      return -kern::kEnomem;
+    }
+    return inner_init(m);
+  };
+  kern::Module* m = bench.kernel->LoadModule(std::move(def));
+  ASSERT_NE(m, nullptr);
+
+  containment.OnViolation(bench.rt->CtxOf(m)->shared(), lxfi::ViolationKind::kWrite, 0);
+  EXPECT_EQ(containment.HealthOf("brittle"), lxfi::ModuleHealth::kQuarantined);
+  *fail_reload = true;  // the microreboot's reloads now fail at init
+
+  EXPECT_EQ(containment.DrainPendingReboots(), 0u);
+  EXPECT_EQ(containment.HealthOf("brittle"), lxfi::ModuleHealth::kRetired);
+  EXPECT_EQ(containment.retired(), 1u);
+  EXPECT_EQ(containment.reboots(), 0u);
+  EXPECT_FALSE(containment.HasPendingReboots()) << "budget exhausted: no retry churn";
+  // Three attempts, exponential backoff: 1000 + 2000 + 4000 simulated ns.
+  EXPECT_EQ(containment.backoff_ns(), 7000u);
+  EXPECT_EQ(bench.kernel->FindModule("brittle"), nullptr);
+
+  // The kernel around the retired module is untouched: the mount serves and
+  // fresh modules load.
+  kern::VfsStat vst;
+  EXPECT_EQ(vfs->Stat("/mnt", &vst), 0);
+  mods::FsFilterConfig ok;
+  ok.module_name = "sturdy";
+  ok.filter_name = "sturdy";
+  ok.scope = "mnt";
+  EXPECT_NE(bench.kernel->LoadModule(mods::FsFilterModuleDef(ok)), nullptr);
+  EXPECT_EQ(vfs->Stat("/mnt", &vst), 0);
 }
 
 TEST(FailureInjection, UnknownFamilyAndDoubleRegister) {

@@ -6,9 +6,14 @@
 #include <string>
 
 #include "src/base/trace.h"
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/lxfi/containment.h"
 #include "src/lxfi/lxfi_stats.h"
 #include "src/lxfi/runtime.h"
 #include "src/lxfi/violation.h"
+#include "src/modules/fsfilter/fsfilter.h"
+#include "src/modules/ramfs/ramfs.h"
 #include "src/modules/statmon/statmon.h"
 #include "tests/testbench.h"
 
@@ -105,6 +110,87 @@ TEST(StatmonExploit, RogueWriterCannotScribbleTraceRing) {
   st->probe = mods::StatmonProbe::kNone;
   EXPECT_GT(InvokePoll(bench, m), 0);
   EXPECT_EQ(st->polls(), 1u);
+}
+
+// The monitoring module watches ANOTHER module go through quarantine and
+// microreboot: its polls must surface the containment counters in the stats
+// snapshot and the kQuarantine/kMicroreboot records in the trace stream —
+// while statmon itself keeps serving, untouched by the neighbour's recovery.
+TEST(Statmon, ObservesQuarantineAndMicrorebootOfAnotherModule) {
+  lxfi::TraceBuffer::Global().ResetForTest();
+  lxfi::TraceBuffer::SetEnabled(true);
+  lxfi::LxfiStats::SetEnabled(true);
+  lxfi::RuntimeOptions options;
+  options.policy = lxfi::ViolationPolicy::kQuarantine;
+  options.partitioned_heaps = true;
+  Bench bench(/*isolated=*/true, options);
+  lxfi::Containment containment(bench.rt.get());
+  bench.rt->set_containment(&containment);
+
+  kern::Module* mon = bench.kernel->LoadModule(mods::StatmonModuleDef());
+  ASSERT_NE(mon, nullptr);
+  auto st = mods::GetStatmon(*mon);
+  kern::Vfs* vfs = kern::GetVfs(bench.kernel.get());
+  ASSERT_NE(bench.kernel->LoadModule(mods::RamfsModuleDef()), nullptr);
+  ASSERT_NE(vfs->Mount("ramfs", "/mnt"), nullptr);
+  mods::FsFilterConfig evil_cfg;
+  evil_cfg.module_name = "fsflt-evil";
+  evil_cfg.filter_name = "fsflt-evil";
+  evil_cfg.scope = "mnt";
+  kern::Module* evil = bench.kernel->LoadModule(mods::FsFilterModuleDef(evil_cfg));
+  ASSERT_NE(evil, nullptr);
+  mods::FsFilterConfig victim_cfg;
+  victim_cfg.module_name = "fsflt-victim";
+  victim_cfg.filter_name = "fsflt-victim";
+  victim_cfg.priority = 10;
+  victim_cfg.scope = "mnt";
+  kern::Module* victim = bench.kernel->LoadModule(mods::FsFilterModuleDef(victim_cfg));
+  ASSERT_NE(victim, nullptr);
+
+  auto records_contain = [&](lxfi::TraceEvent ev) {
+    for (long i = 0; i < st->last_record_count(); ++i) {
+      if (st->records[i].event == static_cast<uint16_t>(ev)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Baseline poll drains the load-time backlog so the next poll's window is
+  // the containment sequence itself.
+  ASSERT_GT(InvokePoll(bench, mon), 0);
+  std::string json(st->json);
+  EXPECT_NE(json.find("containment"), std::string::npos)
+      << "the stats snapshot must carry the containment row: " << json;
+  EXPECT_NE(json.find("\"quarantines\": 0"), std::string::npos) << json;
+
+  auto evil_st = mods::GetFsFilter(*evil);
+  evil_st->probe_target = &mods::GetFsFilter(*victim)->priv->pre_count[0];
+  evil_st->probe = mods::FsFilterProbe::kScribbleTarget;
+  kern::VfsStat vst;
+  EXPECT_THROW(vfs->Stat("/mnt", &vst), lxfi::LxfiViolation);
+  EXPECT_EQ(containment.quarantines(), 1u);
+
+  ASSERT_GT(InvokePoll(bench, mon), 0);
+  EXPECT_TRUE(records_contain(lxfi::TraceEvent::kQuarantine))
+      << "the poll after the violation must surface the quarantine record";
+  json.assign(st->json);
+  EXPECT_NE(json.find("\"quarantines\": 1"), std::string::npos) << json;
+
+  evil_st->probe = mods::FsFilterProbe::kNone;
+  ASSERT_EQ(containment.DrainPendingReboots(), 1u);
+  ASSERT_GT(InvokePoll(bench, mon), 0);
+  EXPECT_TRUE(records_contain(lxfi::TraceEvent::kMicroreboot))
+      << "the poll after the drain must surface the microreboot record";
+  json.assign(st->json);
+  EXPECT_NE(json.find("\"reboots\": 1"), std::string::npos) << json;
+
+  // The observer itself sailed through the neighbour's recovery.
+  EXPECT_EQ(st->polls(), 3u);
+  EXPECT_EQ(containment.HealthOf("statmon"), lxfi::ModuleHealth::kHealthy);
+  lxfi::TraceBuffer::SetEnabled(false);
+  lxfi::LxfiStats::SetEnabled(false);
+  lxfi::TraceBuffer::Global().ResetForTest();
 }
 
 }  // namespace
